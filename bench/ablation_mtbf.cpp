@@ -1,0 +1,136 @@
+// Ablation: efficiency under repeated failures vs MTBF — the paper's
+// motivating argument (Section 1: with an expected MTBF between one day and
+// a few hours, "simple solutions based on coordinated checkpoints ... will
+// not work" because every failure rolls the whole machine back).
+//
+// A Poisson failure process (seeded, deterministic) kills random ranks
+// during a fixed workload. Efficiency = failure-free time / actual time.
+// SPBC's containment re-executes one cluster per failure; global coordinated
+// checkpointing re-executes everyone, so its efficiency collapses faster as
+// the (scaled) MTBF shrinks.
+//
+// Rows may report "fail" at very high failure rates on large machines: the
+// blocking drain-based checkpoint wave can form a cross-cluster circular
+// wait once repeated recoveries desynchronize clusters (see the known-
+// limitation note in core/spbc.hpp). Use --ranks=32 for a sweep where every
+// row completes.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+using namespace spbc;
+
+namespace {
+
+struct Outcome {
+  bool ok = false;
+  double efficiency = 0;
+  int failures = 0;
+  // Containment metrics (Section 2.1: rolling back all processes "is a big
+  // waste of resources and, consequently, of energy" and causes an IO burst
+  // on restart): how many rank-restarts the failures cost, and how many
+  // rank-seconds of computation were thrown away and redone.
+  uint64_t rank_restarts = 0;
+  double wasted_rank_seconds = 0;
+};
+
+Outcome run_with_failures(const harness::ScenarioConfig& base, sim::Time t_ff,
+                          double mtbf, uint64_t seed) {
+  harness::ScenarioConfig cfg = base;
+  mpi::MachineConfig mc = cfg.machine;
+  mc.nranks = cfg.nranks;
+  mc.ranks_per_node = cfg.ranks_per_node;
+  mc.abort_on_deadlock = false;  // a failed row reports "fail", not abort
+  if (cfg.protocol == harness::ProtocolKind::kGlobalCoordinated) {
+    // nothing special
+  }
+  auto proto = std::make_unique<core::SpbcProtocol>(cfg.spbc);
+  mpi::Machine m(mc, std::move(proto));
+  m.set_cluster_of(harness::compute_cluster_map(cfg));
+  const apps::AppInfo& info = apps::find_app(cfg.app);
+  apps::AppConfig acfg = cfg.app_cfg;
+  m.launch([&info, acfg](mpi::Rank& r) { info.main(r, acfg); });
+
+  // Poisson failure schedule over [10% .. 85%] of the failure-free span
+  // (recoveries push the real end further out; failures beyond the original
+  // span would hit an already-finished run).
+  util::Pcg32 rng(seed, 0xfa11);
+  Outcome out;
+  sim::Time t = t_ff * 0.1;
+  for (;;) {
+    double u = rng.next_double();
+    t += -mtbf * std::log(1.0 - u);
+    if (t > t_ff * 0.85) break;
+    int victim = static_cast<int>(rng.next_bounded(static_cast<uint32_t>(cfg.nranks)));
+    m.inject_failure(t, victim);
+    ++out.failures;
+    // Give each recovery room: at most one pending failure per detection+
+    // restart window keeps the schedule realistic at these scales.
+    t += m.config().failure_detection_delay + m.config().restart_delay;
+  }
+
+  mpi::RunResult res = m.run();
+  out.ok = res.completed;
+  if (out.ok) {
+    out.efficiency = t_ff / res.finish_time;
+    for (const auto& rec : m.recoveries()) {
+      out.rank_restarts += rec.target_ops.size();
+      out.wasted_rank_seconds += static_cast<double>(rec.target_ops.size()) *
+                                 (rec.failure_time - rec.checkpoint_time);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOpts o = bench::parse_opts(argc, argv);
+  bench::print_header("Ablation: efficiency vs MTBF (containment argument)", o);
+
+  int nodes = o.ranks / o.ppn;
+  int k = std::min(8, nodes);
+  const std::string app = "MiniGhost";
+
+  harness::ScenarioConfig spbc_cfg =
+      bench::make_config(o, app, k, harness::ProtocolKind::kSpbc);
+  spbc_cfg.spbc.checkpoint_every = 2;
+  harness::ScenarioConfig coord_cfg =
+      bench::make_config(o, app, k, harness::ProtocolKind::kGlobalCoordinated);
+  coord_cfg.spbc.checkpoint_every = 2;
+
+  harness::ScenarioResult ff = harness::run_failure_free(spbc_cfg);
+  if (!ff.run.completed) {
+    std::printf("failure-free run failed\n");
+    return 1;
+  }
+  std::printf("workload: %s, %d ranks, failure-free time %.3fs\n\n", app.c_str(),
+              o.ranks, ff.elapsed);
+
+  util::Table table({"MTBF (frac)", "Failures", "SPBC eff.", "Coord eff.",
+                     "SPBC restarts", "Coord restarts", "SPBC wasted rank-s",
+                     "Coord wasted rank-s"});
+  for (double frac : {2.0, 1.0, 0.5, 0.25, 0.125}) {
+    double mtbf = ff.elapsed * frac;
+    Outcome spbc = run_with_failures(spbc_cfg, ff.elapsed, mtbf, o.seed);
+    Outcome coord = run_with_failures(coord_cfg, ff.elapsed, mtbf, o.seed);
+    table.add_row({util::Table::fmt(frac, 3), std::to_string(spbc.failures),
+                   spbc.ok ? util::Table::fmt(spbc.efficiency, 3) : "fail",
+                   coord.ok ? util::Table::fmt(coord.efficiency, 3) : "fail",
+                   std::to_string(spbc.rank_restarts),
+                   std::to_string(coord.rank_restarts),
+                   util::Table::fmt(spbc.wasted_rank_seconds, 2),
+                   util::Table::fmt(coord.wasted_rank_seconds, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "(in tightly coupled codes survivors wait for the recovering cluster, so\n"
+      " wall-clock efficiency is similar — the paper makes the same point in\n"
+      " Section 6.4. Containment's win is the resource bill: SPBC restarts and\n"
+      " re-executes one cluster per failure, coordinated restarts everyone —\n"
+      " the \"big waste of resources and, consequently, of energy\" of\n"
+      " Section 2.1, plus the restart IO burst, scale with those columns)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: the replay pre-post window (Section 5.2.2).
+//
+// The paper states that "allowing up to 50 pre-posted messages per process
+// was providing good performance". This bench sweeps the window and reports
+// normalized rework time: window=1 serializes the replay on per-message
+// round trips, large windows pipeline it; returns diminish around the
+// paper's value.
+
+#include "bench_common.hpp"
+
+using namespace spbc;
+
+int main(int argc, char** argv) {
+  bench::BenchOpts o = bench::parse_opts(argc, argv);
+  bench::print_header("Ablation: replay pre-post window (Section 5.2.2)", o);
+
+  int nodes = o.ranks / o.ppn;
+  int k = std::min(8, nodes);
+  // LU replays the most messages per channel; MiniGhost the most bytes.
+  // Compute is scaled down so that recovery is replay-bound — the regime the
+  // flow-control window exists for ("recovering processes will never be
+  // waiting for small messages"); at full compute/communication ratios the
+  // window never binds and every setting looks identical.
+  o.compute_scale *= 0.02;
+  const std::vector<std::string> apps{"LU", "MiniGhost"};
+  const std::vector<int> windows{1, 2, 4, 8, 16, 50, 128};
+
+  std::vector<std::string> header{"Window"};
+  for (const auto& a : apps) header.push_back(a + " norm. rework");
+  util::Table table(header);
+
+  std::map<std::string, sim::Time> ff_cache;
+  for (const auto& app : apps) {
+    harness::ScenarioConfig cfg = bench::make_config(o, app, k,
+                                                     harness::ProtocolKind::kSpbc);
+    cfg.spbc.checkpoint_every = 0;
+    harness::ScenarioResult ff = harness::run_failure_free(cfg);
+    ff_cache[app] = ff.run.completed ? ff.elapsed : 0;
+  }
+
+  for (int w : windows) {
+    std::vector<std::string> row{std::to_string(w)};
+    for (const auto& app : apps) {
+      if (ff_cache[app] <= 0) {
+        row.push_back("fail");
+        continue;
+      }
+      harness::ScenarioConfig cfg = bench::make_config(o, app, k,
+                                                       harness::ProtocolKind::kSpbc);
+      cfg.spbc.checkpoint_every = 0;  // whole-run replay (paper methodology)
+      cfg.spbc.replay_window = w;
+      harness::ScenarioResult rec = harness::run_with_failure(cfg, ff_cache[app], 0.97);
+      if (!rec.run.completed || rec.recoveries.empty() ||
+          !rec.recoveries.front().complete()) {
+        row.push_back("fail");
+        continue;
+      }
+      row.push_back(util::Table::fmt(rec.normalized_rework(), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "(the window trades pipelining against fairness: each replayer drains\n"
+      " its log in post order, so a large window lets head-of-log destinations\n"
+      " hog the sender's NIC and the slowest recovering rank sets the rework\n"
+      " time. In the paper's MPICH prototype the window's main job was to keep\n"
+      " replay ahead of the rendezvous protocol — our replay path ships full\n"
+      " messages directly, so the rendezvous-stall benefit that motivated 50 is\n"
+      " structural here and the fairness cost dominates at large windows.)\n");
+  return 0;
+}

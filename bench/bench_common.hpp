@@ -1,0 +1,96 @@
+#pragma once
+// Shared plumbing for the experiment benches. Each bench binary reproduces
+// one table or figure of the paper (see DESIGN.md's per-experiment index)
+// and prints the same rows/series the paper reports. All binaries run with
+// no arguments at a scaled-down default and accept flags to reach the
+// paper's full 512-rank configuration:
+//   --ranks=N --ppn=N --iters=N --ckpt-every=N --seed=N
+//
+// Absolute numbers are not expected to match the paper (the substrate is a
+// simulator, not the authors' InfiniBand testbed); the shapes are.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace spbc::bench {
+
+struct BenchOpts {
+  int ranks = 128;
+  int ppn = 8;
+  int iters = 6;
+  int ckpt_every = 2;
+  uint64_t seed = 1;
+  double msg_scale = 1.0;
+  double compute_scale = 1.0;
+  bool use_clustering_tool = true;
+  // System noise, as on the paper's real testbed: OS jitter on compute
+  // blocks and latency jitter on the network. Without it a simulator is
+  // perfectly synchronous and failure-free runs contain no waits for
+  // recovery to win back.
+  double compute_noise = 0.08;
+  double net_jitter = 0.20;
+};
+
+inline BenchOpts parse_opts(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  BenchOpts o;
+  o.ranks = static_cast<int>(cli.get_int("ranks", o.ranks));
+  o.ppn = static_cast<int>(cli.get_int("ppn", o.ppn));
+  o.iters = static_cast<int>(cli.get_int("iters", o.iters));
+  o.ckpt_every = static_cast<int>(cli.get_int("ckpt-every", o.ckpt_every));
+  o.seed = static_cast<uint64_t>(cli.get_int("seed", 1));
+  o.msg_scale = cli.get_double("msg-scale", 1.0);
+  o.compute_scale = cli.get_double("compute-scale", 1.0);
+  o.compute_noise = cli.get_double("noise", o.compute_noise);
+  o.net_jitter = cli.get_double("jitter", o.net_jitter);
+  if (cli.get_flag("block-clustering")) o.use_clustering_tool = false;
+  return o;
+}
+
+inline harness::ScenarioConfig make_config(const BenchOpts& o, const std::string& app,
+                                           int nclusters,
+                                           harness::ProtocolKind protocol) {
+  harness::ScenarioConfig cfg;
+  cfg.app = app;
+  cfg.nranks = o.ranks;
+  cfg.ranks_per_node = o.ppn;
+  cfg.nclusters = nclusters;
+  cfg.protocol = protocol;
+  cfg.app_cfg.iters = o.iters;
+  cfg.app_cfg.validate = false;  // synthetic payloads at bench scale
+  cfg.app_cfg.msg_scale = o.msg_scale;
+  cfg.app_cfg.compute_scale = o.compute_scale;
+  cfg.spbc.checkpoint_every = static_cast<uint64_t>(o.ckpt_every);
+  cfg.machine.seed = o.seed;
+  cfg.machine.compute_noise_frac = o.compute_noise;
+  cfg.machine.net.jitter_frac = o.net_jitter;
+  cfg.machine.net.jitter_seed = o.seed;
+  cfg.use_clustering_tool = o.use_clustering_tool;
+  return cfg;
+}
+
+inline const std::vector<std::string>& paper_apps() {
+  static const std::vector<std::string> apps = {"AMG",  "CM1",    "GTC",
+                                                "MILC", "MiniFE", "MiniGhost"};
+  return apps;
+}
+
+inline const std::vector<std::string>& nas_apps() {
+  static const std::vector<std::string> apps = {"BT", "LU", "MG", "SP"};
+  return apps;
+}
+
+inline void print_header(const char* what, const BenchOpts& o) {
+  std::printf("== %s ==\n", what);
+  std::printf("ranks=%d ppn=%d iters=%d ckpt_every=%d clustering=%s\n\n", o.ranks,
+              o.ppn, o.iters, o.ckpt_every,
+              o.use_clustering_tool ? "tool[30]" : "block");
+}
+
+}  // namespace spbc::bench

@@ -1,0 +1,72 @@
+#include "apps/assumed_partition.hpp"
+
+#include "mpi/collectives.hpp"
+
+namespace spbc::apps {
+
+int assumed_partition_exchange(mpi::Rank& rank, const mpi::Comm& comm,
+                               const AppConfig& cfg, const ApExchangeSpec& spec,
+                               uint64_t& checksum) {
+  const int me = comm.comm_rank(rank.rank());
+  SPBC_ASSERT(me >= 0);
+  const int n = comm.size();
+
+  // Whom do I query? (local data); who queries me? (the termination count —
+  // a pure function evaluated the same everywhere).
+  std::vector<int> contacts = spec.contacts_of(me);
+  int expected = 0;
+  for (int r = 0; r < n; ++r) {
+    if (r == me) continue;
+    for (int c : spec.contacts_of(r))
+      if (c == me) ++expected;
+  }
+
+  // First loop of Figure 4: post reply receptions and send the queries.
+  std::vector<mpi::Request> reply_recvs;
+  reply_recvs.reserve(contacts.size());
+  for (int c : contacts) {
+    reply_recvs.push_back(rank.irecv(c, spec.tag_reply, comm));
+    uint64_t h = synthetic_hash(static_cast<uint64_t>(me), static_cast<uint64_t>(c),
+                                spec.hash_key, 1);
+    rank.isend(c, spec.tag_query,
+               make_payload(cfg, static_cast<uint64_t>(
+                                     static_cast<double>(spec.query_bytes) * cfg.msg_scale),
+                            h),
+               comm);
+  }
+
+  // Probe loop: serve queries from anyone until all arrived.
+  std::vector<mpi::Request> reply_sends;
+  int served = 0;
+  while (served < expected) {
+    mpi::Status st = rank.probe(mpi::kAnySource, spec.tag_query, comm);
+    mpi::RecvResult rr = rank.recv(st.source, spec.tag_query, comm);
+    // Queries are served in arrival order, which is NOT fixed by the
+    // algorithm (channel-determinism constrains channels, not the interleave
+    // at the receiver) — fold commutatively.
+    fold_checksum_commutative(checksum, rr);
+    uint64_t h = synthetic_hash(static_cast<uint64_t>(me),
+                                static_cast<uint64_t>(st.source), spec.hash_key, 2);
+    reply_sends.push_back(rank.isend(
+        st.source, spec.tag_reply,
+        make_payload(cfg, static_cast<uint64_t>(
+                              static_cast<double>(spec.reply_bytes) * cfg.msg_scale),
+                     h),
+        comm));
+    ++served;
+  }
+
+  // Collect the replies to my own queries.
+  for (auto& req : reply_recvs) {
+    rank.wait(req);
+    fold_checksum(checksum, req.result());
+  }
+  rank.waitall(reply_sends);
+
+  // The always-happens-before relation between iterations (Section 5.1):
+  // nobody starts iteration n+1 before everyone finished iteration n.
+  if (spec.close_with_barrier) mpi::barrier(rank, comm);
+  return served;
+}
+
+}  // namespace spbc::apps

@@ -1,0 +1,93 @@
+#pragma once
+// Cartesian decompositions shared by the workloads: balanced factorizations
+// of the rank count into 1D/2D/3D/4D process grids with periodic or bounded
+// neighbor lookup.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace spbc::apps {
+
+/// Factorizes n into `dims` balanced factors (largest first), MPI_Dims_create
+/// style.
+std::vector<int> dims_create(int n, int ndims);
+
+template <int N>
+class CartGrid {
+ public:
+  CartGrid(int nranks, std::array<int, N> dims, bool periodic)
+      : dims_(dims), periodic_(periodic) {
+    int prod = 1;
+    for (int d : dims_) prod *= d;
+    SPBC_ASSERT_MSG(prod == nranks, "grid " << prod << " != nranks " << nranks);
+  }
+
+  static CartGrid balanced(int nranks, bool periodic) {
+    auto f = dims_create(nranks, N);
+    std::array<int, N> dims{};
+    for (int i = 0; i < N; ++i) dims[static_cast<size_t>(i)] = f[static_cast<size_t>(i)];
+    return CartGrid(nranks, dims, periodic);
+  }
+
+  const std::array<int, N>& dims() const { return dims_; }
+
+  std::array<int, N> coords(int rank) const {
+    std::array<int, N> c{};
+    for (int i = N - 1; i >= 0; --i) {
+      c[static_cast<size_t>(i)] = rank % dims_[static_cast<size_t>(i)];
+      rank /= dims_[static_cast<size_t>(i)];
+    }
+    return c;
+  }
+
+  int rank_of(const std::array<int, N>& c) const {
+    int r = 0;
+    for (int i = 0; i < N; ++i) {
+      SPBC_ASSERT(c[static_cast<size_t>(i)] >= 0 &&
+                  c[static_cast<size_t>(i)] < dims_[static_cast<size_t>(i)]);
+      r = r * dims_[static_cast<size_t>(i)] + c[static_cast<size_t>(i)];
+    }
+    return r;
+  }
+
+  /// Neighbor along dimension `dim` in direction `dir` (+1/-1); -1 when the
+  /// grid is bounded and the neighbor falls outside.
+  int neighbor(int rank, int dim, int dir) const {
+    auto c = coords(rank);
+    int v = c[static_cast<size_t>(dim)] + dir;
+    int extent = dims_[static_cast<size_t>(dim)];
+    if (periodic_) {
+      v = (v % extent + extent) % extent;
+    } else if (v < 0 || v >= extent) {
+      return -1;
+    }
+    c[static_cast<size_t>(dim)] = v;
+    return rank_of(c);
+  }
+
+  /// All existing face neighbors (2*N or fewer on bounded grids).
+  std::vector<int> face_neighbors(int rank) const {
+    std::vector<int> out;
+    for (int d = 0; d < N; ++d) {
+      for (int dir : {-1, +1}) {
+        int nb = neighbor(rank, d, dir);
+        if (nb >= 0 && nb != rank) out.push_back(nb);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::array<int, N> dims_;
+  bool periodic_;
+};
+
+using Grid1D = CartGrid<1>;
+using Grid2D = CartGrid<2>;
+using Grid3D = CartGrid<3>;
+using Grid4D = CartGrid<4>;
+
+}  // namespace spbc::apps

@@ -1,0 +1,211 @@
+// NAS parallel benchmark skeletons (BT, LU, MG, SP) — the workloads of the
+// HydEE comparison in Section 6.5 / Figure 6. None of them uses
+// MPI_ANY_SOURCE, which is why the HydEE prototype could run them.
+//
+//   BT / SP: ADI solvers; per iteration, pipelined line sweeps along both
+//     dimensions of the process grid plus boundary exchanges. BT moves
+//     bigger blocks less often; SP smaller blocks more often.
+//   LU: SSOR with 2D pipelined wavefronts — many small pencil messages per
+//     iteration. The replay of this swarm of small logged messages is
+//     exactly where HydEE's per-message coordinator round-trip hurts most.
+//   MG: geometric multigrid V-cycle with named-source halo exchanges whose
+//     sizes shrink with the level.
+
+#include "apps/app.hpp"
+#include "apps/decomp.hpp"
+#include "mpi/collectives.hpp"
+
+namespace spbc::apps {
+
+namespace {
+
+struct State : BaseState {
+  std::vector<double> u;
+
+  void serialize(util::ByteWriter& w) const {
+    BaseState::serialize(w);
+    w.put_vector(u);
+  }
+  void restore(util::ByteReader& r) {
+    BaseState::restore(r);
+    u = r.get_vector<double>();
+  }
+};
+
+void init_state(mpi::Rank& rank, const AppConfig& cfg, State& st) {
+  if (cfg.validate) st.u.assign(32, 1.0 + 0.01 * rank.rank());
+  rank.set_state_handlers([&st](util::ByteWriter& w) { st.serialize(w); },
+                          [&st](util::ByteReader& r) { st.restore(r); });
+  if (rank.restarted()) rank.restore_app_state();
+}
+
+/// One pipelined sweep along dimension `dim` of a 2D grid: receive the
+/// incoming plane from the predecessor, do the line solve, forward to the
+/// successor. `dir` = +1 (forward) or -1 (backward substitution).
+void line_sweep(mpi::Rank& rank, const AppConfig& cfg, const Grid2D& grid, State& st,
+                int dim, int dir, int tag, uint64_t bytes, double compute_s,
+                uint64_t salt) {
+  const mpi::Comm& world = rank.world();
+  const int me = rank.rank();
+  int pred = grid.neighbor(me, dim, -dir);
+  int succ = grid.neighbor(me, dim, dir);
+  if (pred >= 0) {
+    mpi::RecvResult rr = rank.recv(pred, tag, world);
+    fold_checksum(st.checksum, rr);
+  }
+  rank.compute(compute_s * cfg.compute_scale);
+  if (succ >= 0) {
+    uint64_t h = synthetic_hash(me, succ, st.iter, salt);
+    rank.send(succ, tag,
+              make_payload(cfg, static_cast<uint64_t>(
+                                    static_cast<double>(bytes) * cfg.msg_scale),
+                           h, &st.u),
+              world);
+  }
+}
+
+/// Named-source face exchange on a grid (used by BT/SP boundary updates and
+/// MG levels).
+template <int N>
+void face_exchange(mpi::Rank& rank, const AppConfig& cfg, const CartGrid<N>& grid,
+                   State& st, int tag, uint64_t bytes, uint64_t salt) {
+  const mpi::Comm& world = rank.world();
+  const int me = rank.rank();
+  std::vector<int> nbrs = grid.face_neighbors(me);
+  std::vector<mpi::Request> recvs;
+  for (int nb : nbrs) recvs.push_back(rank.irecv(nb, tag, world));
+  for (int nb : nbrs) {
+    uint64_t h = synthetic_hash(me, nb, st.iter, salt);
+    rank.isend(nb, tag,
+               make_payload(cfg, static_cast<uint64_t>(
+                                     static_cast<double>(bytes) * cfg.msg_scale),
+                            h, &st.u),
+               world);
+  }
+  for (auto& rr : recvs) {
+    rank.wait(rr);
+    fold_checksum(st.checksum, rr.result());
+  }
+}
+
+void adi_main(mpi::Rank& rank, const AppConfig& cfg, uint64_t sweep_bytes,
+              uint64_t face_bytes, double sweep_compute, double face_compute,
+              uint64_t salt) {
+  Grid2D grid = Grid2D::balanced(rank.nranks(), /*periodic=*/false);
+  State st;
+  init_state(rank, cfg, st);
+  for (; st.iter < cfg.iters;) {
+    // x sweep (forward + backward), then y sweep.
+    for (int dim = 0; dim < 2; ++dim) {
+      line_sweep(rank, cfg, grid, st, dim, +1, 70 + dim, sweep_bytes, sweep_compute,
+                 salt + static_cast<uint64_t>(dim));
+      line_sweep(rank, cfg, grid, st, dim, -1, 72 + dim, sweep_bytes, sweep_compute,
+                 salt + 10 + static_cast<uint64_t>(dim));
+    }
+    // Boundary condition update.
+    face_exchange(rank, cfg, grid, st, 75, face_bytes, salt + 20);
+    rank.compute(face_compute * cfg.compute_scale);
+    if (cfg.validate)
+      for (auto& v : st.u) v = 0.95 * v + 0.001;
+    ++st.iter;
+    rank.maybe_checkpoint();
+  }
+  publish_checksum(rank, cfg, st.checksum);
+}
+
+}  // namespace
+
+void nas_bt_main(mpi::Rank& rank, const AppConfig& cfg) {
+  // Larger blocks, fewer messages: 40 KB sweep planes, 30 KB faces.
+  adi_main(rank, cfg, 40 * 1000, 30 * 1000, 6e-3, 18e-3, 0xb700);
+}
+
+void nas_sp_main(mpi::Rank& rank, const AppConfig& cfg) {
+  // Scalar penta-diagonal: smaller planes, less compute per sweep.
+  adi_main(rank, cfg, 18 * 1000, 14 * 1000, 3e-3, 9e-3, 0x5900);
+}
+
+void nas_lu_main(mpi::Rank& rank, const AppConfig& cfg) {
+  // SSOR: per iteration, nz wavefront planes propagate from the south-west
+  // corner (lower triangular) and back (upper). Every plane is a small
+  // pencil message to east and south — a swarm of small logged messages.
+  constexpr int kPlanes = 12;
+  constexpr uint64_t kPencilBytes = 2 * 1000;
+  const mpi::Comm& world = rank.world();
+  Grid2D grid = Grid2D::balanced(rank.nranks(), /*periodic=*/false);
+  const int me = rank.rank();
+  State st;
+  init_state(rank, cfg, st);
+
+  auto wavefront = [&](int dir, int tag_base, uint64_t salt) {
+    int pred_x = grid.neighbor(me, 0, -dir);
+    int pred_y = grid.neighbor(me, 1, -dir);
+    int succ_x = grid.neighbor(me, 0, dir);
+    int succ_y = grid.neighbor(me, 1, dir);
+    for (int k = 0; k < kPlanes; ++k) {
+      if (pred_x >= 0) fold_checksum(st.checksum, rank.recv(pred_x, tag_base, world));
+      if (pred_y >= 0) fold_checksum(st.checksum, rank.recv(pred_y, tag_base + 1, world));
+      rank.compute(0.35e-3 * cfg.compute_scale);
+      uint64_t bytes =
+          static_cast<uint64_t>(static_cast<double>(kPencilBytes) * cfg.msg_scale);
+      if (succ_x >= 0)
+        rank.send(succ_x, tag_base,
+                  make_payload(cfg, bytes,
+                               synthetic_hash(me, succ_x, st.iter * kPlanes + k, salt),
+                               &st.u),
+                  world);
+      if (succ_y >= 0)
+        rank.send(succ_y, tag_base + 1,
+                  make_payload(cfg, bytes,
+                               synthetic_hash(me, succ_y, st.iter * kPlanes + k, salt + 1),
+                               &st.u),
+                  world);
+    }
+  };
+
+  for (; st.iter < cfg.iters;) {
+    wavefront(+1, 80, 0x10a);  // lower-triangular solve
+    wavefront(-1, 82, 0x10b);  // upper-triangular solve
+    rank.compute(2e-3 * cfg.compute_scale);
+    if (cfg.validate)
+      for (auto& v : st.u) v = 0.9 * v + 0.01;
+    // RHS norm check.
+    double norm = mpi::allreduce_scalar(
+        rank, cfg.validate ? st.u[0] : 1.0, mpi::ReduceOp::kSum, world);
+    util::Fnv1a64 h;
+    h.update_u64(st.checksum);
+    h.update(&norm, sizeof(norm));
+    st.checksum = h.digest();
+    ++st.iter;
+    rank.maybe_checkpoint();
+  }
+  publish_checksum(rank, cfg, st.checksum);
+}
+
+void nas_mg_main(mpi::Rank& rank, const AppConfig& cfg) {
+  constexpr int kLevels = 4;
+  constexpr uint64_t kFineFace = 16 * 1000;
+  Grid3D grid = Grid3D::balanced(rank.nranks(), /*periodic=*/true);
+  State st;
+  init_state(rank, cfg, st);
+  for (; st.iter < cfg.iters;) {
+    // V-cycle: restrict down, then interpolate up; halo exchange per level.
+    for (int level = 0; level < kLevels; ++level) {
+      face_exchange(rank, cfg, grid, st, 90 + level, kFineFace >> (2 * level),
+                    0x3900 + static_cast<uint64_t>(level));
+      rank.compute(4e-3 / (1 << level) * cfg.compute_scale);
+    }
+    for (int level = kLevels - 1; level >= 0; --level) {
+      face_exchange(rank, cfg, grid, st, 94 + level, kFineFace >> (2 * level),
+                    0x3910 + static_cast<uint64_t>(level));
+      rank.compute(4e-3 / (1 << level) * cfg.compute_scale);
+    }
+    if (cfg.validate)
+      for (auto& v : st.u) v = 0.85 * v + 0.02;
+    ++st.iter;
+    rank.maybe_checkpoint();
+  }
+  publish_checksum(rank, cfg, st.checksum);
+}
+
+}  // namespace spbc::apps

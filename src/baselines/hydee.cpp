@@ -1,0 +1,56 @@
+#include "baselines/hydee.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace spbc::baselines {
+
+HydeeProtocol::HydeeProtocol(HydeeConfig cfg)
+    : core::SpbcProtocol(cfg.base), hcfg_(cfg) {}
+
+core::Replayer::Gate HydeeProtocol::make_gate(int /*rank*/) {
+  return [this](const mpi::Envelope& env, std::function<void()> proceed) {
+    // Request travels to the coordinator.
+    machine_->engine().after(hcfg_.coordinator_latency,
+                             [this, env, proceed = std::move(proceed)]() mutable {
+                               coordinator_enqueue(
+                                   PendingGrant{env.lclock, env.uid, std::move(proceed)});
+                             });
+  };
+}
+
+void HydeeProtocol::coordinator_enqueue(PendingGrant g) {
+  // Keep the queue in causal (Lamport clock) order: the coordinator releases
+  // messages in dependency order.
+  auto it = std::upper_bound(pending_.begin(), pending_.end(), g);
+  pending_.insert(it, std::move(g));
+  try_grant();
+}
+
+void HydeeProtocol::try_grant() {
+  if (chain_busy_) return;
+  if (pending_.empty()) return;
+  PendingGrant g = std::move(pending_.front());
+  pending_.pop_front();
+  chain_busy_ = true;
+  ++grants_;
+  // FIFO coordinator CPU + grant flight back to the replayer.
+  sim::Time now = machine_->engine().now();
+  sim::Time start = std::max(now, busy_until_);
+  busy_until_ = start + hcfg_.service_time;
+  sim::Time grant_arrival = busy_until_ + hcfg_.coordinator_latency;
+  machine_->engine().at(grant_arrival,
+                        [proceed = std::move(g.proceed)] { proceed(); });
+}
+
+void HydeeProtocol::on_replay_delivered(const mpi::Envelope& /*env*/) {
+  // Acknowledgement flies back to the coordinator, which then releases the
+  // next causally ordered replay.
+  machine_->engine().after(hcfg_.coordinator_latency, [this] {
+    chain_busy_ = false;
+    try_grant();
+  });
+}
+
+}  // namespace spbc::baselines

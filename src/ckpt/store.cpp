@@ -1,0 +1,38 @@
+#include "ckpt/store.hpp"
+
+#include "util/assert.hpp"
+
+namespace spbc::ckpt {
+
+sim::Time StorageCostModel::write_time(StorageLevel level, uint64_t bytes) const {
+  switch (level) {
+    case StorageLevel::kNone:
+      return 0.0;
+    case StorageLevel::kLocal:
+      return base_latency + static_cast<double>(bytes) / local_bw;
+    case StorageLevel::kPartner:
+      return base_latency + static_cast<double>(bytes) / partner_bw;
+    case StorageLevel::kPfs:
+      return base_latency + static_cast<double>(bytes) / pfs_bw;
+  }
+  return 0.0;
+}
+
+sim::Time StorageCostModel::read_time(StorageLevel level, uint64_t bytes) const {
+  // Reads are symmetric in this model.
+  return write_time(level, bytes);
+}
+
+void Store::save(int rank, Snapshot snap) {
+  bytes_written_ += snap.bytes.size();
+  ++snapshots_;
+  latest_[rank] = std::move(snap);
+}
+
+const Snapshot& Store::latest(int rank) const {
+  auto it = latest_.find(rank);
+  SPBC_ASSERT_MSG(it != latest_.end(), "no checkpoint for rank " << rank);
+  return it->second;
+}
+
+}  // namespace spbc::ckpt

@@ -1,0 +1,68 @@
+#pragma once
+// Checkpoint storage.
+//
+// Holds the latest snapshot per rank, with a multi-level cost model in the
+// spirit of SCR/FTI (referenced by the paper as the complementary line of
+// work [3, 27]): LOCAL (node-local SSD), PARTNER (copy on a buddy node), PFS
+// (parallel file system). The paper's measurements exclude checkpoint I/O
+// time (Section 6.1), so experiment configurations default to kNone; the
+// cost model exists for ablations.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace spbc::ckpt {
+
+enum class StorageLevel : uint8_t {
+  kNone,     // free (measurement mode, as in the paper's evaluation)
+  kLocal,    // node-local storage
+  kPartner,  // local + copy to a partner node
+  kPfs,      // parallel file system
+};
+
+struct StorageCostModel {
+  double local_bw = 1.0e9;     // bytes/s per node
+  double partner_bw = 0.8e9;   // effective, includes the network copy
+  double pfs_bw = 50.0e6;      // per-process share of PFS bandwidth
+  sim::Time base_latency = sim::msec(2.0);
+
+  sim::Time write_time(StorageLevel level, uint64_t bytes) const;
+  sim::Time read_time(StorageLevel level, uint64_t bytes) const;
+};
+
+struct Snapshot {
+  sim::Time taken_at = 0;
+  uint64_t epoch = 0;  // checkpoint wave number
+  std::vector<unsigned char> bytes;
+};
+
+class Store {
+ public:
+  explicit Store(StorageLevel level = StorageLevel::kNone,
+                 StorageCostModel model = {})
+      : level_(level), model_(model) {}
+
+  void save(int rank, Snapshot snap);
+  bool has(int rank) const { return latest_.count(rank) > 0; }
+  const Snapshot& latest(int rank) const;
+
+  /// Virtual-time cost of writing/reading a snapshot at the configured level.
+  sim::Time write_cost(uint64_t bytes) const { return model_.write_time(level_, bytes); }
+  sim::Time read_cost(uint64_t bytes) const { return model_.read_time(level_, bytes); }
+
+  uint64_t total_bytes_written() const { return bytes_written_; }
+  uint64_t snapshots_taken() const { return snapshots_; }
+  StorageLevel level() const { return level_; }
+
+ private:
+  StorageLevel level_;
+  StorageCostModel model_;
+  std::map<int, Snapshot> latest_;
+  uint64_t bytes_written_ = 0;
+  uint64_t snapshots_ = 0;
+};
+
+}  // namespace spbc::ckpt

@@ -1,0 +1,48 @@
+#include "clustering/comm_graph.hpp"
+
+namespace spbc::clustering {
+
+CommGraph::CommGraph(int nranks) : n_(nranks) { SPBC_ASSERT(nranks > 0); }
+
+void CommGraph::add_traffic(int src, int dst, uint64_t bytes) {
+  SPBC_ASSERT(src >= 0 && src < n_ && dst >= 0 && dst < n_);
+  edges_[{src, dst}] += bytes;
+  total_ += bytes;
+}
+
+CommGraph CommGraph::from_traffic(
+    int nranks, const std::map<std::pair<int, int>, uint64_t>& traffic) {
+  CommGraph g(nranks);
+  for (const auto& [key, bytes] : traffic) g.add_traffic(key.first, key.second, bytes);
+  return g;
+}
+
+uint64_t CommGraph::traffic(int src, int dst) const {
+  auto it = edges_.find({src, dst});
+  return it == edges_.end() ? 0 : it->second;
+}
+
+uint64_t CommGraph::logged_bytes(const std::vector<int>& cluster_of) const {
+  SPBC_ASSERT(static_cast<int>(cluster_of.size()) == n_);
+  uint64_t cut = 0;
+  for (const auto& [key, bytes] : edges_) {
+    if (cluster_of[static_cast<size_t>(key.first)] !=
+        cluster_of[static_cast<size_t>(key.second)])
+      cut += bytes;
+  }
+  return cut;
+}
+
+std::vector<uint64_t> CommGraph::logged_bytes_per_rank(
+    const std::vector<int>& cluster_of) const {
+  SPBC_ASSERT(static_cast<int>(cluster_of.size()) == n_);
+  std::vector<uint64_t> out(static_cast<size_t>(n_), 0);
+  for (const auto& [key, bytes] : edges_) {
+    if (cluster_of[static_cast<size_t>(key.first)] !=
+        cluster_of[static_cast<size_t>(key.second)])
+      out[static_cast<size_t>(key.first)] += bytes;  // sender logs it
+  }
+  return out;
+}
+
+}  // namespace spbc::clustering

@@ -1,0 +1,53 @@
+#pragma once
+// Communication graph built from traced per-channel traffic.
+//
+// The paper's methodology (Section 6.1): run the application for a few
+// iterations, collect communication statistics, then feed them to the
+// clustering tool of Ropars et al. [30] to compute a partition that
+// minimizes the volume of logged (inter-cluster) data. This module is that
+// statistics container; the partitioner lives in partitioner.hpp.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace spbc::clustering {
+
+class CommGraph {
+ public:
+  explicit CommGraph(int nranks);
+
+  int nranks() const { return n_; }
+
+  /// Adds traffic (bytes) from src to dst. Directions are kept separately;
+  /// logged volume depends on the direction crossing the cut.
+  void add_traffic(int src, int dst, uint64_t bytes);
+
+  /// Builds from a Machine-style traffic map.
+  static CommGraph from_traffic(int nranks,
+                                const std::map<std::pair<int, int>, uint64_t>& traffic);
+
+  uint64_t traffic(int src, int dst) const;
+
+  /// Symmetric weight (bytes exchanged either way) — what cut-minimizing
+  /// partitioners work with.
+  uint64_t weight(int a, int b) const { return traffic(a, b) + traffic(b, a); }
+
+  /// Total bytes that would be logged under the given rank -> cluster map
+  /// (all traffic whose endpoints live in different clusters).
+  uint64_t logged_bytes(const std::vector<int>& cluster_of) const;
+
+  /// Per-rank logged bytes (what each rank's sender log accumulates).
+  std::vector<uint64_t> logged_bytes_per_rank(const std::vector<int>& cluster_of) const;
+
+  uint64_t total_bytes() const { return total_; }
+
+ private:
+  int n_;
+  std::map<std::pair<int, int>, uint64_t> edges_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace spbc::clustering

@@ -1,0 +1,192 @@
+#include "clustering/partitioner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace spbc::clustering {
+
+Partitioner::Partitioner(const CommGraph& graph, const sim::Topology& topo)
+    : graph_(graph), topo_(topo), ngroups_(topo.nodes()) {
+  SPBC_ASSERT(graph.nranks() == topo.nranks());
+  // Pre-aggregate rank-level traffic to node-group level.
+  gw_.assign(static_cast<size_t>(ngroups_),
+             std::vector<uint64_t>(static_cast<size_t>(ngroups_), 0));
+  for (int a = 0; a < graph.nranks(); ++a) {
+    for (int b = a + 1; b < graph.nranks(); ++b) {
+      uint64_t w = graph.weight(a, b);
+      if (w == 0) continue;
+      int ga = topo.node_of(a);
+      int gb = topo.node_of(b);
+      if (ga == gb) continue;
+      gw_[static_cast<size_t>(ga)][static_cast<size_t>(gb)] += w;
+      gw_[static_cast<size_t>(gb)][static_cast<size_t>(ga)] += w;
+    }
+  }
+}
+
+uint64_t Partitioner::group_weight(int ga, int gb) const {
+  return gw_[static_cast<size_t>(ga)][static_cast<size_t>(gb)];
+}
+
+PartitionResult Partitioner::finalize(const std::vector<int>& group_cluster,
+                                      int k) const {
+  PartitionResult res;
+  res.clusters = k;
+  res.cluster_of.resize(static_cast<size_t>(graph_.nranks()));
+  for (int r = 0; r < graph_.nranks(); ++r)
+    res.cluster_of[static_cast<size_t>(r)] =
+        group_cluster[static_cast<size_t>(topo_.node_of(r))];
+  res.logged_bytes = graph_.logged_bytes(res.cluster_of);
+  auto per_rank = graph_.logged_bytes_per_rank(res.cluster_of);
+  res.max_rank_logged = per_rank.empty() ? 0 : *std::max_element(per_rank.begin(),
+                                                                 per_rank.end());
+  return res;
+}
+
+double Partitioner::objective_value(const std::vector<int>& group_cluster, int k,
+                                    Objective objective) const {
+  std::vector<int> cluster_of(static_cast<size_t>(graph_.nranks()));
+  for (int r = 0; r < graph_.nranks(); ++r)
+    cluster_of[static_cast<size_t>(r)] =
+        group_cluster[static_cast<size_t>(topo_.node_of(r))];
+  (void)k;
+  if (objective == Objective::kMinTotalLogged)
+    return static_cast<double>(graph_.logged_bytes(cluster_of));
+  auto per_rank = graph_.logged_bytes_per_rank(cluster_of);
+  uint64_t mx = per_rank.empty() ? 0 : *std::max_element(per_rank.begin(), per_rank.end());
+  // Tie-break the max with the total so refinement still makes progress when
+  // the max is pinned by a single hot rank.
+  return static_cast<double>(mx) +
+         1e-9 * static_cast<double>(graph_.logged_bytes(cluster_of));
+}
+
+PartitionResult Partitioner::partition(int k, Objective objective) const {
+  SPBC_ASSERT_MSG(k >= 1 && k <= ngroups_,
+                  "k=" << k << " must be in [1, nodes=" << ngroups_ << "]");
+
+  // --- Greedy agglomeration: start with one cluster per node-group, merge
+  // the pair of clusters with the highest inter-cluster traffic until k
+  // remain, subject to a size cap that keeps clusters mergeable into k
+  // near-equal parts (recovery cost is proportional to cluster size, so the
+  // tool keeps clusters of similar node counts).
+  int max_nodes_per_cluster = (ngroups_ + k - 1) / k;
+  std::vector<int> comp(static_cast<size_t>(ngroups_));
+  std::iota(comp.begin(), comp.end(), 0);
+  std::vector<int> size(static_cast<size_t>(ngroups_), 1);
+  std::vector<std::vector<uint64_t>> w = gw_;  // cluster-level weights
+  std::vector<bool> alive(static_cast<size_t>(ngroups_), true);
+  int ncomp = ngroups_;
+
+  while (ncomp > k) {
+    // Find the heaviest mergeable pair; deterministic tie-break on indices.
+    int best_a = -1, best_b = -1;
+    uint64_t best_w = 0;
+    bool found = false;
+    for (int a = 0; a < ngroups_; ++a) {
+      if (!alive[static_cast<size_t>(a)]) continue;
+      for (int b = a + 1; b < ngroups_; ++b) {
+        if (!alive[static_cast<size_t>(b)]) continue;
+        if (size[static_cast<size_t>(a)] + size[static_cast<size_t>(b)] >
+            max_nodes_per_cluster)
+          continue;
+        uint64_t ww = w[static_cast<size_t>(a)][static_cast<size_t>(b)];
+        if (!found || ww > best_w) {
+          found = true;
+          best_w = ww;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (!found) {
+      // Size cap too tight for the remaining components (can happen with
+      // k that does not divide the node count): relax by one node.
+      ++max_nodes_per_cluster;
+      continue;
+    }
+    // Merge b into a.
+    alive[static_cast<size_t>(best_b)] = false;
+    size[static_cast<size_t>(best_a)] += size[static_cast<size_t>(best_b)];
+    for (int c = 0; c < ngroups_; ++c) {
+      if (!alive[static_cast<size_t>(c)] || c == best_a) continue;
+      w[static_cast<size_t>(best_a)][static_cast<size_t>(c)] +=
+          w[static_cast<size_t>(best_b)][static_cast<size_t>(c)];
+      w[static_cast<size_t>(c)][static_cast<size_t>(best_a)] =
+          w[static_cast<size_t>(best_a)][static_cast<size_t>(c)];
+    }
+    for (int g = 0; g < ngroups_; ++g)
+      if (comp[static_cast<size_t>(g)] == best_b) comp[static_cast<size_t>(g)] = best_a;
+    --ncomp;
+  }
+
+  // Renumber components to [0, k).
+  std::vector<int> remap(static_cast<size_t>(ngroups_), -1);
+  int next = 0;
+  std::vector<int> group_cluster(static_cast<size_t>(ngroups_));
+  for (int g = 0; g < ngroups_; ++g) {
+    int c = comp[static_cast<size_t>(g)];
+    if (remap[static_cast<size_t>(c)] < 0) remap[static_cast<size_t>(c)] = next++;
+    group_cluster[static_cast<size_t>(g)] = remap[static_cast<size_t>(c)];
+  }
+  SPBC_ASSERT(next == k);
+
+  refine(group_cluster, k, objective);
+  return finalize(group_cluster, k);
+}
+
+void Partitioner::refine(std::vector<int>& group_cluster, int k,
+                         Objective objective) const {
+  // Kernighan–Lin-flavoured pass: try moving each node-group to another
+  // cluster; keep the best-improving move; iterate until no improvement.
+  // Moves must not empty a cluster and respect a loose size cap.
+  int max_nodes_per_cluster = ((ngroups_ + k - 1) / k) + 1;
+  std::vector<int> csize(static_cast<size_t>(k), 0);
+  for (int g = 0; g < ngroups_; ++g) ++csize[static_cast<size_t>(group_cluster[g])];
+
+  double current = objective_value(group_cluster, k, objective);
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds < 20) {
+    improved = false;
+    ++rounds;
+    for (int g = 0; g < ngroups_; ++g) {
+      int from = group_cluster[static_cast<size_t>(g)];
+      if (csize[static_cast<size_t>(from)] <= 1) continue;
+      int best_to = -1;
+      double best_val = current;
+      for (int to = 0; to < k; ++to) {
+        if (to == from) continue;
+        if (csize[static_cast<size_t>(to)] + 1 > max_nodes_per_cluster) continue;
+        group_cluster[static_cast<size_t>(g)] = to;
+        double val = objective_value(group_cluster, k, objective);
+        if (val < best_val) {
+          best_val = val;
+          best_to = to;
+        }
+      }
+      if (best_to >= 0) {
+        group_cluster[static_cast<size_t>(g)] = best_to;
+        --csize[static_cast<size_t>(from)];
+        ++csize[static_cast<size_t>(best_to)];
+        current = best_val;
+        improved = true;
+      } else {
+        group_cluster[static_cast<size_t>(g)] = from;
+      }
+    }
+  }
+}
+
+PartitionResult Partitioner::block_partition(int k) const {
+  SPBC_ASSERT(k >= 1 && k <= ngroups_);
+  std::vector<int> group_cluster(static_cast<size_t>(ngroups_));
+  int per = (ngroups_ + k - 1) / k;
+  for (int g = 0; g < ngroups_; ++g)
+    group_cluster[static_cast<size_t>(g)] = std::min(g / per, k - 1);
+  return finalize(group_cluster, k);
+}
+
+}  // namespace spbc::clustering

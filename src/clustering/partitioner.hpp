@@ -1,0 +1,61 @@
+#pragma once
+// Clustering tool in the spirit of Ropars et al. [30].
+//
+// Partitions MPI ranks into K clusters under the node-colocation constraint
+// (all ranks of a physical node share a cluster — Section 6.1), with two
+// objectives:
+//   * kMinTotalLogged — minimize the total volume of inter-cluster traffic
+//     (the paper's configuration; produces the imbalance Section 6.6
+//     discusses),
+//   * kBalancedLogged — minimize the *maximum per-rank* logged volume (the
+//     alternative strategy Section 6.6 proposes to study; exercised by the
+//     clustering ablation bench).
+//
+// Algorithm: greedy agglomerative merging of node-groups into K clusters
+// (highest inter-group traffic first), followed by Kernighan–Lin-style
+// refinement that moves node-groups between clusters while the objective
+// improves. Deterministic for a given graph.
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/comm_graph.hpp"
+#include "sim/topology.hpp"
+
+namespace spbc::clustering {
+
+enum class Objective { kMinTotalLogged, kBalancedLogged };
+
+struct PartitionResult {
+  std::vector<int> cluster_of;     // rank -> cluster id in [0, k)
+  uint64_t logged_bytes = 0;       // total cut volume
+  uint64_t max_rank_logged = 0;    // max per-rank logged volume
+  int clusters = 0;
+};
+
+class Partitioner {
+ public:
+  Partitioner(const CommGraph& graph, const sim::Topology& topo);
+
+  /// Partitions into exactly k clusters. k must divide the node count or be
+  /// smaller; clusters hold whole nodes. k == nranks (with 1 rank per node
+  /// group) degenerates to pure message logging only when ranks_per_node==1.
+  PartitionResult partition(int k, Objective objective = Objective::kMinTotalLogged) const;
+
+  /// Baseline for comparison: contiguous block partition (node order).
+  PartitionResult block_partition(int k) const;
+
+ private:
+  uint64_t group_weight(int ga, int gb) const;  // node-group to node-group
+  PartitionResult finalize(const std::vector<int>& group_cluster, int k) const;
+  void refine(std::vector<int>& group_cluster, int k, Objective objective) const;
+  double objective_value(const std::vector<int>& group_cluster, int k,
+                         Objective objective) const;
+
+  const CommGraph& graph_;
+  const sim::Topology& topo_;
+  int ngroups_;  // node groups (colocation units)
+  std::vector<std::vector<uint64_t>> gw_;  // symmetric group-level weights
+};
+
+}  // namespace spbc::clustering

@@ -1,0 +1,33 @@
+#pragma once
+// The programming interface of Section 5.1, in the paper's own spelling.
+//
+//   pattern_id id = DECLARE_PATTERN(rank);
+//   BEGIN_ITERATION(rank, id);
+//   ... communication pattern with MPI_ANY_SOURCE ...
+//   END_ITERATION(rank, id);
+//
+// The three primitives are purely local (no communication); they only move
+// the rank's active-pattern state, which stamps every subsequent message and
+// reception request with (pattern_id, iteration_id) for id-based matching.
+
+#include <cstdint>
+
+#include "mpi/rank.hpp"
+
+namespace spbc::core {
+
+using pattern_id = uint32_t;
+
+/// pattern_id DECLARE_PATTERN(void) — generates a new pattern id.
+inline pattern_id DECLARE_PATTERN(mpi::Rank& rank) { return rank.declare_pattern(); }
+
+/// BEGIN_ITERATION(pattern_id) — the pattern becomes active; its
+/// iteration_id is incremented by one.
+inline void BEGIN_ITERATION(mpi::Rank& rank, pattern_id id) {
+  rank.begin_iteration(id);
+}
+
+/// END_ITERATION(pattern_id) — the default communication pattern is restored.
+inline void END_ITERATION(mpi::Rank& rank, pattern_id id) { rank.end_iteration(id); }
+
+}  // namespace spbc::core

@@ -1,0 +1,69 @@
+#pragma once
+// Sender-based message log (Algorithm 1, line 6).
+//
+// Every inter-cluster message is appended — payload and identifier tuple —
+// in send-post order, which is exactly the order Section 5.2.2 requires for
+// deadlock-free replay. Entries use a deque so pointers into the log stay
+// valid while the application keeps appending during a concurrent replay.
+
+#include <cstdint>
+#include <deque>
+
+#include "mpi/types.hpp"
+#include "util/serialize.hpp"
+
+namespace spbc::core {
+
+struct LogEntry {
+  mpi::Envelope env;
+  mpi::Payload payload;
+  // Incarnation of env.dst this entry was last queued for replay to;
+  // UINT32_MAX = never queued. Prevents double-queuing within one recovery
+  // while allowing re-replay after the destination crashes again.
+  uint32_t queued_for_inc = UINT32_MAX;
+};
+
+class SenderLog {
+ public:
+  /// Appends one message in post order. Payload is copied (that copy is the
+  /// failure-free overhead the protocol pays; see Table 2).
+  void append(const mpi::Envelope& env, const mpi::Payload& payload);
+
+  std::deque<LogEntry>& entries() { return entries_; }
+  const std::deque<LogEntry>& entries() const { return entries_; }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Monotonic counters (not reset by restore): drive the Table 1
+  /// measurement of log growth.
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t messages_appended() const { return messages_appended_; }
+
+  /// Live memory footprint of retained entries.
+  uint64_t bytes_retained() const { return bytes_retained_; }
+
+  /// Does the log hold any entry destined to `dst`?
+  bool has_entries_to(int dst) const;
+
+  /// Garbage collection (extension; see DESIGN.md): drops entries the
+  /// destination cluster has captured in a checkpoint. `stream` selects the
+  /// tag sub-stream the window covers (-1 = whole channel, the MPI-only
+  /// mode). Returns bytes freed.
+  uint64_t gc_received(int dst, int ctx, const mpi::SeqWindow& captured,
+                       int stream = -1);
+
+  /// Checkpoint support: logs are saved as part of the process checkpoint
+  /// (Algorithm 1, line 15).
+  void serialize(util::ByteWriter& w) const;
+  void restore(util::ByteReader& r);
+  void clear();
+
+ private:
+  std::deque<LogEntry> entries_;
+  uint64_t bytes_appended_ = 0;
+  uint64_t messages_appended_ = 0;
+  uint64_t bytes_retained_ = 0;
+};
+
+}  // namespace spbc::core

@@ -1,0 +1,436 @@
+#include "core/spbc.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace spbc::core {
+
+namespace {
+
+// Control-word encodings for Rollback / lastMessage payloads:
+// [n_streams, { ctx, stream, window... } * n ]. A stream is a whole channel
+// in MPI-only mode (stream id -1) or a (channel, tag) sub-stream under the
+// Section 7 hybrid extension.
+using StreamWindows = std::map<std::pair<int, int>, mpi::SeqWindow>;
+
+void encode_windows(const StreamWindows& windows, std::vector<uint64_t>& out) {
+  out.push_back(windows.size());
+  for (const auto& [key, win] : windows) {
+    out.push_back(static_cast<uint64_t>(static_cast<int64_t>(key.first)));
+    out.push_back(static_cast<uint64_t>(static_cast<int64_t>(key.second)));
+    win.encode(out);
+  }
+}
+
+StreamWindows decode_windows(const std::vector<uint64_t>& in, size_t& pos) {
+  StreamWindows windows;
+  uint64_t n = in.at(pos++);
+  for (uint64_t i = 0; i < n; ++i) {
+    int ctx = static_cast<int>(static_cast<int64_t>(in.at(pos++)));
+    int stream = static_cast<int>(static_cast<int64_t>(in.at(pos++)));
+    windows[{ctx, stream}] = mpi::SeqWindow::decode(in, pos);
+  }
+  return windows;
+}
+
+}  // namespace
+
+SpbcProtocol::SpbcProtocol(SpbcConfig cfg)
+    : cfg_(cfg), store_(cfg.storage, cfg.storage_model) {}
+
+void SpbcProtocol::attach(mpi::Machine& machine) {
+  machine_ = &machine;
+  int n = machine.nranks();
+  logs_.resize(static_cast<size_t>(n));
+  replayers_.resize(static_cast<size_t>(n));
+  ckpt_.resize(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    replayers_[static_cast<size_t>(r)].configure(&machine, r, cfg_.replay_window);
+    auto gate = make_gate(r);
+    if (gate) replayers_[static_cast<size_t>(r)].set_gate(std::move(gate));
+  }
+}
+
+const SenderLog& SpbcProtocol::log_of(int rank) const {
+  return logs_.at(static_cast<size_t>(rank));
+}
+SenderLog& SpbcProtocol::log_of_mut(int rank) {
+  return logs_.at(static_cast<size_t>(rank));
+}
+const Replayer& SpbcProtocol::replayer_of(int rank) const {
+  return replayers_.at(static_cast<size_t>(rank));
+}
+
+bool SpbcProtocol::is_inter_cluster(const mpi::Envelope& env) const {
+  return machine_->cluster_of(env.src) != machine_->cluster_of(env.dst);
+}
+
+// ---------------------------------------------------------------------------
+// Failure-free path (Algorithm 1, lines 3-12)
+// ---------------------------------------------------------------------------
+
+sim::Time SpbcProtocol::on_send(mpi::Rank& sender, const mpi::Envelope& env,
+                                const mpi::Payload& payload) {
+  if (!is_inter_cluster(env)) return 0.0;
+  // Line 6: log before the LS guard — the log must contain every
+  // inter-cluster message of the execution.
+  logs_[static_cast<size_t>(env.src)].append(env, payload);
+  sender.profile_mut().bytes_logged += env.bytes;
+  return cfg_.log_overhead + static_cast<double>(env.bytes) / cfg_.log_memcpy_bw;
+}
+
+bool SpbcProtocol::should_transmit(mpi::Rank& sender, const mpi::Envelope& env) {
+  if (!is_inter_cluster(env)) return true;
+  // Line 7: skip sends the destination already received before we rolled
+  // back (peer_received was installed by its lastMessage reply).
+  const auto& ch = sender.send_state(env.dst, env.ctx, env.tag);
+  return !ch.peer_received.contains(env.seqnum);
+}
+
+void SpbcProtocol::on_delivered(mpi::Rank& /*receiver*/, const mpi::Envelope& env) {
+  // Received-window bookkeeping (the LR of line 11, generalized) already
+  // happened in Rank::accept_seq. Only the HydEE hook observes replays here.
+  if (env.replayed) on_replay_delivered(env);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinated checkpointing inside a cluster (line 14)
+// ---------------------------------------------------------------------------
+
+bool SpbcProtocol::maybe_checkpoint(mpi::Rank& rank) {
+  if (cfg_.checkpoint_every == 0) return false;
+  auto& cs = ckpt_[static_cast<size_t>(rank.rank())];
+  ++cs.calls;
+  // The decision is a pure function of the call index, so every member of a
+  // cluster reaches the same decision at the same logical spot (SPMD).
+  if (cs.calls % cfg_.checkpoint_every != 0) return false;
+  run_coordinated_checkpoint(rank);
+  return true;
+}
+
+void SpbcProtocol::checkpoint_now(mpi::Rank& rank) { run_coordinated_checkpoint(rank); }
+
+void SpbcProtocol::run_coordinated_checkpoint(mpi::Rank& rank) {
+  const int me = rank.rank();
+  const int cluster = machine_->cluster_of(me);
+  const std::vector<int> members = machine_->ranks_in_cluster(cluster);
+  const int coordinator = members.front();
+  auto& cs = ckpt_[static_cast<size_t>(me)];
+  const uint64_t epoch = cs.epoch + 1;
+
+  // Drain: our in-flight intra-cluster sends must land before the snapshot
+  // so intra-cluster channels are empty in the recorded global state.
+  // Also wait out any replay we are performing for another cluster's
+  // recovery — snapshots during active replay are not supported.
+  rank.block_until(
+      [&rank] {
+        for (const auto& [key, ch] : rank.all_send_states())
+          if (ch.replay_pending != 0) return false;
+        return true;
+      },
+      "ckpt: drain replay");
+  machine_->flush_intra_sends(rank);
+
+  auto control = [&](mpi::ControlMsg::Kind kind, int dst) {
+    mpi::ControlMsg m;
+    m.kind = kind;
+    m.src = me;
+    m.dst = dst;
+    m.words.push_back(epoch);
+    machine_->send_control(me, dst, std::move(m));
+  };
+
+  if (me == coordinator) {
+    rank.block_until(
+        [&cs, &members] { return cs.ready_count == static_cast<int>(members.size()) - 1; },
+        "ckpt: await Ready");
+    cs.ready_count = 0;
+    for (int m : members)
+      if (m != me) control(mpi::ControlMsg::Kind::kCkptTake, m);
+    take_snapshot(rank);
+    rank.block_until(
+        [&cs, &members] { return cs.done_count == static_cast<int>(members.size()) - 1; },
+        "ckpt: await Done");
+    cs.done_count = 0;
+    for (int m : members)
+      if (m != me) control(mpi::ControlMsg::Kind::kCkptResume, m);
+  } else {
+    control(mpi::ControlMsg::Kind::kCkptReady, coordinator);
+    rank.block_until([&cs] { return cs.take_received; }, "ckpt: await Take");
+    cs.take_received = false;
+    take_snapshot(rank);
+    control(mpi::ControlMsg::Kind::kCkptDone, coordinator);
+    rank.block_until([&cs] { return cs.resume_received; }, "ckpt: await Resume");
+    cs.resume_received = false;
+  }
+  cs.epoch = epoch;
+
+  if (cfg_.gc_logs && me == coordinator) gc_after_checkpoint(cluster);
+}
+
+void SpbcProtocol::take_snapshot(mpi::Rank& rank) {
+  const int me = rank.rank();
+  auto& cs = ckpt_[static_cast<size_t>(me)];
+
+  util::ByteWriter w;
+  w.put<uint64_t>(cs.epoch + 1);
+  w.put<uint64_t>(cs.calls);
+  rank.serialize_runtime(w);
+  logs_[static_cast<size_t>(me)].serialize(w);
+  util::ByteWriter app;
+  rank.serialize_app(app);
+  w.put_bytes(app.bytes().data(), app.size());
+
+  ckpt::Snapshot snap;
+  snap.taken_at = machine_->engine().now();
+  snap.epoch = cs.epoch + 1;
+  snap.bytes = w.take();
+  sim::Time cost = store_.write_cost(snap.bytes.size());
+  store_.save(me, std::move(snap));
+  if (cost > 0) machine_->engine().wait(cost);
+}
+
+void SpbcProtocol::gc_after_checkpoint(int cluster) {
+  // Extension (off by default): after a cluster checkpoints, every channel
+  // into it can drop log entries the checkpoint captured. We use the
+  // captured received-windows directly; a real implementation piggybacks
+  // them on one control message per channel after the wave completes.
+  for (int member : machine_->ranks_in_cluster(cluster)) {
+    const mpi::Rank& mr = machine_->rank(member);
+    for (const auto& [key, win] : mr.all_recv_windows()) {
+      if (machine_->cluster_of(key.peer) == cluster) continue;
+      logs_[static_cast<size_t>(key.peer)].gc_received(member, key.ctx, win,
+                                                       key.stream);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling and recovery (lines 16-26)
+// ---------------------------------------------------------------------------
+
+void SpbcProtocol::on_failure(int victim_rank) {
+  const int cluster = machine_->cluster_of(victim_rank);
+  // Coalesce: a second crash in a cluster whose restart is already scheduled
+  // (killed, restored, fibers not yet respawned) needs no further action —
+  // the victim is already dead and the pending respawn covers everyone.
+  if (restart_pending_.count(cluster)) return;
+  const std::vector<int> members = machine_->ranks_in_cluster(cluster);
+  const sim::Time failure_time =
+      machine_->engine().now() - machine_->config().failure_detection_delay;
+  ++rollbacks_;
+  recovering_clusters_.insert(cluster);
+  restart_pending_.insert(cluster);
+
+  // Record pre-failure progress (rework-time measurement). The victim's
+  // progress was frozen at the crash; other members die now, at detection.
+  std::map<int, mpi::Rank::Progress> targets;
+  for (int r : members) {
+    const mpi::Rank::Progress* frozen = machine_->rank(r).frozen_progress();
+    targets[r] = frozen ? *frozen : machine_->rank(r).progress_now();
+  }
+
+  // Line 18: the whole cluster rolls back to its last coordinated
+  // checkpoint. Kill first (fibers unwind, incarnations bump), then restore
+  // in-memory state; fibers respawn after the restart delay.
+  for (int r : members) machine_->kill_rank(r);
+  sim::Time ckpt_time = 0;
+  for (int r : members) {
+    if (store_.has(r)) ckpt_time = std::max(ckpt_time, store_.latest(r).taken_at);
+    restore_rank(r);
+  }
+
+  // Collect, per recovering rank, the peers that must learn of the rollback:
+  // every inter-cluster channel in the restored state plus every rank whose
+  // log holds messages for it (a channel the checkpoint had not seen yet).
+  std::map<int, std::set<int>> peers;
+  for (int r : members) peers[r] = rollback_peers_of(r);
+
+  machine_->engine().after(machine_->config().restart_delay, [this, cluster, members,
+                                                              failure_time, ckpt_time,
+                                                              targets, peers] {
+    restart_pending_.erase(cluster);
+    for (int r : members) machine_->respawn_rank(r, store_.has(r));
+    machine_->begin_recovery_record(cluster, failure_time, ckpt_time, targets);
+    // Lines 19-20: announce the rollback with the restored received-windows.
+    for (int r : members) send_rollbacks_from(r, peers.at(r));
+    // Overlapping recoveries: clusters that rolled back earlier re-announce
+    // to the ranks we just restarted, so replays lost to this crash re-run.
+    // Not gated on the recovery record being open: a cluster can be caught
+    // up by the op-counter measure yet still owed messages it had not
+    // consumed before its own failure. Rollback is idempotent (window
+    // filtering + per-incarnation queuing + duplicate drops), so
+    // re-announcing from every past-rollback cluster is safe.
+    for (int other : recovering_clusters_) {
+      if (other == cluster) continue;
+      for (int rr : machine_->ranks_in_cluster(other)) {
+        std::set<int> again;
+        for (int m : members)
+          if (rollback_peers_of(rr).count(m)) again.insert(m);
+        if (!again.empty()) send_rollbacks_from(rr, again);
+      }
+    }
+  });
+}
+
+void SpbcProtocol::restore_rank(int r) {
+  mpi::Rank& rank = machine_->rank(r);
+  rank.reset_for_restart();
+  // Any replay this rank was performing for another cluster dies with the
+  // rollback (the log is about to be replaced); the peers will re-announce.
+  replayers_[static_cast<size_t>(r)].reset();
+  auto& cs = ckpt_[static_cast<size_t>(r)];
+  cs.ready_count = 0;
+  cs.done_count = 0;
+  cs.take_received = false;
+  cs.resume_received = false;
+  if (!store_.has(r)) {
+    // No checkpoint yet: roll back to the initial state sigma_0.
+    logs_[static_cast<size_t>(r)].clear();
+    cs.calls = 0;
+    cs.epoch = 0;
+    return;
+  }
+  const ckpt::Snapshot& snap = store_.latest(r);
+  util::ByteReader reader(snap.bytes);
+  cs.epoch = reader.get<uint64_t>();
+  cs.calls = reader.get<uint64_t>();
+  rank.restore_runtime(reader);
+  logs_[static_cast<size_t>(r)].restore(reader);
+  machine_->set_pending_app_state(r, reader.get_bytes());
+  SPBC_ASSERT_MSG(reader.exhausted(), "trailing bytes in snapshot of rank " << r);
+}
+
+std::set<int> SpbcProtocol::rollback_peers_of(int r) const {
+  // Section 3.1 defines a channel between every ordered pair of processes,
+  // so "all outgoing inter-cluster channels" (Algorithm 1, line 19) means
+  // every rank outside the cluster. Restricting to channels the checkpoint
+  // has seen would lose messages a survivor sent on a brand-new channel
+  // while this rank was down (e.g. the first collective after the crash):
+  // that survivor would never learn it must replay.
+  std::set<int> peers;
+  const int my_cluster = machine_->cluster_of(r);
+  for (int s = 0; s < machine_->nranks(); ++s) {
+    if (machine_->cluster_of(s) != my_cluster) peers.insert(s);
+  }
+  return peers;
+}
+
+void SpbcProtocol::send_rollbacks_from(int r, const std::set<int>& peers) {
+  const mpi::Rank& rank = machine_->rank(r);
+  for (int p : peers) {
+    // Gather this rank's received-windows for streams p -> r (all ctxs and,
+    // under seq_per_tag, all tag streams).
+    StreamWindows windows;
+    for (const auto& [key, win] : rank.all_recv_windows())
+      if (key.peer == p) windows[{key.ctx, key.stream}] = win;
+    mpi::ControlMsg m;
+    m.kind = mpi::ControlMsg::Kind::kRollback;
+    m.src = r;
+    m.dst = p;
+    encode_windows(windows, m.words);
+    machine_->send_control(r, p, std::move(m));
+  }
+}
+
+void SpbcProtocol::handle_rollback(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
+  const int me = receiver.rank();
+  const int peer = msg.src;  // the recovering rank
+  size_t pos = 0;
+  StreamWindows peer_windows = decode_windows(msg.words, pos);
+
+  // The Rollback carries the peer's restored received-windows — refresh our
+  // LS-suppression state from it. Without this, a rank that itself rolled
+  // back earlier keeps suppression learned from the peer's PRE-crash state:
+  // it would keep skipping re-sends the peer no longer holds, and if those
+  // sends were not yet re-logged when this Rollback arrived, nothing would
+  // ever deliver them (observed as a deadlock under repeated failures).
+  for (const auto& [key, win] : peer_windows) {
+    receiver.send_state(peer, key.first, key.second == -1 ? 0 : key.second)
+        .peer_received = win;
+  }
+
+  // Line 22: reply with what we already received on streams peer -> me, so
+  // the recovering rank can skip those sends (LS suppression).
+  StreamWindows mine;
+  for (const auto& [key, win] : receiver.all_recv_windows())
+    if (key.peer == peer) mine[{key.ctx, key.stream}] = win;
+  mpi::ControlMsg reply;
+  reply.kind = mpi::ControlMsg::Kind::kLastMessage;
+  reply.src = me;
+  reply.dst = peer;
+  encode_windows(mine, reply.words);
+  machine_->send_control(me, peer, std::move(reply));
+
+  // Rendezvous state tied to the peer's old incarnation will never complete:
+  // drop its pending RTSs from the unexpected queue (matching one would CTS
+  // into the void) and rewind receptions already matched to one.
+  receiver.match_engine().purge_pending_rts_from(peer);
+  receiver.rewind_pending_from(peer);
+
+  // Our own sends to the peer that were caught mid-rendezvous: the replayer
+  // completes their application requests when the logged copies land.
+  std::map<std::pair<int, uint64_t>, std::function<void()>> orphan_done;
+  for (auto& orphan : machine_->take_rendezvous_to(peer, me)) {
+    orphan_done[{orphan.env.ctx, orphan.env.seqnum}] = std::move(orphan.on_complete);
+  }
+
+  // Lines 23-24: replay logged messages the peer does not hold, in log
+  // order, under the pre-post window.
+  replayers_[static_cast<size_t>(me)].enqueue_for_peer(
+      logs_[static_cast<size_t>(me)], peer, peer_windows, std::move(orphan_done));
+  receiver.wake();
+}
+
+void SpbcProtocol::handle_last_message(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
+  // Lines 25-26: install the peer's received-windows as our suppression
+  // state for streams me -> peer. The stream id doubles as the tag in
+  // seq_per_tag mode and is -1 otherwise, matching stream_of().
+  size_t pos = 0;
+  StreamWindows windows = decode_windows(msg.words, pos);
+  for (auto& [key, win] : windows) {
+    receiver.send_state(msg.src, key.first, key.second == -1 ? 0 : key.second)
+        .peer_received = std::move(win);
+  }
+  receiver.wake();
+}
+
+void SpbcProtocol::on_control(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
+  auto& cs = ckpt_[static_cast<size_t>(receiver.rank())];
+  switch (msg.kind) {
+    case mpi::ControlMsg::Kind::kRollback:
+      handle_rollback(receiver, msg);
+      break;
+    case mpi::ControlMsg::Kind::kLastMessage:
+      handle_last_message(receiver, msg);
+      break;
+    case mpi::ControlMsg::Kind::kCkptReady:
+      ++cs.ready_count;
+      receiver.wake();
+      break;
+    case mpi::ControlMsg::Kind::kCkptTake:
+      cs.take_received = true;
+      receiver.wake();
+      break;
+    case mpi::ControlMsg::Kind::kCkptDone:
+      ++cs.done_count;
+      receiver.wake();
+      break;
+    case mpi::ControlMsg::Kind::kCkptResume:
+      cs.resume_received = true;
+      receiver.wake();
+      break;
+    default:
+      SPBC_UNREACHABLE("unhandled control message kind in SpbcProtocol");
+  }
+}
+
+void SpbcProtocol::on_rank_start(mpi::Rank& rank, bool restarted) {
+  if (!restarted) return;
+  // Rollback announcements were already sent from the recovery orchestration
+  // (event context) at respawn time; nothing to do in the fiber.
+  (void)rank;
+}
+
+}  // namespace spbc::core

@@ -1,0 +1,164 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace spbc::harness {
+
+const char* protocol_name(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kNative:
+      return "MPICH";
+    case ProtocolKind::kSpbc:
+      return "SPBC";
+    case ProtocolKind::kSpbcNoIds:
+      return "SPBC(no ids)";
+    case ProtocolKind::kHydee:
+      return "HydEE";
+    case ProtocolKind::kGlobalCoordinated:
+      return "Coordinated";
+    case ProtocolKind::kPureLogging:
+      return "MessageLogging";
+  }
+  return "?";
+}
+
+double ScenarioResult::normalized_rework() const {
+  if (recoveries.empty()) return 0.0;
+  const mpi::RecoveryRecord& rec = recoveries.front();
+  if (!rec.complete()) return 0.0;
+  sim::Time lost = rec.failure_time - rec.checkpoint_time;
+  if (lost <= 0) return 0.0;
+  return rec.rework() / lost;
+}
+
+namespace {
+
+mpi::MachineConfig machine_config_for(const ScenarioConfig& cfg) {
+  mpi::MachineConfig mc = cfg.machine;
+  mc.nranks = cfg.nranks;
+  mc.ranks_per_node = cfg.ranks_per_node;
+  if (cfg.protocol == ProtocolKind::kPureLogging) mc.enforce_node_colocation = false;
+  return mc;
+}
+
+std::unique_ptr<mpi::ProtocolHooks> make_protocol(const ScenarioConfig& cfg) {
+  switch (cfg.protocol) {
+    case ProtocolKind::kNative:
+      return baselines::make_native();
+    case ProtocolKind::kSpbc:
+    case ProtocolKind::kGlobalCoordinated:
+    case ProtocolKind::kPureLogging:
+      return std::make_unique<core::SpbcProtocol>(cfg.spbc);
+    case ProtocolKind::kSpbcNoIds: {
+      core::SpbcConfig c = cfg.spbc;
+      c.pattern_ids = false;
+      return std::make_unique<core::SpbcProtocol>(c);
+    }
+    case ProtocolKind::kHydee: {
+      baselines::HydeeConfig h = cfg.hydee;
+      h.base = cfg.spbc;
+      return std::make_unique<baselines::HydeeProtocol>(h);
+    }
+  }
+  SPBC_UNREACHABLE("protocol kind");
+}
+
+}  // namespace
+
+std::vector<int> compute_cluster_map(const ScenarioConfig& cfg) {
+  switch (cfg.protocol) {
+    case ProtocolKind::kNative:
+    case ProtocolKind::kGlobalCoordinated:
+      return baselines::single_cluster_map(cfg.nranks);
+    case ProtocolKind::kPureLogging:
+      return baselines::per_rank_cluster_map(cfg.nranks);
+    default:
+      break;
+  }
+  sim::Topology topo = sim::Topology::for_ranks(cfg.nranks, cfg.ranks_per_node);
+  SPBC_ASSERT_MSG(cfg.nclusters >= 1 && cfg.nclusters <= topo.nodes(),
+                  "nclusters=" << cfg.nclusters << " with " << topo.nodes()
+                               << " nodes");
+  if (!cfg.use_clustering_tool) {
+    clustering::CommGraph empty(cfg.nranks);
+    clustering::Partitioner part(empty, topo);
+    return part.block_partition(cfg.nclusters).cluster_of;
+  }
+  // Section 6.1 methodology: run a few iterations, collect communication
+  // statistics, feed them to the clustering tool.
+  ScenarioConfig trace_cfg = cfg;
+  trace_cfg.protocol = ProtocolKind::kNative;
+  trace_cfg.app_cfg.iters = cfg.trace_iters;
+  trace_cfg.inject_failure = false;
+  mpi::MachineConfig mc = machine_config_for(trace_cfg);
+  mpi::Machine machine(mc, baselines::make_native());
+  machine.set_cluster_of(baselines::single_cluster_map(cfg.nranks));
+  const apps::AppInfo& info = apps::find_app(cfg.app);
+  apps::AppConfig app_cfg = trace_cfg.app_cfg;
+  machine.launch([&info, app_cfg](mpi::Rank& r) { info.main(r, app_cfg); });
+  mpi::RunResult rr = machine.run();
+  SPBC_ASSERT_MSG(rr.completed, "clustering trace run did not complete");
+  clustering::CommGraph graph =
+      clustering::CommGraph::from_traffic(cfg.nranks, machine.traffic_bytes());
+  clustering::Partitioner part(graph, topo);
+  return part.partition(cfg.nclusters, cfg.objective).cluster_of;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  mpi::MachineConfig mc = machine_config_for(cfg);
+  mpi::Machine machine(mc, make_protocol(cfg));
+  std::vector<int> cluster_of = compute_cluster_map(cfg);
+  machine.set_cluster_of(cluster_of);
+
+  const apps::AppInfo& info = apps::find_app(cfg.app);
+  std::map<int, uint64_t> checksums;
+  apps::AppConfig app_cfg = cfg.app_cfg;
+  if (app_cfg.validate && app_cfg.checksums == nullptr)
+    app_cfg.checksums = &checksums;
+  machine.launch([&info, app_cfg](mpi::Rank& r) { info.main(r, app_cfg); });
+
+  if (cfg.inject_failure) {
+    SPBC_ASSERT_MSG(cfg.failure_at > 0, "inject_failure requires failure_at > 0");
+    machine.inject_failure(cfg.failure_at, cfg.victim_rank);
+  }
+
+  ScenarioResult res;
+  res.cluster_of = cluster_of;
+  res.run = machine.run();
+  res.elapsed = res.run.finish_time;
+  res.checksums = std::move(checksums);
+  res.profile = trace::profile_machine(machine);
+  res.recoveries = machine.recoveries();
+
+  res.log_rate_mb_s.resize(static_cast<size_t>(cfg.nranks), 0.0);
+  double sum = 0;
+  for (int r = 0; r < cfg.nranks; ++r) {
+    double rate = res.elapsed > 0
+                      ? static_cast<double>(machine.rank(r).profile().bytes_logged) /
+                            1.0e6 / res.elapsed
+                      : 0.0;
+    res.log_rate_mb_s[static_cast<size_t>(r)] = rate;
+    sum += rate;
+    res.max_log_rate_mb_s = std::max(res.max_log_rate_mb_s, rate);
+  }
+  res.avg_log_rate_mb_s = sum / cfg.nranks;
+  if (auto* spbc = dynamic_cast<core::SpbcProtocol*>(&machine.protocol()))
+    res.checkpoints = spbc->checkpoints_taken();
+  return res;
+}
+
+ScenarioResult run_failure_free(ScenarioConfig cfg) {
+  cfg.inject_failure = false;
+  return run_scenario(cfg);
+}
+
+ScenarioResult run_with_failure(ScenarioConfig cfg, sim::Time t_ff, double frac) {
+  SPBC_ASSERT(t_ff > 0 && frac > 0 && frac < 1);
+  cfg.inject_failure = true;
+  cfg.failure_at = t_ff * frac;
+  return run_scenario(cfg);
+}
+
+}  // namespace spbc::harness

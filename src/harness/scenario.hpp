@@ -1,0 +1,97 @@
+#pragma once
+// Experiment harness: builds a Machine + protocol + workload, runs it
+// (optionally with an injected failure), and extracts the measurements the
+// paper's tables and figures report.
+//
+// Methodology mirrors Section 6.1: the clustering configuration comes from a
+// short traced run of the application fed to the clustering tool; results
+// with SPBC are normalized against the native (unmodified library) run of
+// the same configuration; checkpoint I/O is free by default.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "baselines/hydee.hpp"
+#include "baselines/presets.hpp"
+#include "clustering/partitioner.hpp"
+#include "core/spbc.hpp"
+#include "mpi/machine.hpp"
+#include "trace/profile.hpp"
+
+namespace spbc::harness {
+
+enum class ProtocolKind {
+  kNative,             // unmodified library (the paper's "MPICH" bars)
+  kSpbc,               // SPBC with id-based matching
+  kSpbcNoIds,          // Algorithm 1 without the A->A' transformation
+  kHydee,              // HydEE baseline (centralized recovery)
+  kGlobalCoordinated,  // one cluster: classic coordinated checkpointing
+  kPureLogging,        // one cluster per rank (Table 1, 512-cluster row)
+};
+
+const char* protocol_name(ProtocolKind k);
+
+struct ScenarioConfig {
+  std::string app = "MiniGhost";
+  int nranks = 64;
+  int ranks_per_node = 8;
+  int nclusters = 4;  // hierarchical protocols only
+  ProtocolKind protocol = ProtocolKind::kSpbc;
+  apps::AppConfig app_cfg;
+  core::SpbcConfig spbc;
+  baselines::HydeeConfig hydee;  // .base is overwritten with `spbc`
+  mpi::MachineConfig machine;    // nranks/ranks_per_node overwritten
+
+  /// Cluster map: from the clustering tool (traced short run) or a block
+  /// partition of nodes.
+  bool use_clustering_tool = true;
+  clustering::Objective objective = clustering::Objective::kMinTotalLogged;
+  int trace_iters = 3;  // iterations of the traced clustering run
+
+  /// Failure injection.
+  bool inject_failure = false;
+  sim::Time failure_at = 0;  // absolute virtual time
+  int victim_rank = 0;
+};
+
+struct ScenarioResult {
+  mpi::RunResult run;
+  sim::Time elapsed = 0;
+  std::map<int, uint64_t> checksums;  // validate mode only
+  trace::MachineProfile profile;
+  std::vector<mpi::RecoveryRecord> recoveries;
+  std::vector<int> cluster_of;
+
+  // Per-rank log growth rate in MB/s of virtual time (Table 1).
+  std::vector<double> log_rate_mb_s;
+  double avg_log_rate_mb_s = 0;
+  double max_log_rate_mb_s = 0;
+  uint64_t checkpoints = 0;
+
+  /// Normalized rework time of the first recovery (Fig. 5 / Fig. 6): time to
+  /// re-execute the lost work divided by the failure-free time that work
+  /// originally took.
+  double normalized_rework() const;
+};
+
+/// Computes the cluster map for a scenario (traced run + partitioner, or a
+/// block partition). Exposed for the clustering ablation bench.
+std::vector<int> compute_cluster_map(const ScenarioConfig& cfg);
+
+/// Runs the scenario once. The machine, protocol and workload are built
+/// fresh; the config's failure settings apply.
+ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+/// Convenience: failure-free run, returning elapsed virtual time (used to
+/// place the failure point and to normalize).
+ScenarioResult run_failure_free(ScenarioConfig cfg);
+
+/// Convenience: run with a failure injected at `frac` of the failure-free
+/// time `t_ff` (computed by the caller, typically cached).
+ScenarioResult run_with_failure(ScenarioConfig cfg, sim::Time t_ff, double frac);
+
+}  // namespace spbc::harness

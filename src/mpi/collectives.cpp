@@ -1,0 +1,218 @@
+#include "mpi/collectives.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/assert.hpp"
+
+namespace spbc::mpi {
+
+namespace {
+
+int coll_tag(Rank& self, const Comm& comm) {
+  // Per-communicator collective sequence; identical on all members because
+  // collectives are called in the same order on every rank (SPMD).
+  uint64_t seq = self.next_collective_seq(comm.ctx());
+  return kCollectiveTagBase + static_cast<int>(seq % (1 << 22));
+}
+
+void apply_op(std::vector<double>& acc, const std::vector<double>& in, ReduceOp op) {
+  SPBC_ASSERT(acc.size() == in.size());
+  switch (op) {
+    case ReduceOp::kSum:
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMax:
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] = std::max(acc[i], in[i]);
+      break;
+    case ReduceOp::kMin:
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] = std::min(acc[i], in[i]);
+      break;
+  }
+}
+
+}  // namespace
+
+void barrier(Rank& self, const Comm& comm) {
+  int n = comm.size();
+  if (n == 1) return;
+  int me = comm.comm_rank(self.rank());
+  SPBC_ASSERT_MSG(me >= 0, "barrier on a communicator not containing this rank");
+  int tag = coll_tag(self, comm);
+  for (int dist = 1; dist < n; dist <<= 1) {
+    int to = (me + dist) % n;
+    int from = (me - dist % n + n) % n;
+    Request r = self.irecv(from, tag, comm);
+    self.send(to, tag, Payload::make_synthetic(8, 0), comm);
+    self.wait(r);
+  }
+}
+
+void bcast(Rank& self, std::vector<double>& data, int root, const Comm& comm) {
+  int n = comm.size();
+  if (n == 1) return;
+  int me = comm.comm_rank(self.rank());
+  SPBC_ASSERT(me >= 0);
+  int tag = coll_tag(self, comm);
+  // Rotate so the root is virtual rank 0.
+  int vme = (me - root + n) % n;
+  // Receive from parent.
+  if (vme != 0) {
+    int mask = 1;
+    while (mask < n && (vme & mask) == 0) mask <<= 1;
+    int vparent = vme & ~mask;
+    int parent = (vparent + root) % n;
+    RecvResult rr = self.recv(parent, tag, comm);
+    rr.copy_to(data);
+  }
+  // Forward to children.
+  int mask = 1;
+  while (mask < n && (vme & mask) == 0) mask <<= 1;
+  for (int m = mask >> 1; m >= 1; m >>= 1) {
+    int vchild = vme | m;
+    if (vchild < n && vchild != vme) {
+      int child = (vchild + root) % n;
+      self.send(child, tag, Payload::from_vector(data), comm);
+    }
+  }
+}
+
+void reduce(Rank& self, std::vector<double>& data, ReduceOp op, int root,
+            const Comm& comm) {
+  int n = comm.size();
+  if (n == 1) return;
+  int me = comm.comm_rank(self.rank());
+  SPBC_ASSERT(me >= 0);
+  int tag = coll_tag(self, comm);
+  int vme = (me - root + n) % n;
+  // Binomial gather: children send partial results up the tree; reduction
+  // order is fixed by the tree shape, so results are bit-deterministic.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((vme & mask) == 0) {
+      int vchild = vme | mask;
+      if (vchild < n) {
+        int child = (vchild + root) % n;
+        RecvResult rr = self.recv(child, tag, comm);
+        std::vector<double> in;
+        rr.copy_to(in);
+        apply_op(data, in, op);
+      }
+    } else {
+      int vparent = vme & ~mask;
+      int parent = (vparent + root) % n;
+      self.send(parent, tag, Payload::from_vector(data), comm);
+      break;
+    }
+  }
+}
+
+void allreduce(Rank& self, std::vector<double>& data, ReduceOp op, const Comm& comm) {
+  reduce(self, data, op, 0, comm);
+  bcast(self, data, 0, comm);
+}
+
+double allreduce_scalar(Rank& self, double value, ReduceOp op, const Comm& comm) {
+  std::vector<double> v{value};
+  allreduce(self, v, op, comm);
+  return v[0];
+}
+
+std::vector<std::vector<double>> allgather(Rank& self, const std::vector<double>& mine,
+                                           const Comm& comm) {
+  int n = comm.size();
+  int me = comm.comm_rank(self.rank());
+  SPBC_ASSERT(me >= 0);
+  std::vector<std::vector<double>> out(static_cast<size_t>(n));
+  out[static_cast<size_t>(me)] = mine;
+  if (n == 1) return out;
+  int tag = coll_tag(self, comm);
+  // Ring: in step s, send the block received in step s-1 to the right
+  // neighbour; after n-1 steps everyone has everything.
+  int right = (me + 1) % n;
+  int left = (me - 1 + n) % n;
+  int have = me;  // index of the block we forward next
+  for (int s = 0; s < n - 1; ++s) {
+    Request r = self.irecv(left, tag, comm);
+    self.send(right, tag, Payload::from_vector(out[static_cast<size_t>(have)]), comm);
+    self.wait(r);
+    have = (have - 1 + n) % n;
+    r.result().copy_to(out[static_cast<size_t>(have)]);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> alltoall(Rank& self,
+                                          const std::vector<std::vector<double>>& send,
+                                          const Comm& comm) {
+  int n = comm.size();
+  SPBC_ASSERT(static_cast<int>(send.size()) == n);
+  int me = comm.comm_rank(self.rank());
+  SPBC_ASSERT(me >= 0);
+  std::vector<std::vector<double>> out(static_cast<size_t>(n));
+  out[static_cast<size_t>(me)] = send[static_cast<size_t>(me)];
+  if (n == 1) return out;
+  int tag = coll_tag(self, comm);
+  // Pairwise exchange: in round r, exchange with (me XOR r) when a power-of-
+  // two group applies, otherwise with the shifted partner. The shifted
+  // scheme works for any n and is deterministic.
+  for (int r = 1; r < n; ++r) {
+    int to = (me + r) % n;
+    int from = (me - r + n) % n;
+    Request rq = self.irecv(from, tag, comm);
+    self.send(to, tag, Payload::from_vector(send[static_cast<size_t>(to)]), comm);
+    self.wait(rq);
+    rq.result().copy_to(out[static_cast<size_t>(from)]);
+  }
+  return out;
+}
+
+Comm comm_split(Rank& self, const Comm& parent, int color, int key) {
+  int n = parent.size();
+  int me = parent.comm_rank(self.rank());
+  SPBC_ASSERT(me >= 0);
+  // Allgather (color, key) over the parent; every member computes the same
+  // grouping locally — the same agreement a real MPI_Comm_split performs.
+  std::vector<double> mine{static_cast<double>(color), static_cast<double>(key)};
+  auto all = allgather(self, mine, parent);
+
+  // Context ids must be globally consistent: derive from the parent ctx and
+  // the parent's collective sequence (identical on all members), spaced so
+  // sibling sub-communicators (distinct colors) get distinct ctx ids.
+  uint64_t seq = self.next_collective_seq(parent.ctx());
+
+  if (color < 0) return Comm(-1, {self.rank()});  // "undefined" color sentinel
+
+  std::vector<std::tuple<int, int, int>> members;  // (key, parent_rank, world)
+  std::vector<int> colors_seen;
+  for (int r = 0; r < n; ++r) {
+    int c = static_cast<int>(all[static_cast<size_t>(r)][0]);
+    if (c >= 0 &&
+        std::find(colors_seen.begin(), colors_seen.end(), c) == colors_seen.end())
+      colors_seen.push_back(c);
+    if (c == color)
+      members.emplace_back(static_cast<int>(all[static_cast<size_t>(r)][1]), r,
+                           parent.world_rank(r));
+  }
+  std::sort(members.begin(), members.end());
+  std::vector<int> group;
+  group.reserve(members.size());
+  for (const auto& [k, pr, wr] : members) group.push_back(wr);
+
+  std::sort(colors_seen.begin(), colors_seen.end());
+  auto cit = std::find(colors_seen.begin(), colors_seen.end(), color);
+  int color_index = static_cast<int>(cit - colors_seen.begin());
+
+  int ctx = parent.ctx() * 4096 + static_cast<int>(seq % 64) * 64 + color_index + 1;
+  return Comm(ctx, std::move(group));
+}
+
+Comm comm_dup(Rank& self, const Comm& parent) {
+  // Agreement on the new ctx comes from the shared collective sequence; a
+  // barrier keeps the collective semantics (all members must call dup).
+  barrier(self, parent);
+  uint64_t seq = self.next_collective_seq(parent.ctx());
+  int ctx = parent.ctx() * 4096 + static_cast<int>(seq % 64) * 64 + 63;
+  return Comm(ctx, parent.group());
+}
+
+}  // namespace spbc::mpi

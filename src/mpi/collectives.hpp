@@ -1,0 +1,61 @@
+#pragma once
+// Collective operations implemented over point-to-point communication.
+//
+// The paper assumes collectives are layered on p2p (Section 3.2), which means
+// their messages traverse the same channels and are logged/replayed like any
+// other message. All algorithms here use named sources only, so they can
+// never mismatch during recovery (Theorem 1), and they are deterministic
+// given the communicator — preserving channel-determinism.
+//
+// Algorithms: dissemination barrier, binomial-tree bcast/reduce,
+// reduce+bcast allreduce, ring allgather, pairwise alltoall. Each collective
+// instance gets a fresh tag from a per-communicator sequence so that
+// overlapping collectives on the same communicator cannot interfere.
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/rank.hpp"
+
+namespace spbc::mpi {
+
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// Dissemination barrier: ceil(log2(n)) rounds of named sends.
+void barrier(Rank& self, const Comm& comm);
+
+/// Binomial-tree broadcast of `data` from `root` (comm rank).
+void bcast(Rank& self, std::vector<double>& data, int root, const Comm& comm);
+
+/// Binomial-tree reduction to `root`; `data` is replaced by the reduced
+/// vector at the root and left partially reduced elsewhere.
+void reduce(Rank& self, std::vector<double>& data, ReduceOp op, int root,
+            const Comm& comm);
+
+/// reduce-to-0 + bcast allreduce (deterministic reduction order).
+void allreduce(Rank& self, std::vector<double>& data, ReduceOp op, const Comm& comm);
+
+/// Convenience scalar allreduce.
+double allreduce_scalar(Rank& self, double value, ReduceOp op, const Comm& comm);
+
+/// Ring allgather: each rank contributes `mine`; returns all contributions
+/// indexed by comm rank.
+std::vector<std::vector<double>> allgather(Rank& self, const std::vector<double>& mine,
+                                           const Comm& comm);
+
+/// Pairwise-exchange alltoall of fixed-size double blocks. `send[i]` goes to
+/// comm rank i; returns blocks received from every rank.
+std::vector<std::vector<double>> alltoall(Rank& self,
+                                          const std::vector<std::vector<double>>& send,
+                                          const Comm& comm);
+
+/// Communicator split (collective over parent): ranks with equal `color`
+/// form a sub-communicator ordered by (key, parent rank). Color < 0 yields
+/// an invalid (size-0 sentinel) membership — the rank is in no output comm.
+Comm comm_split(Rank& self, const Comm& parent, int color, int key);
+
+/// Communicator duplication (collective): same group, fresh context id.
+Comm comm_dup(Rank& self, const Comm& parent);
+
+}  // namespace spbc::mpi

@@ -1,0 +1,49 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace spbc::mpi {
+
+Comm Comm::world(int nranks) {
+  std::vector<int> g(static_cast<size_t>(nranks));
+  std::iota(g.begin(), g.end(), 0);
+  return Comm(0, std::move(g));
+}
+
+Comm::Comm(int ctx, std::vector<int> group)
+    : ctx_(ctx), group_(std::make_shared<const std::vector<int>>(std::move(group))) {
+  SPBC_ASSERT(!group_->empty());
+}
+
+int Comm::comm_rank(int world_rank) const {
+  for (size_t i = 0; i < group_->size(); ++i)
+    if ((*group_)[i] == world_rank) return static_cast<int>(i);
+  return -1;
+}
+
+Comm comm_split_pure(const Comm& parent, int me_world, int salt,
+                     int (*color_of)(int world_rank, const void* arg),
+                     int (*key_of)(int world_rank, const void* arg), const void* arg) {
+  int my_color = color_of(me_world, arg);
+  SPBC_ASSERT_MSG(my_color >= 0, "comm_split_pure requires non-negative colors");
+  std::vector<std::pair<int, int>> members;  // (key, world rank)
+  for (int cr = 0; cr < parent.size(); ++cr) {
+    int wr = parent.world_rank(cr);
+    if (color_of(wr, arg) == my_color) members.emplace_back(key_of(wr, arg), wr);
+  }
+  std::sort(members.begin(), members.end());
+  std::vector<int> group;
+  group.reserve(members.size());
+  for (const auto& [k, wr] : members) group.push_back(wr);
+  // Deterministic context id: identical on every member, stable across
+  // restarts, distinct per (parent, salt, color).
+  uint64_t mix = 0x9e3779b97f4a7c15ULL;
+  mix ^= static_cast<uint64_t>(parent.ctx()) * 0xbf58476d1ce4e5b9ULL;
+  mix ^= static_cast<uint64_t>(salt) * 0x94d049bb133111ebULL;
+  mix ^= static_cast<uint64_t>(my_color) * 0xd6e8feb86659fd93ULL;
+  int ctx = static_cast<int>((mix % 0x3fffffff) + 1000);
+  return Comm(ctx, std::move(group));
+}
+
+}  // namespace spbc::mpi

@@ -1,0 +1,54 @@
+#pragma once
+// Communicators. A channel exists per ordered pair of processes *per
+// communicator* (Section 3.2), so the context id participates in channel
+// identity and matching.
+
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace spbc::mpi {
+
+class Comm {
+ public:
+  /// World communicator over ranks [0, nranks).
+  static Comm world(int nranks);
+
+  /// Sub-communicator with explicit membership (world ranks, comm rank i is
+  /// group[i]).
+  Comm(int ctx, std::vector<int> group);
+
+  int ctx() const { return ctx_; }
+  int size() const { return static_cast<int>(group_->size()); }
+
+  /// Translates a communicator rank to a world rank.
+  int world_rank(int comm_rank) const {
+    SPBC_ASSERT(comm_rank >= 0 && comm_rank < size());
+    return (*group_)[comm_rank];
+  }
+
+  /// Translates a world rank to this communicator's rank, or -1 if absent.
+  int comm_rank(int world_rank) const;
+
+  bool contains(int world_rank) const { return comm_rank(world_rank) >= 0; }
+
+  const std::vector<int>& group() const { return *group_; }
+
+ private:
+  int ctx_;
+  std::shared_ptr<const std::vector<int>> group_;
+};
+
+/// Communication-free communicator split for SPMD codes whose (color, key)
+/// assignment is a pure function of the world rank. Unlike comm_split()
+/// (which allgathers and is therefore a collective), this variant performs
+/// no communication and consumes no collective sequence numbers — which
+/// makes it safe to re-execute during a partial restart, where the failed
+/// cluster re-runs its main but the survivors do not. `salt` disambiguates
+/// multiple splits of the same parent.
+Comm comm_split_pure(const Comm& parent, int me_world, int salt,
+                     int (*color_of)(int world_rank, const void* arg),
+                     int (*key_of)(int world_rank, const void* arg), const void* arg);
+
+}  // namespace spbc::mpi

@@ -1,0 +1,376 @@
+#include "mpi/machine.hpp"
+
+#include <algorithm>
+
+namespace spbc::mpi {
+
+namespace {
+// Wire size of a control message / message header (transport framing).
+constexpr uint64_t kHeaderBytes = 64;
+}  // namespace
+
+Machine::Machine(MachineConfig cfg, std::unique_ptr<ProtocolHooks> protocol)
+    : cfg_(cfg),
+      engine_(cfg.fiber_stack_bytes),
+      topo_(sim::Topology::for_ranks(cfg.nranks, cfg.ranks_per_node)),
+      net_(engine_, topo_, cfg.net),
+      protocol_(std::move(protocol)),
+      world_(Comm::world(cfg.nranks)),
+      incarnation_(static_cast<size_t>(cfg.nranks), 0),
+      alive_(static_cast<size_t>(cfg.nranks), false),
+      intra_outstanding_(static_cast<size_t>(cfg.nranks), 0),
+      cluster_of_(static_cast<size_t>(cfg.nranks), 0) {
+  SPBC_ASSERT(protocol_);
+  engine_.set_abort_on_deadlock(cfg.abort_on_deadlock);
+  ranks_.reserve(static_cast<size_t>(cfg.nranks));
+  for (int r = 0; r < cfg.nranks; ++r)
+    ranks_.push_back(std::make_unique<Rank>(*this, r));
+  protocol_->attach(*this);
+}
+
+Machine::~Machine() = default;
+
+Rank& Machine::rank(int r) {
+  SPBC_ASSERT(r >= 0 && r < cfg_.nranks);
+  return *ranks_[static_cast<size_t>(r)];
+}
+
+void Machine::set_cluster_of(std::vector<int> cluster_of) {
+  SPBC_ASSERT(static_cast<int>(cluster_of.size()) == cfg_.nranks);
+  cluster_of_ = std::move(cluster_of);
+  nclusters_ = *std::max_element(cluster_of_.begin(), cluster_of_.end()) + 1;
+  // Node colocation sanity: ranks on the same node must share a cluster
+  // (Section 6.1 — containment inside a node is meaningless).
+  if (cfg_.enforce_node_colocation) {
+    for (int r = 1; r < cfg_.nranks; ++r) {
+      if (topo_.same_node(r - 1, r)) {
+        SPBC_ASSERT_MSG(cluster_of_[r - 1] == cluster_of_[r],
+                        "ranks " << r - 1 << " and " << r
+                                 << " share a node but not a cluster");
+      }
+    }
+  }
+}
+
+int Machine::cluster_of(int rank) const {
+  SPBC_ASSERT(rank >= 0 && rank < cfg_.nranks);
+  return cluster_of_[static_cast<size_t>(rank)];
+}
+
+std::vector<int> Machine::ranks_in_cluster(int cluster) const {
+  std::vector<int> out;
+  for (int r = 0; r < cfg_.nranks; ++r)
+    if (cluster_of_[static_cast<size_t>(r)] == cluster) out.push_back(r);
+  return out;
+}
+
+void Machine::launch(AppFn app) {
+  app_ = std::move(app);
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    alive_[static_cast<size_t>(r)] = true;
+    Rank* rk = ranks_[static_cast<size_t>(r)].get();
+    auto id = engine_.spawn([this, rk] {
+      protocol_->on_rank_start(*rk, /*restarted=*/false);
+      app_(*rk);
+      rk->set_task(sim::Engine::kInvalidTask);
+    });
+    rk->set_task(id);
+    engine_.set_task_label(id, "rank " + std::to_string(r));
+  }
+}
+
+RunResult Machine::run() {
+  RunResult res;
+  res.finish_time = engine_.run();
+  res.deadlocked = engine_.deadlocked();
+  res.completed = !res.deadlocked && engine_.live_task_count() == 0;
+  return res;
+}
+
+void Machine::inject_failure(sim::Time t, int victim_rank) {
+  SPBC_ASSERT(victim_rank >= 0 && victim_rank < cfg_.nranks);
+  engine_.at(t, [this, victim_rank] {
+    // Freeze everyone's progress at the crash instant: the victim's cluster
+    // peers keep running until detection, but the lost-work window (and so
+    // the rework normalization) is defined by the failure time.
+    for (auto& rk : ranks_) rk->freeze_progress();
+    // The process crashes now; the protocol learns about it after the
+    // failure-detection delay.
+    kill_rank(victim_rank);
+    engine_.after(cfg_.failure_detection_delay,
+                  [this, victim_rank] { protocol_->on_failure(victim_rank); });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+void Machine::record_traffic(const Envelope& env) {
+  traffic_bytes_[{env.src, env.dst}] += env.bytes;
+  if (cfg_.record_send_trace) {
+    auto& tr = send_trace_[ChannelKey{env.src, env.dst, env.ctx}];
+    util::Fnv1a64 h;
+    h.update_u64(env.seqnum);
+    h.update_u64(env.hash);
+    h.update_u64(static_cast<uint64_t>(env.tag));
+    h.update_u64((static_cast<uint64_t>(env.pid.pattern) << 32) | env.pid.iteration);
+    tr.push_back(h.digest());
+  }
+}
+
+void Machine::transport_send(Rank& /*sender*/, const Envelope& env, Payload payload,
+                             std::function<void()> on_complete) {
+  record_traffic(env);
+  bool intra = cluster_of(env.src) == cluster_of(env.dst);
+
+  if (env.bytes <= cfg_.eager_threshold) {
+    // Eager: one transfer carries header + payload; the send buffer is
+    // reusable immediately (it was copied into the transport).
+    if (intra) ++intra_outstanding_[static_cast<size_t>(env.src)];
+    uint32_t inc = incarnation_[static_cast<size_t>(env.dst)];
+    // The in-flight count belongs to this incarnation of the sender: if the
+    // sender dies before arrival, kill_rank resets the counter and this
+    // event must not touch it (it would underflow and wedge the drain).
+    uint32_t src_inc = incarnation_[static_cast<size_t>(env.src)];
+    auto pl = std::make_shared<Payload>(std::move(payload));
+    net_.submit(net::Transfer{env.src, env.dst, env.bytes + kHeaderBytes},
+                [this, env, pl, inc, src_inc, intra] {
+                  if (intra &&
+                      incarnation_[static_cast<size_t>(env.src)] == src_inc) {
+                    SPBC_ASSERT(intra_outstanding_[static_cast<size_t>(env.src)] > 0);
+                    --intra_outstanding_[static_cast<size_t>(env.src)];
+                    rank(env.src).wake();  // flush waiters
+                  }
+                  if (incarnation_[static_cast<size_t>(env.dst)] != inc ||
+                      !alive_[static_cast<size_t>(env.dst)]) {
+                    ++dropped_in_flight_;
+                    return;
+                  }
+                  deliver_data(env.dst, env, std::move(*pl), true, 0);
+                });
+    on_complete();
+  } else {
+    // Rendezvous: RTS -> (match) -> CTS -> payload. The send completes when
+    // the CTS arrives (buffer handed to the NIC).
+    uint64_t id = ++next_rendezvous_id_;
+    rendezvous_[id] = PendingRendezvous{env, std::move(payload), std::move(on_complete)};
+    ControlMsg rts;
+    rts.kind = ControlMsg::Kind::kRts;
+    rts.src = env.src;
+    rts.dst = env.dst;
+    rts.env = env;
+    rts.sender_req = id;
+    send_control(env.src, env.dst, std::move(rts));
+  }
+}
+
+void Machine::send_control(int src, int dst, ControlMsg msg) {
+  SPBC_ASSERT(dst >= 0 && dst < cfg_.nranks);
+  uint32_t inc = incarnation_[static_cast<size_t>(dst)];
+  uint64_t bytes = kHeaderBytes + msg.words.size() * sizeof(uint64_t);
+  auto m = std::make_shared<ControlMsg>(std::move(msg));
+  net_.submit(net::Transfer{src, dst, bytes}, [this, dst, m, inc] {
+    if (incarnation_[static_cast<size_t>(dst)] != inc ||
+        !alive_[static_cast<size_t>(dst)]) {
+      ++dropped_in_flight_;
+      return;
+    }
+    handle_control(dst, *m);
+  });
+}
+
+void Machine::handle_control(int dst, const ControlMsg& msg) {
+  switch (msg.kind) {
+    case ControlMsg::Kind::kRts:
+      deliver_data(dst, msg.env, Payload{}, false, msg.sender_req);
+      break;
+    case ControlMsg::Kind::kCts: {
+      // Back at the sender: stream the payload, complete the send request.
+      auto it = rendezvous_.find(msg.sender_req);
+      if (it == rendezvous_.end()) return;  // purged by a crash in between
+      PendingRendezvous pr = std::move(it->second);
+      rendezvous_.erase(it);
+      if (!msg.words.empty() && msg.words[0] == 1) {
+        // Discard-CTS: the receiver already holds this seqnum; complete the
+        // send without shipping the payload.
+        if (pr.on_complete) pr.on_complete();
+        break;
+      }
+      const Envelope env = pr.env;
+      bool intra = cluster_of(env.src) == cluster_of(env.dst);
+      if (intra) ++intra_outstanding_[static_cast<size_t>(env.src)];
+      uint32_t inc = incarnation_[static_cast<size_t>(env.dst)];
+      uint32_t src_inc = incarnation_[static_cast<size_t>(env.src)];
+      auto pl = std::make_shared<Payload>(std::move(pr.payload));
+      uint64_t req_id = msg.sender_req;
+      net_.submit(net::Transfer{env.src, env.dst, env.bytes + kHeaderBytes},
+                  [this, env, pl, inc, src_inc, intra, req_id] {
+                    if (intra &&
+                        incarnation_[static_cast<size_t>(env.src)] == src_inc) {
+                      SPBC_ASSERT(intra_outstanding_[static_cast<size_t>(env.src)] > 0);
+                      --intra_outstanding_[static_cast<size_t>(env.src)];
+                      rank(env.src).wake();
+                    }
+                    if (incarnation_[static_cast<size_t>(env.dst)] != inc ||
+                        !alive_[static_cast<size_t>(env.dst)]) {
+                      ++dropped_in_flight_;
+                      return;
+                    }
+                    rank(env.dst).deliver_payload(env, std::move(*pl), req_id);
+                  });
+      if (pr.on_complete) pr.on_complete();
+      break;
+    }
+    default:
+      protocol_->on_control(rank(dst), msg);
+      break;
+  }
+}
+
+void Machine::deliver_data(int dst, Envelope env, Payload payload, bool payload_ready,
+                           uint64_t sender_req) {
+  rank(dst).deliver_envelope(env, std::move(payload), payload_ready, sender_req);
+}
+
+void Machine::replay_send(int src, const Envelope& env, const Payload& payload,
+                          std::function<void()> on_complete) {
+  Envelope renv = env;
+  renv.replayed = true;
+  uint32_t inc = incarnation_[static_cast<size_t>(env.dst)];
+  auto pl = std::make_shared<Payload>(payload);
+  auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
+  net_.submit(net::Transfer{src, env.dst, env.bytes + kHeaderBytes},
+              [this, renv, pl, inc, done] {
+                if (incarnation_[static_cast<size_t>(renv.dst)] == inc &&
+                    alive_[static_cast<size_t>(renv.dst)]) {
+                  deliver_data(renv.dst, renv, std::move(*pl), true, 0);
+                }
+                if (*done) (*done)();
+              });
+}
+
+// ---------------------------------------------------------------------------
+// Crash / recovery mechanics
+// ---------------------------------------------------------------------------
+
+void Machine::kill_rank(int r) {
+  SPBC_ASSERT(r >= 0 && r < cfg_.nranks);
+  if (!alive_[static_cast<size_t>(r)]) return;
+  // Record lost progress at the moment of death (rework measurement).
+  rank(r).freeze_progress();
+  alive_[static_cast<size_t>(r)] = false;
+  ++incarnation_[static_cast<size_t>(r)];
+  // Pending rendezvous sends from the dead rank die with it.
+  for (auto it = rendezvous_.begin(); it != rendezvous_.end();) {
+    if (it->second.env.src == r)
+      it = rendezvous_.erase(it);
+    else
+      ++it;
+  }
+  intra_outstanding_[static_cast<size_t>(r)] = 0;
+  Rank& rk = rank(r);
+  if (rk.task() != sim::Engine::kInvalidTask) {
+    engine_.kill(rk.task());
+    rk.set_task(sim::Engine::kInvalidTask);
+  }
+}
+
+void Machine::respawn_rank(int r, bool restarted) {
+  SPBC_ASSERT(!alive_[static_cast<size_t>(r)]);
+  alive_[static_cast<size_t>(r)] = true;
+  // Second incarnation bump: messages submitted while the rank was down
+  // (survivors keep sending until they block) must not slip past the filter
+  // by arriving after the respawn — they would overtake the replayed prefix
+  // and break per-channel FIFO. Every such message is in its sender's log
+  // and absent from the restored received-window, so replay re-delivers it
+  // in order.
+  ++incarnation_[static_cast<size_t>(r)];
+  Rank* rk = ranks_[static_cast<size_t>(r)].get();
+  rk->set_restarted(restarted);
+  auto id = engine_.spawn([this, rk, restarted] {
+    protocol_->on_rank_start(*rk, restarted);
+    app_(*rk);
+    rk->set_task(sim::Engine::kInvalidTask);
+  });
+  rk->set_task(id);
+  engine_.set_task_label(id, "rank " + std::to_string(r) + " (restarted)");
+}
+
+void Machine::set_pending_app_state(int r, std::vector<unsigned char> bytes) {
+  pending_app_state_[r] = std::move(bytes);
+}
+
+std::vector<unsigned char> Machine::take_pending_app_state(int r) {
+  auto it = pending_app_state_.find(r);
+  if (it == pending_app_state_.end()) return {};
+  auto bytes = std::move(it->second);
+  pending_app_state_.erase(it);
+  return bytes;
+}
+
+std::vector<Envelope> Machine::pending_rendezvous_envelopes() const {
+  std::vector<Envelope> out;
+  out.reserve(rendezvous_.size());
+  for (const auto& [id, pr] : rendezvous_) out.push_back(pr.env);
+  return out;
+}
+
+std::vector<Machine::OrphanSend> Machine::take_rendezvous_to(int dst, int src) {
+  std::vector<OrphanSend> out;
+  for (auto it = rendezvous_.begin(); it != rendezvous_.end();) {
+    if (it->second.env.dst == dst && it->second.env.src == src) {
+      out.push_back(OrphanSend{it->second.env, std::move(it->second.on_complete)});
+      it = rendezvous_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void Machine::flush_intra_sends(Rank& rk) {
+  int r = rk.rank();
+  rk.block_until(
+      [this, r] { return intra_outstanding_[static_cast<size_t>(r)] == 0; },
+      "flush intra-cluster sends");
+}
+
+// ---------------------------------------------------------------------------
+// Recovery measurement
+// ---------------------------------------------------------------------------
+
+RecoveryRecord* Machine::active_recovery(int cluster) {
+  auto it = active_recovery_.find(cluster);
+  if (it == active_recovery_.end()) return nullptr;
+  return &recoveries_[it->second];
+}
+
+void Machine::begin_recovery_record(int cluster, sim::Time failure_time,
+                                    sim::Time checkpoint_time,
+                                    std::map<int, Rank::Progress> target_ops) {
+  RecoveryRecord rec;
+  rec.failed_cluster = cluster;
+  rec.failure_time = failure_time;
+  rec.restart_time = engine_.now();
+  rec.checkpoint_time = checkpoint_time;
+  rec.target_ops = std::move(target_ops);
+  for (const auto& [r, ops] : rec.target_ops) rank(r).set_catch_up_target(ops);
+  recoveries_.push_back(std::move(rec));
+  active_recovery_[cluster] = recoveries_.size() - 1;
+}
+
+void Machine::note_catch_up(int r) {
+  int cluster = cluster_of(r);
+  auto it = active_recovery_.find(cluster);
+  if (it == active_recovery_.end()) return;
+  RecoveryRecord& rec = recoveries_[it->second];
+  if (rec.catch_up.count(r)) return;
+  rec.catch_up[r] = engine_.now();
+  if (rec.complete()) {
+    rec.caught_up_time = engine_.now();
+    active_recovery_.erase(it);
+  }
+}
+
+}  // namespace spbc::mpi

@@ -1,0 +1,245 @@
+#pragma once
+// The Machine: one simulated cluster run.
+//
+// Owns the discrete-event engine, network, topology, all Ranks, the active
+// fault-tolerance protocol, and checkpoint storage. Responsible for:
+//   * launching one fiber per rank running the application main,
+//   * transporting data (eager / rendezvous) and control messages,
+//   * crash semantics: failure injection kills a rank's fiber and bumps its
+//     incarnation; in-flight messages addressed to the old incarnation are
+//     dropped (they were in the wire when the process died),
+//   * respawning ranks from checkpoints during recovery,
+//   * recording per-channel traffic (clustering tool input) and recovery
+//     progress (rework-time measurement for Fig. 5/6).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/protocol_hooks.hpp"
+#include "mpi/rank.hpp"
+#include "mpi/types.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "sim/topology.hpp"
+
+namespace spbc::mpi {
+
+struct MachineConfig {
+  int nranks = 8;
+  int ranks_per_node = 8;
+  net::NetworkParams net;
+  uint64_t eager_threshold = 64 * 1024;  // bytes; above -> rendezvous
+  sim::Time poll_overhead = sim::nsec(120);  // test/iprobe CPU cost
+  // Section 7 extension (hybrid MPI+threads, MPI_THREAD_MULTIPLE): when
+  // multiple threads of one process send over the same channel with distinct
+  // tags, the per-channel total send order is lost but each (channel, tag)
+  // sub-stream can stay deterministic. This switch moves sequence numbers,
+  // received-windows, and replay ordering from (src,dst,comm) channels to
+  // (src,dst,comm,tag) streams — the paper's proposed fix ("associate a
+  // sequence number with each (channel,tag) tuple").
+  bool seq_per_tag = false;
+  // OS/system noise: each compute block is stretched by up to this fraction,
+  // as a pure function of (seed, rank, op index) — identical when the block
+  // is re-executed during recovery. Real clusters have this noise; it is
+  // what makes processes wait on inter-cluster messages in failure-free
+  // runs, and removing those waits is where SPBC's recovery speedup
+  // (Fig. 5) comes from.
+  double compute_noise_frac = 0.0;
+  sim::Time failure_detection_delay = sim::msec(1.0);
+  sim::Time restart_delay = sim::msec(5.0);  // process relaunch + ckpt read
+  size_t fiber_stack_bytes = 256 * 1024;
+  uint64_t seed = 1;
+  bool record_send_trace = false;  // per-channel send hashes (determinism checks)
+  bool abort_on_deadlock = true;
+  // Table 1's 512-cluster row (pure message logging) intentionally violates
+  // the one-cluster-per-node rule; benches flip this off for that row.
+  bool enforce_node_colocation = true;
+};
+
+/// Outcome of a Machine::run().
+struct RunResult {
+  sim::Time finish_time = 0;
+  bool deadlocked = false;
+  bool completed = false;  // all rank mains returned
+};
+
+/// Recovery progress record for one injected failure.
+struct RecoveryRecord {
+  int failed_cluster = -1;
+  sim::Time failure_time = 0;
+  sim::Time restart_time = 0;   // fibers respawned (ckpt restored)
+  sim::Time caught_up_time = 0;  // last recovering rank reached pre-failure op
+  sim::Time checkpoint_time = 0;  // virtual time of the restored checkpoint
+  // Per failed rank: pre-failure progress (ops + partial compute block).
+  std::map<int, Rank::Progress> target_ops;
+  std::map<int, sim::Time> catch_up;  // per failed rank: time it caught up
+  bool complete() const { return !target_ops.empty() && catch_up.size() == target_ops.size(); }
+  /// Rework time: rollback to full catch-up of the slowest rank.
+  sim::Time rework() const { return caught_up_time - restart_time; }
+};
+
+class Machine {
+ public:
+  using AppFn = std::function<void(Rank&)>;
+
+  Machine(MachineConfig cfg, std::unique_ptr<ProtocolHooks> protocol);
+  ~Machine();
+
+  // ---- configuration / wiring ----------------------------------------
+  const MachineConfig& config() const { return cfg_; }
+  sim::Engine& engine() { return engine_; }
+  net::Network& network() { return net_; }
+  const sim::Topology& topology() const { return topo_; }
+  ProtocolHooks& protocol() { return *protocol_; }
+  const Comm& world() const { return world_; }
+
+  int nranks() const { return cfg_.nranks; }
+  Rank& rank(int r);
+
+  /// Cluster mapping used by hierarchical protocols; identity (one cluster)
+  /// when unset. Must be set before launch().
+  void set_cluster_of(std::vector<int> cluster_of);
+  int cluster_of(int rank) const;
+  int nclusters() const { return nclusters_; }
+  std::vector<int> ranks_in_cluster(int cluster) const;
+
+  // ---- execution -------------------------------------------------------
+  /// Spawns all rank fibers running `app`.
+  void launch(AppFn app);
+
+  /// Runs the simulation to completion. Returns timing + deadlock status.
+  RunResult run();
+
+  /// Schedules a crash of `victim_rank`'s cluster at virtual time t.
+  void inject_failure(sim::Time t, int victim_rank);
+
+  // ---- transport (called by Rank) --------------------------------------
+  /// Data send; chooses eager or rendezvous by payload size. `on_complete`
+  /// fires when the send buffer is reusable (MPI completion semantics).
+  void transport_send(Rank& sender, const Envelope& env, Payload payload,
+                      std::function<void()> on_complete);
+
+  /// Protocol control message (Rollback, lastMessage, checkpoint coordination,
+  /// HydEE grants...). Small fixed wire size.
+  void send_control(int src, int dst, ControlMsg msg);
+
+  /// Replay path: re-sends a logged message (event context, no fiber).
+  /// `on_complete` fires when the replayed send finishes injecting.
+  void replay_send(int src, const Envelope& env, const Payload& payload,
+                   std::function<void()> on_complete);
+
+  // ---- crash / recovery mechanics (called by protocols) ----------------
+  uint32_t incarnation(int rank) const { return incarnation_[rank]; }
+
+  /// Kills a rank's fiber now (stack unwinds via FiberKilled) and bumps its
+  /// incarnation so in-flight messages to it are dropped.
+  void kill_rank(int rank);
+
+  /// Respawns a rank's fiber. With `restarted=true` the app main sees
+  /// restarted()==true and pulls its state back via restore_app_state();
+  /// with false it re-runs from the initial state (rollback to sigma_0 when
+  /// no checkpoint exists yet). Runtime state must have been restored by the
+  /// caller beforehand.
+  void respawn_rank(int rank, bool restarted);
+
+  /// Checkpointed application-state bytes parked between restore (event
+  /// context) and the respawned app main pulling them (fiber context).
+  void set_pending_app_state(int rank, std::vector<unsigned char> bytes);
+  std::vector<unsigned char> take_pending_app_state(int rank);
+
+  /// Removes and returns pending rendezvous sends from `src` to `dst` (the
+  /// peer crashed mid-rendezvous). The protocol completes their application
+  /// requests when the corresponding logged messages finish replaying.
+  struct OrphanSend {
+    Envelope env;
+    std::function<void()> on_complete;
+  };
+  std::vector<OrphanSend> take_rendezvous_to(int dst, int src);
+
+  bool rank_alive(int rank) const { return alive_[rank]; }
+
+  // ---- intra-cluster flush (checkpoint drain) ---------------------------
+  /// Count of this rank's in-flight intra-cluster data transfers.
+  uint64_t outstanding_intra_sends(int rank) const { return intra_outstanding_[rank]; }
+  /// Fiber-side: parks until this rank's intra-cluster in-flight count is 0.
+  void flush_intra_sends(Rank& rank);
+
+  // ---- measurement -------------------------------------------------------
+  /// Per-channel world-level traffic matrix (bytes), for the clustering tool.
+  const std::map<std::pair<int, int>, uint64_t>& traffic_bytes() const {
+    return traffic_bytes_;
+  }
+
+  /// Per-channel send trace hashes (determinism checker).
+  const std::map<ChannelKey, std::vector<uint64_t>>& send_trace() const {
+    return send_trace_;
+  }
+
+  const std::vector<RecoveryRecord>& recoveries() const { return recoveries_; }
+  RecoveryRecord* active_recovery(int cluster);
+
+  /// Called by protocols when a cluster's recovery begins (fibers respawned).
+  void begin_recovery_record(int cluster, sim::Time failure_time,
+                             sim::Time checkpoint_time,
+                             std::map<int, Rank::Progress> target_ops);
+  /// Called from rank fibers (via op-counter watch) when caught up.
+  void note_catch_up(int rank);
+
+  /// Total messages dropped by the incarnation filter (in flight at crash).
+  uint64_t dropped_in_flight() const { return dropped_in_flight_; }
+
+  /// Diagnostics: envelopes of sends parked in the rendezvous handshake.
+  std::vector<Envelope> pending_rendezvous_envelopes() const;
+
+  uint64_t fresh_uid() { return ++uid_; }
+
+ private:
+  void deliver_data(int dst, Envelope env, Payload payload, bool payload_ready,
+                    uint64_t sender_req);
+  void handle_control(int dst, const ControlMsg& msg);
+  void record_traffic(const Envelope& env);
+
+  MachineConfig cfg_;
+  sim::Engine engine_;
+  sim::Topology topo_;
+  net::Network net_;
+  std::unique_ptr<ProtocolHooks> protocol_;
+  Comm world_;
+
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::vector<uint32_t> incarnation_;
+  std::vector<bool> alive_;
+  std::vector<uint64_t> intra_outstanding_;
+  std::vector<int> cluster_of_;
+  int nclusters_ = 1;
+
+  AppFn app_;
+
+  // Rendezvous bookkeeping at the sender: req id -> (env, payload, completion)
+  struct PendingRendezvous {
+    Envelope env;
+    Payload payload;
+    std::function<void()> on_complete;
+  };
+  std::map<uint64_t, PendingRendezvous> rendezvous_;
+  uint64_t next_rendezvous_id_ = 0;
+
+  std::map<std::pair<int, int>, uint64_t> traffic_bytes_;
+  std::map<ChannelKey, std::vector<uint64_t>> send_trace_;
+  std::vector<RecoveryRecord> recoveries_;
+  std::map<int, size_t> active_recovery_;  // cluster -> index into recoveries_
+
+  std::map<int, std::vector<unsigned char>> pending_app_state_;
+
+  uint64_t uid_ = 0;
+  uint64_t dropped_in_flight_ = 0;
+};
+
+}  // namespace spbc::mpi

@@ -1,0 +1,84 @@
+#pragma once
+// Interface between the simmpi runtime and a fault-tolerance protocol.
+//
+// The runtime calls these hooks at the points where a real implementation
+// would instrument the MPI library (Section 5.2): on the send path (payload
+// logging), on delivery (received-window bookkeeping), in the matching
+// predicate (id-based matching), at checkpoint requests, and on control
+// messages. Protocol implementations: core::SpbcProtocol, the baselines
+// (global coordinated, HydEE), and a no-op NativeProtocol standing in for
+// unmodified MPICH.
+
+#include <cstdint>
+
+#include "mpi/types.hpp"
+#include "sim/time.hpp"
+
+namespace spbc::mpi {
+
+class Rank;
+class Machine;
+
+class ProtocolHooks {
+ public:
+  virtual ~ProtocolHooks() = default;
+
+  /// Called once after the Machine wired up all ranks.
+  virtual void attach(Machine& machine) = 0;
+
+  /// Send path, called from the sender's fiber after seqnum assignment and
+  /// before any transport activity. Returns the virtual-time cost to charge
+  /// to the sender (payload logging memcpy etc.).
+  virtual sim::Time on_send(Rank& sender, const Envelope& env,
+                            const Payload& payload) = 0;
+
+  /// Should this send actually reach the network? False when the peer
+  /// already holds this seqnum (LS suppression during recovery).
+  virtual bool should_transmit(Rank& sender, const Envelope& env) = 0;
+
+  /// Delivery path at the destination's MPI layer (event context), after the
+  /// received-window was updated and before matching.
+  virtual void on_delivered(Rank& receiver, const Envelope& env) = 0;
+
+  /// A message was matched to (and completed) a reception request — the
+  /// application has consumed it. HydEE's coordinator model acknowledges
+  /// replayed messages here: consumption is what proves the dependencies of
+  /// the next replay are satisfied.
+  virtual void on_matched(Rank& /*receiver*/, const Envelope& /*env*/) {}
+
+  /// True if the matching predicate must also compare pattern ids
+  /// (the A -> A' transformation of Section 4.3).
+  virtual bool pattern_matching_enabled() const = 0;
+
+  /// The application reached a checkpoint opportunity (iteration boundary).
+  /// Blocking; called from the rank's fiber. Returns true if a checkpoint
+  /// was taken.
+  virtual bool maybe_checkpoint(Rank& rank) = 0;
+
+  /// A failure was detected; `victim` identifies the crashed rank. Called in
+  /// event context once per failure event, on the Machine's behalf.
+  virtual void on_failure(int victim_rank) = 0;
+
+  /// Protocol-level control message arrived at `receiver` (event context).
+  virtual void on_control(Rank& receiver, const ControlMsg& msg) = 0;
+
+  /// Called when a rank's fiber is (re)started, before the application main
+  /// runs — recovery protocols send their Rollback announcements here.
+  virtual void on_rank_start(Rank& rank, bool restarted) = 0;
+};
+
+/// Stand-in for the unmodified MPI library: no logging, no containment.
+class NativeProtocol final : public ProtocolHooks {
+ public:
+  void attach(Machine&) override {}
+  sim::Time on_send(Rank&, const Envelope&, const Payload&) override { return 0.0; }
+  bool should_transmit(Rank&, const Envelope&) override { return true; }
+  void on_delivered(Rank&, const Envelope&) override {}
+  bool pattern_matching_enabled() const override { return false; }
+  bool maybe_checkpoint(Rank&) override { return false; }
+  void on_failure(int) override {}
+  void on_control(Rank&, const ControlMsg&) override {}
+  void on_rank_start(Rank&, bool) override {}
+};
+
+}  // namespace spbc::mpi

@@ -1,0 +1,66 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace spbc::net {
+
+Network::Network(sim::Engine& engine, const sim::Topology& topo, NetworkParams params)
+    : engine_(engine),
+      topo_(topo),
+      params_(params),
+      jitter_rng_(params.jitter_seed, 0x6e65747764ULL),
+      nic_free_at_(static_cast<size_t>(topo.nodes()), sim::kTimeZero) {}
+
+sim::Time Network::latency(int src, int dst) const {
+  return topo_.same_node(src, dst) ? params_.intra_latency : params_.inter_latency;
+}
+
+double Network::bandwidth(int src, int dst) const {
+  return topo_.same_node(src, dst) ? params_.intra_bandwidth : params_.inter_bandwidth;
+}
+
+sim::Time Network::wire_time(int src_rank, int dst_rank, uint64_t bytes) const {
+  return latency(src_rank, dst_rank) +
+         static_cast<double>(bytes) / bandwidth(src_rank, dst_rank);
+}
+
+sim::Time Network::submit(const Transfer& t, ArrivalFn on_arrival) {
+  SPBC_ASSERT(t.src_rank >= 0 && t.src_rank < topo_.nranks());
+  SPBC_ASSERT(t.dst_rank >= 0 && t.dst_rank < topo_.nranks());
+
+  ++transfers_;
+  bytes_ += t.bytes;
+
+  sim::Time now = engine_.now();
+  sim::Time lat = latency(t.src_rank, t.dst_rank);
+  if (params_.jitter_frac > 0.0) {
+    lat *= 1.0 + params_.jitter_frac * jitter_rng_.next_double();
+  }
+  double serialize =
+      static_cast<double>(t.bytes) / bandwidth(t.src_rank, t.dst_rank);
+
+  sim::Time start = now;
+  bool inter_node = !topo_.same_node(t.src_rank, t.dst_rank);
+  if (inter_node && params_.model_nic_contention) {
+    // The source NIC injects one message at a time.
+    auto node = static_cast<size_t>(topo_.node_of(t.src_rank));
+    start = std::max(start, nic_free_at_[node]);
+    nic_free_at_[node] = start + serialize;
+  }
+
+  sim::Time arrival = start + lat + serialize;
+
+  // FIFO per channel: never deliver before an earlier message on the same
+  // (src,dst) channel, even if jitter says otherwise.
+  auto key = std::make_pair(t.src_rank, t.dst_rank);
+  auto it = channel_last_arrival_.find(key);
+  if (it != channel_last_arrival_.end()) arrival = std::max(arrival, it->second);
+  channel_last_arrival_[key] = arrival;
+
+  engine_.at(arrival, std::move(on_arrival));
+  return arrival;
+}
+
+}  // namespace spbc::net

@@ -1,0 +1,98 @@
+#pragma once
+// Network model.
+//
+// Models the paper's testbed shape: shared-memory communication inside a node
+// and an InfiniBand-class interconnect (used via IPoIB) between nodes.
+// Messages experience latency + size/bandwidth, per-source-node NIC injection
+// serialization for inter-node traffic, and strict per-(src,dst) FIFO — the
+// property the MPI standard requires and that SPBC's per-channel seqnums rely
+// on.
+//
+// Optional latency jitter (multiplicative, deterministic per seed) perturbs
+// cross-channel message interleavings without violating per-channel FIFO.
+// The channel-determinism checker runs the same application under different
+// jitter seeds and asserts identical per-channel send sequences.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "sim/topology.hpp"
+#include "util/rng.hpp"
+
+namespace spbc::net {
+
+struct NetworkParams {
+  // Intra-node (shared memory) path.
+  sim::Time intra_latency = sim::usec(0.6);
+  double intra_bandwidth = 6.0e9;  // bytes/s
+
+  // Inter-node path (IPoIB over IB 20G, per the paper's setup).
+  sim::Time inter_latency = sim::usec(12.0);
+  double inter_bandwidth = 1.0e9;  // bytes/s
+
+  // Per-message software overhead charged to the sender (MPI stack cost).
+  sim::Time send_overhead = sim::usec(0.35);
+
+  // NIC injection serialization applies to inter-node messages only.
+  bool model_nic_contention = true;
+
+  // Multiplicative latency jitter in [1, 1+jitter_frac); 0 disables.
+  double jitter_frac = 0.0;
+  uint64_t jitter_seed = 0;
+};
+
+/// A transfer handed to the network; `on_arrival` fires at the destination
+/// when the last byte lands.
+struct Transfer {
+  int src_rank = -1;
+  int dst_rank = -1;
+  uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  using ArrivalFn = std::function<void()>;
+
+  Network(sim::Engine& engine, const sim::Topology& topo, NetworkParams params);
+
+  const NetworkParams& params() const { return params_; }
+  const sim::Topology& topology() const { return topo_; }
+
+  /// Submits a transfer; schedules on_arrival at the computed arrival time.
+  /// FIFO per (src,dst) is guaranteed regardless of jitter.
+  /// Returns the arrival time.
+  sim::Time submit(const Transfer& t, ArrivalFn on_arrival);
+
+  /// Pure cost query (no event scheduled): the time a `bytes`-sized message
+  /// from src to dst would occupy the wire, excluding queuing.
+  sim::Time wire_time(int src_rank, int dst_rank, uint64_t bytes) const;
+
+  /// Sender-side overhead for one message (charged by the MPI layer).
+  sim::Time send_overhead() const { return params_.send_overhead; }
+
+  uint64_t transfers_submitted() const { return transfers_; }
+  uint64_t bytes_submitted() const { return bytes_; }
+
+ private:
+  sim::Time latency(int src, int dst) const;
+  double bandwidth(int src, int dst) const;
+
+  sim::Engine& engine_;
+  sim::Topology topo_;
+  NetworkParams params_;
+  util::Pcg32 jitter_rng_;
+
+  // Per-channel last-arrival time, to enforce FIFO under jitter.
+  std::map<std::pair<int, int>, sim::Time> channel_last_arrival_;
+  // Per-node NIC next-free time (inter-node injection serialization).
+  std::vector<sim::Time> nic_free_at_;
+
+  uint64_t transfers_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace spbc::net

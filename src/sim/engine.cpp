@@ -1,0 +1,138 @@
+#include "sim/engine.hpp"
+
+#include <cstdio>
+
+namespace spbc::sim {
+
+Engine::Engine(size_t default_stack_size) : default_stack_size_(default_stack_size) {}
+
+EventQueue::EventId Engine::at(Time t, std::function<void()> fn) {
+  SPBC_ASSERT_MSG(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
+  return queue_.schedule(t, std::move(fn));
+}
+
+Engine::TaskId Engine::spawn(std::function<void()> body) {
+  TaskId id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(Task{});
+  tasks_[id].fiber = std::make_unique<Fiber>(std::move(body), default_stack_size_);
+  schedule_resume(id);
+  return id;
+}
+
+void Engine::schedule_resume(TaskId id) {
+  Task& task = tasks_[id];
+  if (task.scheduled) return;
+  task.scheduled = true;
+  queue_.schedule(now_, [this, id] {
+    Task& t = tasks_[id];
+    t.scheduled = false;
+    if (!t.fiber || t.fiber->finished()) return;
+    TaskId prev = running_task_;
+    running_task_ = id;
+    t.fiber->resume();
+    running_task_ = prev;
+  });
+}
+
+void Engine::wait(Time dt) {
+  SPBC_ASSERT_MSG(running_task_ != kInvalidTask, "wait outside fiber");
+  SPBC_ASSERT_MSG(dt >= 0.0, "negative wait " << dt);
+  TaskId id = running_task_;
+  Time deadline = now_ + dt;
+  queue_.schedule(deadline, [this, id] { unpark(id); });
+  // Spurious wakes happen (message deliveries wake their rank's fiber);
+  // sleep again until the deadline actually passed.
+  while (now_ < deadline) park();
+}
+
+void Engine::park() {
+  SPBC_ASSERT_MSG(running_task_ != kInvalidTask, "park outside fiber");
+  Task& task = tasks_[running_task_];
+  task.fiber->yield();  // throws FiberKilled on kill
+}
+
+void Engine::unpark(TaskId id) {
+  SPBC_ASSERT(id >= 0 && static_cast<size_t>(id) < tasks_.size());
+  Task& task = tasks_[id];
+  if (!task.fiber || task.fiber->finished()) return;
+  if (task.fiber->state() != Fiber::State::kParked &&
+      task.fiber->state() != Fiber::State::kReady)
+    return;
+  schedule_resume(id);
+}
+
+void Engine::kill(TaskId id) {
+  SPBC_ASSERT(id >= 0 && static_cast<size_t>(id) < tasks_.size());
+  Task& task = tasks_[id];
+  if (!task.fiber || task.fiber->finished()) return;
+  task.fiber->kill();
+  schedule_resume(id);  // wake it so the FiberKilled unwind runs promptly
+}
+
+bool Engine::task_finished(TaskId id) const {
+  SPBC_ASSERT(id >= 0 && static_cast<size_t>(id) < tasks_.size());
+  const Task& task = tasks_[id];
+  return !task.fiber || task.fiber->finished();
+}
+
+Engine::TaskId Engine::current_task() const {
+  SPBC_ASSERT_MSG(running_task_ != kInvalidTask, "current_task outside fiber");
+  return running_task_;
+}
+
+size_t Engine::live_task_count() const {
+  size_t n = 0;
+  for (const auto& t : tasks_)
+    if (t.fiber && !t.fiber->finished()) ++n;
+  return n;
+}
+
+void Engine::set_task_label(TaskId id, std::string label) {
+  SPBC_ASSERT(id >= 0 && static_cast<size_t>(id) < tasks_.size());
+  tasks_[id].label = std::move(label);
+}
+
+Time Engine::run() {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    auto [t, fn] = queue_.pop();
+    SPBC_ASSERT(t >= now_);
+    now_ = t;
+    fn();
+  }
+  if (!stop_requested_) {
+    // Deadlock detection: events drained but fibers still alive.
+    size_t live = live_task_count();
+    if (live > 0) {
+      deadlocked_ = true;
+      if (abort_on_deadlock_) {
+        std::fprintf(stderr,
+                     "Engine::run: DEADLOCK at t=%.9f — %zu task(s) parked "
+                     "with no pending events:\n",
+                     now_, live);
+        for (size_t i = 0; i < tasks_.size(); ++i) {
+          const Task& t = tasks_[i];
+          if (t.fiber && !t.fiber->finished())
+            std::fprintf(stderr, "  task %zu (%s)\n", i,
+                         t.label.empty() ? "unnamed" : t.label.c_str());
+        }
+        SPBC_ASSERT_MSG(false, "simulation deadlock");
+      }
+    }
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > deadline) break;
+    auto [t, fn] = queue_.pop();
+    now_ = t;
+    fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace spbc::sim

@@ -1,0 +1,108 @@
+#pragma once
+// The discrete-event engine: owns the virtual clock, the event queue, and all
+// rank fibers. Single-threaded and fully deterministic.
+//
+// Ranks are spawned as fibers; blocking operations park the calling fiber and
+// register a wake condition (an event at a future time or an explicit unpark
+// when a message arrives). Failure injection kills the fibers of a cluster;
+// the recovery manager respawns them from the last checkpoint.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/fiber.hpp"
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace spbc::sim {
+
+class Engine {
+ public:
+  using TaskId = int;
+  static constexpr TaskId kInvalidTask = -1;
+
+  explicit Engine(size_t default_stack_size = 256 * 1024);
+
+  Time now() const { return now_; }
+
+  /// Schedules a bare callback (network delivery, protocol timers, ...).
+  EventQueue::EventId at(Time t, std::function<void()> fn);
+  EventQueue::EventId after(Time dt, std::function<void()> fn) {
+    return at(now_ + dt, std::move(fn));
+  }
+  void cancel(EventQueue::EventId id) { queue_.cancel(id); }
+
+  /// Spawns a fiber that starts running at the current time. Returns a task
+  /// id; ids are never reused within one Engine.
+  TaskId spawn(std::function<void()> body);
+
+  /// Fiber-side: sleep for dt of virtual time.
+  void wait(Time dt);
+
+  /// Fiber-side: park until some other party calls unpark(). The caller must
+  /// have arranged for the wake-up; parking with no possible waker deadlocks
+  /// the simulation (detected: run() aborts with a diagnostic).
+  void park();
+
+  /// Scheduler/event-side: make a parked task runnable at the current time.
+  /// Unparking a running or ready task is a no-op (the wake was already in
+  /// flight); unparking a finished/killed task is ignored.
+  void unpark(TaskId id);
+
+  /// Kills a task: the fiber unwinds with FiberKilled at its next wake.
+  /// Parked tasks are woken immediately so the unwind happens now.
+  void kill(TaskId id);
+
+  bool task_finished(TaskId id) const;
+
+  /// The task id of the fiber currently executing (fiber-side only).
+  TaskId current_task() const;
+
+  /// Runs until the event queue is empty and all fibers are finished, or
+  /// until stop() is called. Returns final virtual time.
+  Time run();
+
+  /// Runs until virtual time reaches `deadline` (events at exactly the
+  /// deadline are executed).
+  Time run_until(Time deadline);
+
+  /// Stops the run loop after the current event completes.
+  void stop() { stop_requested_ = true; }
+
+  /// When false, a deadlock (parked fibers, empty event queue) ends run()
+  /// with deadlocked()==true instead of aborting. Tests for the paper's
+  /// Figure 2 mismatch scenario rely on this.
+  void set_abort_on_deadlock(bool v) { abort_on_deadlock_ = v; }
+  bool deadlocked() const { return deadlocked_; }
+
+  /// True when no fiber is runnable and no event is pending: if unfinished
+  /// fibers remain parked at that point, the simulation deadlocked.
+  size_t live_task_count() const;
+
+  /// Diagnostic label for deadlock reports.
+  void set_task_label(TaskId id, std::string label);
+
+ private:
+  struct Task {
+    std::unique_ptr<Fiber> fiber;
+    std::string label;
+    bool scheduled = false;  // a resume event is pending
+  };
+
+  void schedule_resume(TaskId id);
+
+  Time now_ = kTimeZero;
+  EventQueue queue_;
+  std::vector<Task> tasks_;
+  size_t default_stack_size_;
+  TaskId running_task_ = kInvalidTask;
+  bool stop_requested_ = false;
+  bool abort_on_deadlock_ = true;
+  bool deadlocked_ = false;
+};
+
+}  // namespace spbc::sim

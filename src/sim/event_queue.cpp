@@ -1,0 +1,80 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace spbc::sim {
+
+namespace {
+struct HeapGreater {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    return a > b;
+  }
+};
+}  // namespace
+
+EventQueue::EventId EventQueue::schedule(Time t, EventFn fn) {
+  EventId id = next_id_++;
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    entries_[slot] = Entry{t, id, std::move(fn), false};
+  } else {
+    slot = entries_.size();
+    entries_.push_back(Entry{t, id, std::move(fn), false});
+  }
+  heap_.push_back(HeapItem{t, id, slot});
+  std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // Lazy cancellation: find the entry by scanning is too slow; ids are dense
+  // and entries hold their own id, so mark via linear probe over slots only
+  // when needed. Callers cancel rarely (timeout-style events), so we accept a
+  // scan here; the hot path (schedule/pop) stays O(log n).
+  for (auto& e : entries_) {
+    if (e.id == id && !e.cancelled) {
+      e.cancelled = true;
+      --live_count_;
+      return;
+    }
+  }
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.front();
+    const Entry& e = const_cast<EventQueue*>(this)->entries_[top.slot];
+    if (e.id == top.id && !e.cancelled) return;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled();
+  SPBC_ASSERT_MSG(!heap_.empty(), "next_time on empty queue");
+  return heap_.front().t;
+}
+
+std::pair<Time, EventQueue::EventFn> EventQueue::pop() {
+  drop_cancelled();
+  SPBC_ASSERT_MSG(!heap_.empty(), "pop on empty queue");
+  HeapItem top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+  heap_.pop_back();
+  Entry& e = entries_[top.slot];
+  SPBC_ASSERT(e.id == top.id && !e.cancelled);
+  auto fn = std::move(e.fn);
+  e.cancelled = true;  // slot is dead until reused
+  free_slots_.push_back(top.slot);
+  --live_count_;
+  return {top.t, std::move(fn)};
+}
+
+}  // namespace spbc::sim

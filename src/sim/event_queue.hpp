@@ -1,0 +1,62 @@
+#pragma once
+// Deterministic event queue: a binary min-heap ordered by (time, sequence).
+// The sequence number breaks ties in insertion order, so two runs with the
+// same inputs schedule events identically — the property the
+// channel-determinism checker and every regression test depend on.
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace spbc::sim {
+
+class EventQueue {
+ public:
+  using EventFn = std::function<void()>;
+  using EventId = uint64_t;
+
+  /// Schedules fn at absolute time t. Returns an id usable with cancel().
+  EventId schedule(Time t, EventFn fn);
+
+  /// Lazily cancels a scheduled event (it stays in the heap but will not run).
+  void cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; only valid when !empty().
+  Time next_time() const;
+
+  /// Pops and returns the earliest live event. Only valid when !empty().
+  std::pair<Time, EventFn> pop();
+
+ private:
+  struct Entry {
+    Time t;
+    EventId id;
+    EventFn fn;
+    bool cancelled = false;
+  };
+  struct HeapItem {
+    Time t;
+    EventId id;
+    size_t slot;
+    bool operator>(const HeapItem& o) const {
+      if (t != o.t) return t > o.t;
+      return id > o.id;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  std::vector<Entry> entries_;
+  mutable std::vector<HeapItem> heap_;  // min-heap via std::*_heap with greater
+  std::vector<size_t> free_slots_;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace spbc::sim

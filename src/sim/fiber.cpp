@@ -1,0 +1,78 @@
+#include "sim/fiber.hpp"
+
+#include "util/assert.hpp"
+
+namespace spbc::sim {
+
+namespace {
+thread_local Fiber* g_current_fiber = nullptr;
+}  // namespace
+
+Fiber* Fiber::current() { return g_current_fiber; }
+
+Fiber::Fiber(std::function<void()> body, size_t stack_size)
+    : body_(std::move(body)), stack_(stack_size) {
+  SPBC_ASSERT(stack_size >= 16 * 1024);
+  int rc = getcontext(&ctx_);
+  SPBC_ASSERT_MSG(rc == 0, "getcontext failed");
+  ctx_.uc_stack.ss_sp = stack_.data();
+  ctx_.uc_stack.ss_size = stack_.size();
+  ctx_.uc_link = nullptr;  // trampoline never falls through; it yields forever
+  // makecontext only passes ints; split the this-pointer into two 32-bit
+  // halves (the portable idiom for 64-bit pointers).
+  auto self = reinterpret_cast<uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() {
+  // A fiber must not be destroyed while running; parked fibers are destroyed
+  // only after a kill+resume cycle or at engine teardown (their stacks just
+  // go away; destructors of parked frames do not run, which engine teardown
+  // accepts for simulation-owned fibers that hold no external resources).
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>((static_cast<uintptr_t>(hi) << 32) |
+                                        static_cast<uintptr_t>(lo));
+  self->run_body();
+  // Mark finished and return control to the scheduler forever.
+  self->state_ = State::kFinished;
+  for (;;) {
+    g_current_fiber = nullptr;
+    swapcontext(&self->ctx_, &self->sched_ctx_);
+    // A finished fiber should never be resumed, but tolerate it.
+  }
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (const FiberKilled&) {
+    // Normal failure-injection unwind path.
+  }
+}
+
+void Fiber::resume() {
+  SPBC_ASSERT_MSG(state_ != State::kFinished, "resume of finished fiber");
+  SPBC_ASSERT_MSG(g_current_fiber == nullptr, "nested fiber resume");
+  state_ = State::kRunning;
+  g_current_fiber = this;
+  int rc = swapcontext(&sched_ctx_, &ctx_);
+  SPBC_ASSERT(rc == 0);
+  g_current_fiber = nullptr;
+}
+
+void Fiber::yield() {
+  SPBC_ASSERT_MSG(g_current_fiber == this, "yield from non-current fiber");
+  state_ = State::kParked;
+  g_current_fiber = nullptr;
+  int rc = swapcontext(&ctx_, &sched_ctx_);
+  SPBC_ASSERT(rc == 0);
+  g_current_fiber = this;
+  state_ = State::kRunning;
+  if (kill_requested_) throw FiberKilled{};
+}
+
+}  // namespace spbc::sim

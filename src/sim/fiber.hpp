@@ -1,0 +1,71 @@
+#pragma once
+// Stackful cooperative fibers built on ucontext.
+//
+// Each simulated MPI rank runs as one fiber with its own stack, so workload
+// code is written as ordinary blocking MPI-style code (no co_await, no state
+// machines). The engine is single-threaded: at any moment either the
+// scheduler or exactly one fiber is running, which keeps the simulation
+// deterministic.
+//
+// Failure injection kills a fiber by resuming it with a kill flag; the next
+// yield point throws FiberKilled, unwinding the stack so RAII cleanup runs.
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace spbc::sim {
+
+/// Thrown inside a fiber when the engine kills it (failure injection).
+/// Workload code must be exception-safe but should never catch this.
+struct FiberKilled {};
+
+class Fiber {
+ public:
+  enum class State : uint8_t { kReady, kRunning, kParked, kFinished };
+
+  /// `stack_size` must accommodate the deepest workload call chain; workloads
+  /// keep large arrays on the heap.
+  Fiber(std::function<void()> body, size_t stack_size);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  State state() const { return state_; }
+  bool finished() const { return state_ == State::kFinished; }
+
+  /// Scheduler-side: run the fiber until it yields or finishes.
+  void resume();
+
+  /// Fiber-side: return control to the scheduler. Throws FiberKilled if the
+  /// fiber was killed while parked.
+  void yield();
+
+  /// Scheduler-side: mark for kill. Takes effect at the next resume();
+  /// the fiber unwinds via FiberKilled.
+  void kill() { kill_requested_ = true; }
+
+  bool kill_requested() const { return kill_requested_; }
+
+  void set_state(State s) { state_ = s; }
+
+  /// The fiber currently executing, or nullptr when the scheduler runs.
+  static Fiber* current();
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_body();
+
+  std::function<void()> body_;
+  std::vector<unsigned char> stack_;
+  ucontext_t ctx_{};
+  ucontext_t sched_ctx_{};
+  State state_ = State::kReady;
+  bool kill_requested_ = false;
+};
+
+}  // namespace spbc::sim

@@ -1,0 +1,17 @@
+#pragma once
+// Virtual time. The simulator models a 64-node cluster; all durations are
+// virtual seconds, advanced only by the discrete-event engine.
+
+#include <cstdint>
+
+namespace spbc::sim {
+
+using Time = double;  // virtual seconds
+
+constexpr Time kTimeZero = 0.0;
+
+inline constexpr Time usec(double v) { return v * 1e-6; }
+inline constexpr Time msec(double v) { return v * 1e-3; }
+inline constexpr Time nsec(double v) { return v * 1e-9; }
+
+}  // namespace spbc::sim

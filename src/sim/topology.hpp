@@ -1,0 +1,44 @@
+#pragma once
+// Machine topology: nodes hosting equal-sized groups of ranks, mirroring the
+// paper's testbed (64 nodes x 8 cores = 512 MPI ranks). Rank placement is
+// block-wise: ranks [n*ppn, (n+1)*ppn) live on node n, which is also the
+// granularity at which the clustering tool enforces node colocation.
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace spbc::sim {
+
+class Topology {
+ public:
+  Topology(int nodes, int ranks_per_node)
+      : nodes_(nodes), ranks_per_node_(ranks_per_node) {
+    SPBC_ASSERT(nodes > 0 && ranks_per_node > 0);
+  }
+
+  int nodes() const { return nodes_; }
+  int ranks_per_node() const { return ranks_per_node_; }
+  int nranks() const { return nodes_ * ranks_per_node_; }
+
+  int node_of(int rank) const {
+    SPBC_ASSERT(rank >= 0 && rank < nranks());
+    return rank / ranks_per_node_;
+  }
+
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// Builds the smallest topology with `ppn` ranks per node that holds
+  /// `nranks` ranks (nranks must be divisible by ppn).
+  static Topology for_ranks(int nranks, int ppn) {
+    SPBC_ASSERT_MSG(nranks % ppn == 0,
+                    "nranks=" << nranks << " not divisible by ppn=" << ppn);
+    return Topology(nranks / ppn, ppn);
+  }
+
+ private:
+  int nodes_;
+  int ranks_per_node_;
+};
+
+}  // namespace spbc::sim

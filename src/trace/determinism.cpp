@@ -1,0 +1,56 @@
+#include "trace/determinism.hpp"
+
+#include <sstream>
+
+namespace spbc::trace {
+
+DeterminismReport compare_send_traces(
+    const std::map<mpi::ChannelKey, std::vector<uint64_t>>& a,
+    const std::map<mpi::ChannelKey, std::vector<uint64_t>>& b) {
+  DeterminismReport rep;
+  auto describe = [](const mpi::ChannelKey& k) {
+    std::ostringstream os;
+    os << "channel (" << k.src << " -> " << k.dst << ", ctx " << k.ctx << ")";
+    return os.str();
+  };
+
+  for (const auto& [key, seq_a] : a) {
+    auto it = b.find(key);
+    if (it == b.end()) {
+      rep.equal = false;
+      rep.detail = describe(key) + " present in run A only";
+      return rep;
+    }
+    const auto& seq_b = it->second;
+    ++rep.channels_compared;
+    size_t n = std::min(seq_a.size(), seq_b.size());
+    for (size_t i = 0; i < n; ++i) {
+      ++rep.events_compared;
+      if (seq_a[i] != seq_b[i]) {
+        std::ostringstream os;
+        os << describe(key) << " diverges at send #" << i + 1;
+        rep.equal = false;
+        rep.detail = os.str();
+        return rep;
+      }
+    }
+    if (seq_a.size() != seq_b.size()) {
+      std::ostringstream os;
+      os << describe(key) << " lengths differ: " << seq_a.size() << " vs "
+         << seq_b.size();
+      rep.equal = false;
+      rep.detail = os.str();
+      return rep;
+    }
+  }
+  for (const auto& [key, seq_b] : b) {
+    if (!a.count(key)) {
+      rep.equal = false;
+      rep.detail = describe(key) + " present in run B only";
+      return rep;
+    }
+  }
+  return rep;
+}
+
+}  // namespace spbc::trace

@@ -1,0 +1,34 @@
+#pragma once
+// Channel-determinism checker (Definition 2).
+//
+// An algorithm is channel-deterministic when, for a given initial state, the
+// per-channel sequence of send events is the same in every valid execution.
+// We verify this empirically: run the same application under different
+// network-jitter seeds (which reorders message interleavings *across*
+// channels without breaking per-channel FIFO) and compare the per-channel
+// send traces the Machine recorded. A mismatch names the first diverging
+// channel — which is also how one would catch a workload that is not
+// channel-deterministic and therefore outside SPBC's supported class.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+namespace spbc::trace {
+
+struct DeterminismReport {
+  bool equal = true;
+  std::string detail;  // first divergence, human-readable
+  size_t channels_compared = 0;
+  uint64_t events_compared = 0;
+};
+
+/// Compares two per-channel send traces (as recorded by
+/// Machine::send_trace() with record_send_trace enabled).
+DeterminismReport compare_send_traces(
+    const std::map<mpi::ChannelKey, std::vector<uint64_t>>& a,
+    const std::map<mpi::ChannelKey, std::vector<uint64_t>>& b);
+
+}  // namespace spbc::trace

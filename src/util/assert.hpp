@@ -1,0 +1,42 @@
+#pragma once
+// Assertion macros used across the SPBC codebase.
+//
+// SPBC_ASSERT is active in all build types: the simulator relies on internal
+// invariants (FIFO channels, matching-queue consistency, seqnum monotonicity)
+// whose violation would silently corrupt experiment results, so we prefer a
+// loud abort over a wrong table.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace spbc {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "SPBC_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace spbc
+
+#define SPBC_ASSERT(expr)                                             \
+  do {                                                                \
+    if (!(expr)) ::spbc::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SPBC_ASSERT_MSG(expr, ...)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream spbc_assert_oss_;                                \
+      spbc_assert_oss_ << __VA_ARGS__;                                    \
+      ::spbc::assert_fail(#expr, __FILE__, __LINE__,                      \
+                          spbc_assert_oss_.str());                        \
+    }                                                                     \
+  } while (0)
+
+// Marks code paths that should be unreachable.
+#define SPBC_UNREACHABLE(msg) \
+  ::spbc::assert_fail("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,43 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace spbc::util {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "";
+    }
+  }
+}
+
+int64_t Cli::get_int(const std::string& key, int64_t def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& key, const std::string& def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second;
+}
+
+bool Cli::get_flag(const std::string& key) const { return kv_.count(key) > 0; }
+
+}  // namespace spbc::util

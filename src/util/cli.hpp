@@ -1,0 +1,30 @@
+#pragma once
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// All bench binaries must run with no arguments (the harness invokes them
+// bare), so every flag has a default; flags exist to scale experiments up or
+// down (--ranks, --iters, --seed, ...).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace spbc::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// --key=value or --key value. Returns default when absent.
+  int64_t get_int(const std::string& key, int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  std::string get_string(const std::string& key, const std::string& def) const;
+  bool get_flag(const std::string& key) const;  // present => true
+
+  bool has(const std::string& key) const { return kv_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace spbc::util

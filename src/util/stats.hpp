@@ -1,0 +1,110 @@
+#pragma once
+// Streaming statistics accumulators used by the experiment harness
+// (Table 1 reports per-process Avg/Max log growth; Fig. 5/6 report means over
+// repeated runs).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace spbc::util {
+
+/// Welford online accumulator: mean/variance/min/max without storing samples.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    uint64_t n = n_ + o.n_;
+    double delta = o.mean_ - mean_;
+    double mean = mean_ + delta * static_cast<double>(o.n_) / static_cast<double>(n);
+    m2_ = m2_ + o.m2_ +
+          delta * delta * static_cast<double>(n_) * static_cast<double>(o.n_) /
+              static_cast<double>(n);
+    mean_ = mean;
+    n_ = n;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample-retaining accumulator for percentiles (small sample counts only:
+/// per-rank metrics at <= 4096 ranks).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+
+  size_t count() const { return xs_.size(); }
+
+  double mean() const {
+    if (xs_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs_) s += x;
+    return s / static_cast<double>(xs_.size());
+  }
+
+  double max() const {
+    double m = -std::numeric_limits<double>::infinity();
+    for (double x : xs_) m = std::max(m, x);
+    return xs_.empty() ? 0.0 : m;
+  }
+
+  double min() const {
+    double m = std::numeric_limits<double>::infinity();
+    for (double x : xs_) m = std::min(m, x);
+    return xs_.empty() ? 0.0 : m;
+  }
+
+  /// Nearest-rank percentile, p in [0,100].
+  double percentile(double p) const {
+    SPBC_ASSERT(p >= 0.0 && p <= 100.0);
+    if (xs_.empty()) return 0.0;
+    std::vector<double> s = xs_;
+    std::sort(s.begin(), s.end());
+    size_t idx = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(s.size())));
+    if (idx > 0) --idx;
+    return s[std::min(idx, s.size() - 1)];
+  }
+
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace spbc::util

@@ -1,0 +1,28 @@
+#pragma once
+// ASCII table rendering for the benchmark harness. Each bench binary prints
+// the same rows/columns as the corresponding table or figure in the paper.
+
+#include <string>
+#include <vector>
+
+namespace spbc::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+
+  /// Renders with column alignment and a separator under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spbc::util

@@ -1,0 +1,106 @@
+// Integration tests: every workload runs failure-free at small scale in
+// validate mode, produces deterministic checksums, and (parameterized sweep)
+// survives an injected failure with bit-identical results under SPBC.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "apps/app.hpp"
+#include "apps/decomp.hpp"
+#include "harness/scenario.hpp"
+
+namespace spbc {
+namespace {
+
+harness::ScenarioConfig base_config(const std::string& app, int nranks) {
+  harness::ScenarioConfig cfg;
+  cfg.app = app;
+  cfg.nranks = nranks;
+  cfg.ranks_per_node = 2;
+  cfg.nclusters = 4;
+  cfg.app_cfg.iters = 6;
+  cfg.app_cfg.validate = true;
+  cfg.app_cfg.msg_scale = 0.02;      // keep test payloads small
+  cfg.app_cfg.compute_scale = 0.02;  // keep virtual runs short
+  cfg.spbc.checkpoint_every = 2;
+  cfg.machine.abort_on_deadlock = false;
+  cfg.use_clustering_tool = false;  // block partition: fast and deterministic
+  return cfg;
+}
+
+class AppRuns : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AppRuns, FailureFreeCompletesAndIsDeterministic) {
+  harness::ScenarioConfig cfg = base_config(GetParam(), 16);
+  cfg.protocol = harness::ProtocolKind::kNative;
+  harness::ScenarioResult a = harness::run_failure_free(cfg);
+  ASSERT_TRUE(a.run.completed) << "deadlocked=" << a.run.deadlocked;
+  EXPECT_EQ(a.checksums.size(), 16u);
+  harness::ScenarioResult b = harness::run_failure_free(cfg);
+  EXPECT_EQ(a.checksums, b.checksums);
+  EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+}
+
+TEST_P(AppRuns, SpbcFailureFreeMatchesNative) {
+  harness::ScenarioConfig cfg = base_config(GetParam(), 16);
+  cfg.protocol = harness::ProtocolKind::kNative;
+  harness::ScenarioResult native = harness::run_failure_free(cfg);
+  ASSERT_TRUE(native.run.completed);
+  cfg.protocol = harness::ProtocolKind::kSpbc;
+  harness::ScenarioResult spbc = harness::run_failure_free(cfg);
+  ASSERT_TRUE(spbc.run.completed);
+  EXPECT_EQ(native.checksums, spbc.checksums);
+  // SPBC may only be (slightly) slower in failure-free execution.
+  EXPECT_GE(spbc.elapsed, native.elapsed);
+  EXPECT_LT(spbc.elapsed, native.elapsed * 1.10);
+}
+
+TEST_P(AppRuns, RecoveryReproducesFailureFreeResults) {
+  harness::ScenarioConfig cfg = base_config(GetParam(), 16);
+  cfg.protocol = harness::ProtocolKind::kSpbc;
+  harness::ScenarioResult ff = harness::run_failure_free(cfg);
+  ASSERT_TRUE(ff.run.completed);
+  harness::ScenarioResult rec = harness::run_with_failure(cfg, ff.elapsed, 0.55);
+  ASSERT_TRUE(rec.run.completed)
+      << GetParam() << ": deadlocked=" << rec.run.deadlocked;
+  EXPECT_EQ(rec.checksums, ff.checksums) << GetParam();
+  ASSERT_FALSE(rec.recoveries.empty());
+  EXPECT_TRUE(rec.recoveries.front().complete());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppRuns,
+                         ::testing::Values("AMG", "CM1", "GTC", "MILC", "MiniFE",
+                                           "MiniGhost", "BT", "LU", "MG", "SP"));
+
+TEST(AppRegistry, AllAppsRegistered) {
+  EXPECT_EQ(apps::registry().size(), 10u);
+  EXPECT_TRUE(apps::find_app("AMG").uses_any_source);
+  EXPECT_TRUE(apps::find_app("GTC").uses_any_source);
+  EXPECT_TRUE(apps::find_app("MILC").uses_any_source);
+  EXPECT_TRUE(apps::find_app("MiniFE").uses_any_source);
+  EXPECT_FALSE(apps::find_app("CM1").uses_any_source);
+  EXPECT_FALSE(apps::find_app("MiniGhost").uses_any_source);
+  EXPECT_FALSE(apps::find_app("LU").uses_any_source);
+}
+
+TEST(Decomp, DimsCreateBalanced) {
+  EXPECT_EQ(apps::dims_create(512, 3), (std::vector<int>{8, 8, 8}));
+  EXPECT_EQ(apps::dims_create(512, 2), (std::vector<int>{32, 16}));
+  EXPECT_EQ(apps::dims_create(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(apps::dims_create(7, 2), (std::vector<int>{7, 1}));
+}
+
+TEST(Decomp, GridNeighbors) {
+  apps::Grid2D g(6, {3, 2}, /*periodic=*/false);
+  EXPECT_EQ(g.rank_of({0, 0}), 0);
+  EXPECT_EQ(g.rank_of({2, 1}), 5);
+  EXPECT_EQ(g.neighbor(0, 0, +1), 2);   // next row
+  EXPECT_EQ(g.neighbor(0, 0, -1), -1);  // bounded edge
+  apps::Grid2D p(6, {3, 2}, /*periodic=*/true);
+  EXPECT_EQ(p.neighbor(0, 0, -1), 4);   // wraps
+}
+
+}  // namespace
+}  // namespace spbc

@@ -1,0 +1,205 @@
+// Unit tests: collectives built over point-to-point (barrier, bcast,
+// reduce, allreduce, allgather, alltoall, comm_split/dup).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mpi/collectives.hpp"
+#include "mpi/machine.hpp"
+
+namespace spbc::mpi {
+namespace {
+
+std::unique_ptr<Machine> make_machine(int nranks) {
+  MachineConfig cfg;
+  cfg.nranks = nranks;
+  cfg.ranks_per_node = 1;
+  auto m = std::make_unique<Machine>(cfg, std::make_unique<NativeProtocol>());
+  m->set_cluster_of(std::vector<int>(static_cast<size_t>(nranks), 0));
+  return m;
+}
+
+class CollectivesP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesP, BarrierSynchronizes) {
+  int n = GetParam();
+  auto m = make_machine(n);
+  std::vector<sim::Time> after(static_cast<size_t>(n));
+  m->launch([&](Rank& r) {
+    r.compute(1e-4 * (r.rank() + 1));  // staggered arrival
+    barrier(r, r.world());
+    after[static_cast<size_t>(r.rank())] = r.now();
+  });
+  EXPECT_TRUE(m->run().completed);
+  // Nobody leaves before the slowest arrival.
+  sim::Time slowest = 1e-4 * n;
+  for (int i = 0; i < n; ++i) EXPECT_GE(after[static_cast<size_t>(i)], slowest);
+}
+
+TEST_P(CollectivesP, BcastDistributesRootData) {
+  int n = GetParam();
+  auto m = make_machine(n);
+  std::vector<std::vector<double>> got(static_cast<size_t>(n));
+  m->launch([&](Rank& r) {
+    std::vector<double> data;
+    if (r.rank() == 0) data = {3.0, 1.0, 4.0};
+    bcast(r, data, 0, r.world());
+    got[static_cast<size_t>(r.rank())] = data;
+  });
+  EXPECT_TRUE(m->run().completed);
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(got[static_cast<size_t>(i)], (std::vector<double>{3.0, 1.0, 4.0}));
+}
+
+TEST_P(CollectivesP, BcastFromNonzeroRoot) {
+  int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  auto m = make_machine(n);
+  std::vector<double> got0;
+  m->launch([&](Rank& r) {
+    std::vector<double> data;
+    if (r.rank() == 1) data = {9.0};
+    bcast(r, data, 1, r.world());
+    if (r.rank() == 0) got0 = data;
+  });
+  EXPECT_TRUE(m->run().completed);
+  EXPECT_EQ(got0, (std::vector<double>{9.0}));
+}
+
+TEST_P(CollectivesP, AllreduceSum) {
+  int n = GetParam();
+  auto m = make_machine(n);
+  std::vector<double> results(static_cast<size_t>(n));
+  m->launch([&](Rank& r) {
+    results[static_cast<size_t>(r.rank())] =
+        allreduce_scalar(r, static_cast<double>(r.rank() + 1), ReduceOp::kSum,
+                         r.world());
+  });
+  EXPECT_TRUE(m->run().completed);
+  double expect = n * (n + 1) / 2.0;
+  for (int i = 0; i < n; ++i)
+    EXPECT_DOUBLE_EQ(results[static_cast<size_t>(i)], expect);
+}
+
+TEST_P(CollectivesP, AllreduceMaxMin) {
+  int n = GetParam();
+  auto m = make_machine(n);
+  std::vector<double> maxs(static_cast<size_t>(n)), mins(static_cast<size_t>(n));
+  m->launch([&](Rank& r) {
+    maxs[static_cast<size_t>(r.rank())] =
+        allreduce_scalar(r, static_cast<double>(r.rank()), ReduceOp::kMax, r.world());
+    mins[static_cast<size_t>(r.rank())] =
+        allreduce_scalar(r, static_cast<double>(r.rank()), ReduceOp::kMin, r.world());
+  });
+  EXPECT_TRUE(m->run().completed);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(maxs[static_cast<size_t>(i)], n - 1.0);
+    EXPECT_DOUBLE_EQ(mins[static_cast<size_t>(i)], 0.0);
+  }
+}
+
+TEST_P(CollectivesP, AllgatherCollectsAll) {
+  int n = GetParam();
+  auto m = make_machine(n);
+  bool ok = true;
+  m->launch([&](Rank& r) {
+    std::vector<double> mine{static_cast<double>(r.rank() * 10)};
+    auto all = allgather(r, mine, r.world());
+    for (int i = 0; i < n; ++i)
+      if (all[static_cast<size_t>(i)] != std::vector<double>{i * 10.0}) ok = false;
+  });
+  EXPECT_TRUE(m->run().completed);
+  EXPECT_TRUE(ok);
+}
+
+TEST_P(CollectivesP, AlltoallExchangesBlocks) {
+  int n = GetParam();
+  auto m = make_machine(n);
+  bool ok = true;
+  m->launch([&](Rank& r) {
+    std::vector<std::vector<double>> send(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+      send[static_cast<size_t>(i)] = {static_cast<double>(r.rank() * 100 + i)};
+    auto got = alltoall(r, send, r.world());
+    for (int i = 0; i < n; ++i)
+      if (got[static_cast<size_t>(i)] != std::vector<double>{i * 100.0 + r.rank()})
+        ok = false;
+  });
+  EXPECT_TRUE(m->run().completed);
+  EXPECT_TRUE(ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesP, ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(Collectives, ReduceToRootOnly) {
+  auto m = make_machine(5);
+  std::vector<double> root_result;
+  m->launch([&](Rank& r) {
+    std::vector<double> data{static_cast<double>(r.rank()), 1.0};
+    reduce(r, data, ReduceOp::kSum, 2, r.world());
+    if (r.rank() == 2) root_result = data;
+  });
+  EXPECT_TRUE(m->run().completed);
+  ASSERT_EQ(root_result.size(), 2u);
+  EXPECT_DOUBLE_EQ(root_result[0], 0 + 1 + 2 + 3 + 4);
+  EXPECT_DOUBLE_EQ(root_result[1], 5.0);
+}
+
+TEST(Collectives, CommSplitFormsGroups) {
+  auto m = make_machine(6);
+  std::vector<int> sizes(6), ranks_in_new(6);
+  m->launch([&](Rank& r) {
+    int color = r.rank() % 2;
+    Comm sub = comm_split(r, r.world(), color, r.rank());
+    sizes[static_cast<size_t>(r.rank())] = sub.size();
+    ranks_in_new[static_cast<size_t>(r.rank())] = sub.comm_rank(r.rank());
+    // Collectives work on the sub-communicator.
+    double s = allreduce_scalar(r, 1.0, ReduceOp::kSum, sub);
+    EXPECT_DOUBLE_EQ(s, 3.0);
+  });
+  EXPECT_TRUE(m->run().completed);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(sizes[static_cast<size_t>(i)], 3);
+    EXPECT_EQ(ranks_in_new[static_cast<size_t>(i)], i / 2);
+  }
+}
+
+TEST(Collectives, CommSplitPureMatchesCommSplit) {
+  auto m = make_machine(8);
+  bool ok = true;
+  m->launch([&](Rank& r) {
+    Comm a = comm_split(r, r.world(), r.rank() / 4, r.rank());
+    Comm b = mpi::comm_split_pure(
+        r.world(), r.rank(), 17,
+        [](int wr, const void*) { return wr / 4; },
+        [](int wr, const void*) { return wr; }, nullptr);
+    if (a.group() != b.group()) ok = false;
+  });
+  EXPECT_TRUE(m->run().completed);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Collectives, CommDupIsolatesTraffic) {
+  auto m = make_machine(4);
+  bool ok = true;
+  m->launch([&](Rank& r) {
+    Comm dup = comm_dup(r, r.world());
+    if (dup.ctx() == r.world().ctx()) ok = false;
+    if (dup.group() != r.world().group()) ok = false;
+    // A message sent on dup must not match a recv on world.
+    if (r.rank() == 0) {
+      r.send(1, 5, Payload::make_synthetic(8, 1), dup);
+      r.send(1, 5, Payload::make_synthetic(8, 2), r.world());
+    } else if (r.rank() == 1) {
+      uint64_t w = r.recv(0, 5, r.world()).hash;
+      uint64_t d = r.recv(0, 5, dup).hash;
+      if (w != 2 || d != 1) ok = false;
+    }
+  });
+  EXPECT_TRUE(m->run().completed);
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace spbc::mpi

@@ -1,0 +1,214 @@
+// Unit tests: the matching engine in isolation — MPICH-like posted/
+// unexpected queues, pattern-id matching (Section 4.3 / 5.2.1), and
+// checkpoint serialization of the unexpected queue.
+
+#include <gtest/gtest.h>
+
+#include "mpi/matching.hpp"
+#include "util/serialize.hpp"
+
+namespace spbc::mpi {
+namespace {
+
+Envelope env_of(int src, int tag, uint64_t seq, PatternTag pid = {}) {
+  Envelope e;
+  e.src = src;
+  e.dst = 0;
+  e.tag = tag;
+  e.ctx = 0;
+  e.seqnum = seq;
+  e.pid = pid;
+  e.bytes = 8;
+  e.hash = seq;
+  return e;
+}
+
+std::shared_ptr<RequestState> req_of(int src, int tag, PatternTag pid = {}) {
+  auto r = std::make_shared<RequestState>();
+  r->kind = RequestState::Kind::kRecv;
+  r->match_src = src;
+  r->match_tag = tag;
+  r->ctx = 0;
+  r->pid = pid;
+  return r;
+}
+
+TEST(Matching, PredicateBasics) {
+  auto r = req_of(3, 5);
+  EXPECT_TRUE(MatchEngine::matches(*r, env_of(3, 5, 1), false));
+  EXPECT_FALSE(MatchEngine::matches(*r, env_of(2, 5, 1), false));
+  EXPECT_FALSE(MatchEngine::matches(*r, env_of(3, 6, 1), false));
+}
+
+TEST(Matching, WildcardsMatchAnything) {
+  auto r = req_of(kAnySource, kAnyTag);
+  EXPECT_TRUE(MatchEngine::matches(*r, env_of(7, 42, 1), false));
+}
+
+TEST(Matching, CommunicatorSeparatesChannels) {
+  auto r = req_of(1, 1);
+  r->ctx = 5;
+  Envelope e = env_of(1, 1, 1);
+  e.ctx = 4;
+  EXPECT_FALSE(MatchEngine::matches(*r, e, false));
+  e.ctx = 5;
+  EXPECT_TRUE(MatchEngine::matches(*r, e, false));
+}
+
+TEST(Matching, PatternIdsGateMatchingWhenEnabled) {
+  PatternTag p1{1, 3};
+  PatternTag p2{1, 4};
+  auto r = req_of(kAnySource, 1, p1);
+  Envelope e = env_of(2, 1, 1, p2);
+  EXPECT_TRUE(MatchEngine::matches(*r, e, false));   // plain protocol
+  EXPECT_FALSE(MatchEngine::matches(*r, e, true));   // A' with id matching
+  Envelope ok = env_of(2, 1, 1, p1);
+  EXPECT_TRUE(MatchEngine::matches(*r, ok, true));
+}
+
+TEST(Matching, PostOrderRespectedOnArrival) {
+  MatchEngine m;
+  auto r1 = req_of(kAnySource, 1);
+  auto r2 = req_of(kAnySource, 1);
+  m.on_post(r1);
+  m.on_post(r2);
+  Payload p;
+  auto hit = m.on_envelope(env_of(5, 1, 1), p, true, 0);
+  EXPECT_EQ(hit.get(), r1.get());  // first posted matches first
+  auto hit2 = m.on_envelope(env_of(5, 1, 2), p, true, 0);
+  EXPECT_EQ(hit2.get(), r2.get());
+}
+
+TEST(Matching, ArrivalOrderRespectedOnPost) {
+  MatchEngine m;
+  Payload p;
+  EXPECT_EQ(m.on_envelope(env_of(5, 1, 1), p, true, 0), nullptr);
+  EXPECT_EQ(m.on_envelope(env_of(6, 1, 1), p, true, 0), nullptr);
+  auto res = m.on_post(req_of(kAnySource, 1));
+  ASSERT_TRUE(res.matched);
+  EXPECT_EQ(res.msg.env.src, 5);  // first arrived matches first
+}
+
+TEST(Matching, UnexpectedQueueSkipsNonMatching) {
+  MatchEngine m;
+  Payload p;
+  m.on_envelope(env_of(5, 9, 1), p, true, 0);
+  m.on_envelope(env_of(5, 1, 2), p, true, 0);
+  auto res = m.on_post(req_of(kAnySource, 1));
+  ASSERT_TRUE(res.matched);
+  EXPECT_EQ(res.msg.env.tag, 1);
+  EXPECT_EQ(m.unexpected().size(), 1u);
+}
+
+TEST(Matching, IprobePeeksWithoutRemoving) {
+  MatchEngine m;
+  Payload p;
+  m.on_envelope(env_of(3, 2, 1), p, true, 0);
+  RequestState probe;
+  probe.match_src = kAnySource;
+  probe.match_tag = 2;
+  probe.ctx = 0;
+  Status st;
+  EXPECT_TRUE(m.iprobe(probe, &st));
+  EXPECT_EQ(st.source, 3);
+  EXPECT_EQ(m.unexpected().size(), 1u);
+  probe.match_tag = 7;
+  EXPECT_FALSE(m.iprobe(probe, nullptr));
+}
+
+TEST(Matching, RendezvousEnvelopeMatchesBeforePayload) {
+  MatchEngine m;
+  auto r = req_of(4, 1);
+  m.on_post(r);
+  Payload empty;
+  auto hit = m.on_envelope(env_of(4, 1, 1), empty, /*payload_ready=*/false, 77);
+  EXPECT_EQ(hit.get(), r.get());
+}
+
+TEST(Matching, CompleteUnexpectedPayload) {
+  MatchEngine m;
+  Payload empty;
+  m.on_envelope(env_of(4, 1, 1), empty, false, 77);
+  Payload data = Payload::make_synthetic(100, 0xfeed);
+  EXPECT_TRUE(m.complete_unexpected_payload(77, 4, std::move(data)));
+  auto res = m.on_post(req_of(4, 1));
+  ASSERT_TRUE(res.matched);
+  EXPECT_TRUE(res.msg.payload_ready);
+  EXPECT_EQ(res.msg.payload.hash, 0xfeedU);
+  EXPECT_FALSE(m.complete_unexpected_payload(99, 4, Payload{}));
+}
+
+TEST(Matching, CancelPostedRemoves) {
+  MatchEngine m;
+  auto r = req_of(1, 1);
+  m.on_post(r);
+  EXPECT_EQ(m.posted_count(), 1u);
+  m.cancel_posted(r.get());
+  EXPECT_EQ(m.posted_count(), 0u);
+}
+
+TEST(Matching, SerializeRestoresReadyUnexpectedOnly) {
+  MatchEngine m;
+  Payload full = Payload::make_synthetic(64, 0x11);
+  m.on_envelope(env_of(2, 1, 1), full, true, 0);
+  Payload empty;
+  m.on_envelope(env_of(3, 1, 1), empty, false, 55);  // pending RTS: skipped
+  util::ByteWriter w;
+  m.serialize(w);
+  MatchEngine m2;
+  util::ByteReader r(w.bytes());
+  m2.restore(r);
+  EXPECT_EQ(m2.unexpected().size(), 1u);
+  EXPECT_EQ(m2.unexpected().front().env.src, 2);
+  EXPECT_EQ(m2.unexpected().front().payload.hash, 0x11U);
+}
+
+TEST(SeqWindow, ContiguousGrowth) {
+  SeqWindow w;
+  w.add(1);
+  w.add(2);
+  w.add(3);
+  EXPECT_EQ(w.base(), 3u);
+  EXPECT_TRUE(w.sparse().empty());
+  EXPECT_TRUE(w.contains(2));
+  EXPECT_FALSE(w.contains(4));
+}
+
+TEST(SeqWindow, OutOfOrderAbsorption) {
+  SeqWindow w;
+  w.add(1);
+  w.add(3);  // gap at 2
+  EXPECT_EQ(w.base(), 1u);
+  EXPECT_TRUE(w.contains(3));
+  EXPECT_FALSE(w.contains(2));
+  w.add(2);  // fills the gap; base advances through 3
+  EXPECT_EQ(w.base(), 3u);
+  EXPECT_TRUE(w.sparse().empty());
+}
+
+TEST(SeqWindow, EncodeDecodeRoundTrip) {
+  SeqWindow w;
+  w.add(1);
+  w.add(2);
+  w.add(5);
+  w.add(9);
+  std::vector<uint64_t> words;
+  w.encode(words);
+  size_t pos = 0;
+  SeqWindow w2 = SeqWindow::decode(words, pos);
+  EXPECT_EQ(w, w2);
+  EXPECT_EQ(pos, words.size());
+}
+
+TEST(SeqWindow, SerializeRoundTrip) {
+  SeqWindow w;
+  w.add(1);
+  w.add(4);
+  util::ByteWriter bw;
+  w.serialize(bw);
+  util::ByteReader br(bw.bytes());
+  EXPECT_EQ(SeqWindow::deserialize(br), w);
+}
+
+}  // namespace
+}  // namespace spbc::mpi

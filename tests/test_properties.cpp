@@ -1,0 +1,139 @@
+// Parameterized property sweeps over (app x cluster count x failure point):
+// the five invariants of DESIGN.md Section 5 that involve whole runs —
+// recovery equivalence, failure containment, replay order, suppression
+// accounting, and log-volume consistency with the traffic matrix.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "clustering/comm_graph.hpp"
+#include "harness/scenario.hpp"
+
+namespace spbc {
+namespace {
+
+using Param = std::tuple<std::string, int, double>;  // app, clusters, failure frac
+
+class RecoveryProperty : public ::testing::TestWithParam<Param> {};
+
+harness::ScenarioConfig config_for(const std::string& app, int nclusters) {
+  harness::ScenarioConfig cfg;
+  cfg.app = app;
+  cfg.nranks = 16;
+  cfg.ranks_per_node = 2;
+  cfg.nclusters = nclusters;
+  cfg.protocol = harness::ProtocolKind::kSpbc;
+  cfg.app_cfg.iters = 6;
+  cfg.app_cfg.validate = true;
+  cfg.app_cfg.msg_scale = 0.02;
+  cfg.app_cfg.compute_scale = 0.02;
+  cfg.spbc.checkpoint_every = 2;
+  cfg.machine.abort_on_deadlock = false;
+  cfg.use_clustering_tool = false;
+  return cfg;
+}
+
+TEST_P(RecoveryProperty, EquivalenceAndContainment) {
+  auto [app, nclusters, frac] = GetParam();
+  harness::ScenarioConfig cfg = config_for(app, nclusters);
+  harness::ScenarioResult ff = harness::run_failure_free(cfg);
+  ASSERT_TRUE(ff.run.completed) << app;
+  harness::ScenarioResult rec = harness::run_with_failure(cfg, ff.elapsed, frac);
+  ASSERT_TRUE(rec.run.completed)
+      << app << " k=" << nclusters << " frac=" << frac
+      << " deadlocked=" << rec.run.deadlocked;
+
+  // Invariant 3: no loss, no duplication — identical results.
+  EXPECT_EQ(rec.checksums, ff.checksums) << app << " k=" << nclusters;
+
+  // Invariant 4: containment — the recovery record names exactly the ranks
+  // of one cluster.
+  ASSERT_FALSE(rec.recoveries.empty());
+  const mpi::RecoveryRecord& r0 = rec.recoveries.front();
+  EXPECT_TRUE(r0.complete());
+  int failed = r0.failed_cluster;
+  size_t cluster_size = 0;
+  for (int c : rec.cluster_of)
+    if (c == failed) ++cluster_size;
+  EXPECT_EQ(r0.target_ops.size(), cluster_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecoveryProperty,
+    ::testing::Combine(::testing::Values("MiniGhost", "AMG", "GTC", "MILC"),
+                       ::testing::Values(2, 4, 8),
+                       ::testing::Values(0.35, 0.7)));
+
+class FailurePointSweep : public ::testing::TestWithParam<double> {};
+
+// Invariant: recovery works regardless of where in the run the failure
+// lands — before the first checkpoint, right after one, near the end.
+TEST_P(FailurePointSweep, RingAppAnyFailurePoint) {
+  double frac = GetParam();
+  harness::ScenarioConfig cfg = config_for("MiniGhost", 4);
+  harness::ScenarioResult ff = harness::run_failure_free(cfg);
+  ASSERT_TRUE(ff.run.completed);
+  harness::ScenarioResult rec = harness::run_with_failure(cfg, ff.elapsed, frac);
+  ASSERT_TRUE(rec.run.completed) << "frac=" << frac;
+  EXPECT_EQ(rec.checksums, ff.checksums) << "frac=" << frac;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fracs, FailurePointSweep,
+                         ::testing::Values(0.15, 0.3, 0.5, 0.65, 0.85));
+
+// Invariant 5/6 accounting: the protocol's logged volume equals the
+// inter-cluster traffic the clustering graph predicts.
+TEST(LogVolume, MatchesTrafficMatrixCut) {
+  harness::ScenarioConfig cfg = config_for("MiniGhost", 4);
+  cfg.app_cfg.validate = false;
+  cfg.protocol = harness::ProtocolKind::kNative;
+  cfg.machine.record_send_trace = false;
+
+  // Native run collects the traffic matrix.
+  mpi::MachineConfig mc = cfg.machine;
+  mc.nranks = cfg.nranks;
+  mc.ranks_per_node = cfg.ranks_per_node;
+  mpi::Machine native(mc, baselines::make_native());
+  std::vector<int> map = harness::compute_cluster_map(
+      [] {
+        harness::ScenarioConfig c = config_for("MiniGhost", 4);
+        c.app_cfg.validate = false;
+        return c;
+      }());
+  native.set_cluster_of(map);
+  const apps::AppInfo& info = apps::find_app("MiniGhost");
+  apps::AppConfig acfg = cfg.app_cfg;
+  native.launch([&info, acfg](mpi::Rank& r) { info.main(r, acfg); });
+  ASSERT_TRUE(native.run().completed);
+  clustering::CommGraph g =
+      clustering::CommGraph::from_traffic(cfg.nranks, native.traffic_bytes());
+  uint64_t predicted = g.logged_bytes(map);
+
+  // SPBC run with the same map must log exactly that volume.
+  mpi::Machine spbc_m(mc, std::make_unique<core::SpbcProtocol>(cfg.spbc));
+  spbc_m.set_cluster_of(map);
+  spbc_m.launch([&info, acfg](mpi::Rank& r) { info.main(r, acfg); });
+  ASSERT_TRUE(spbc_m.run().completed);
+  uint64_t logged = 0;
+  for (int r = 0; r < cfg.nranks; ++r)
+    logged += spbc_m.rank(r).profile().bytes_logged;
+  EXPECT_EQ(logged, predicted);
+}
+
+// More clusters => more (or equal) logged data (Table 1's monotone columns).
+TEST(LogVolume, MonotoneInClusterCount) {
+  uint64_t prev = 0;
+  for (int k : {1, 2, 4, 8}) {
+    harness::ScenarioConfig cfg = config_for("MiniGhost", k);
+    cfg.app_cfg.validate = false;
+    if (k == 1) cfg.protocol = harness::ProtocolKind::kGlobalCoordinated;
+    harness::ScenarioResult res = harness::run_failure_free(cfg);
+    ASSERT_TRUE(res.run.completed);
+    EXPECT_GE(res.profile.bytes_logged, prev) << "k=" << k;
+    prev = res.profile.bytes_logged;
+  }
+}
+
+}  // namespace
+}  // namespace spbc
