@@ -26,13 +26,69 @@ sim::Time StorageCostModel::read_time(StorageLevel level, uint64_t bytes) const 
 void Store::save(int rank, Snapshot snap) {
   bytes_written_ += snap.bytes.size();
   ++snapshots_;
-  latest_[rank] = std::move(snap);
+  snaps_[rank][snap.epoch] = std::move(snap);
+}
+
+bool Store::has(int rank) const {
+  auto it = snaps_.find(rank);
+  return it != snaps_.end() && !it->second.empty();
 }
 
 const Snapshot& Store::latest(int rank) const {
-  auto it = latest_.find(rank);
-  SPBC_ASSERT_MSG(it != latest_.end(), "no checkpoint for rank " << rank);
-  return it->second;
+  auto it = snaps_.find(rank);
+  SPBC_ASSERT_MSG(it != snaps_.end() && !it->second.empty(),
+                  "no checkpoint for rank " << rank);
+  return it->second.rbegin()->second;
+}
+
+bool Store::has_epoch(int rank, uint64_t epoch) const {
+  auto it = snaps_.find(rank);
+  return it != snaps_.end() && it->second.count(epoch) > 0;
+}
+
+const Snapshot& Store::at_epoch(int rank, uint64_t epoch) const {
+  auto it = snaps_.find(rank);
+  SPBC_ASSERT_MSG(it != snaps_.end() && it->second.count(epoch) > 0,
+                  "no epoch-" << epoch << " checkpoint for rank " << rank);
+  return it->second.at(epoch);
+}
+
+void Store::drop_epochs_above(int rank, uint64_t epoch) {
+  auto it = snaps_.find(rank);
+  if (it != snaps_.end()) {
+    it->second.erase(it->second.upper_bound(epoch), it->second.end());
+  }
+  auto cap = in_flight_.lower_bound({rank, epoch + 1});
+  while (cap != in_flight_.end() && cap->first.first == rank) {
+    cap = in_flight_.erase(cap);
+  }
+}
+
+void Store::prune_epochs_below(int rank, uint64_t epoch) {
+  auto it = snaps_.find(rank);
+  if (it != snaps_.end()) {
+    it->second.erase(it->second.begin(), it->second.lower_bound(epoch));
+  }
+  auto cap = in_flight_.lower_bound({rank, 0});
+  while (cap != in_flight_.end() && cap->first.first == rank &&
+         cap->first.second < epoch) {
+    cap = in_flight_.erase(cap);
+  }
+}
+
+void Store::record_in_flight(int rank, uint64_t first_epoch, uint64_t last_epoch,
+                             const mpi::Envelope& env, const mpi::Payload& payload) {
+  auto shared = std::make_shared<const mpi::Payload>(payload);
+  for (uint64_t e = first_epoch; e <= last_epoch; ++e) {
+    in_flight_[{rank, e}].push_back(CapturedMsg{env, shared});
+    ++in_flight_captured_;
+  }
+}
+
+const std::vector<CapturedMsg>& Store::in_flight(int rank, uint64_t epoch) const {
+  static const std::vector<CapturedMsg> kEmpty;
+  auto it = in_flight_.find({rank, epoch});
+  return it == in_flight_.end() ? kEmpty : it->second;
 }
 
 }  // namespace spbc::ckpt

@@ -1,17 +1,28 @@
 #pragma once
 // Checkpoint storage.
 //
-// Holds the latest snapshot per rank, with a multi-level cost model in the
-// spirit of SCR/FTI (referenced by the paper as the complementary line of
-// work [3, 27]): LOCAL (node-local SSD), PARTNER (copy on a buddy node), PFS
-// (parallel file system). The paper's measurements exclude checkpoint I/O
-// time (Section 6.1), so experiment configurations default to kNone; the
-// cost model exists for ablations.
+// Holds per-rank snapshots keyed by checkpoint epoch, with a multi-level cost
+// model in the spirit of SCR/FTI (referenced by the paper as the
+// complementary line of work [3, 27]): LOCAL (node-local SSD), PARTNER (copy
+// on a buddy node), PFS (parallel file system). The paper's measurements
+// exclude checkpoint I/O time (Section 6.1), so experiment configurations
+// default to kNone; the cost model exists for ablations.
+//
+// Epoch keying exists because the marker-based checkpoint wave commits
+// asynchronously: while a wave for epoch E is in flight, the last committed
+// epoch E-1 must stay restorable, and a failure mid-wave rolls the cluster
+// back to E-1 even if some members already hold epoch-E snapshots. The store
+// also records, per (rank, epoch), the intra-cluster messages that crossed
+// the epoch's cut (sent before the sender's snapshot, delivered after the
+// receiver's) — recovery re-delivers them, because the restored sender will
+// not re-send and the restored receiver has not received.
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "mpi/types.hpp"
 #include "sim/time.hpp"
 
 namespace spbc::ckpt {
@@ -39,15 +50,42 @@ struct Snapshot {
   std::vector<unsigned char> bytes;
 };
 
+/// One intra-cluster message that crossed a checkpoint cut, captured at the
+/// receiver for restore-time redelivery. The payload is shared: a message
+/// that crossed several cuts is recorded under each epoch but its bytes are
+/// stored once.
+struct CapturedMsg {
+  mpi::Envelope env;
+  std::shared_ptr<const mpi::Payload> payload;
+};
+
 class Store {
  public:
   explicit Store(StorageLevel level = StorageLevel::kNone,
                  StorageCostModel model = {})
       : level_(level), model_(model) {}
 
+  /// Saves `snap` under (rank, snap.epoch), replacing a same-epoch snapshot.
   void save(int rank, Snapshot snap);
-  bool has(int rank) const { return latest_.count(rank) > 0; }
+  bool has(int rank) const;
+  /// Highest-epoch snapshot held for `rank`.
   const Snapshot& latest(int rank) const;
+  bool has_epoch(int rank, uint64_t epoch) const;
+  const Snapshot& at_epoch(int rank, uint64_t epoch) const;
+
+  /// Epoch-consistent restore bookkeeping: a rollback to `epoch` invalidates
+  /// any higher, uncommitted epoch (snapshots and captures); a committed
+  /// wave supersedes everything below it.
+  void drop_epochs_above(int rank, uint64_t epoch);
+  void prune_epochs_below(int rank, uint64_t epoch);
+
+  /// In-flight capture for the marker-based wave: records a message that
+  /// crossed the cuts of epochs [first_epoch, last_epoch] at `rank`, in
+  /// arrival order (per-channel FIFO makes arrival order seqnum order on
+  /// every channel). One payload buffer is shared across the epochs.
+  void record_in_flight(int rank, uint64_t first_epoch, uint64_t last_epoch,
+                        const mpi::Envelope& env, const mpi::Payload& payload);
+  const std::vector<CapturedMsg>& in_flight(int rank, uint64_t epoch) const;
 
   /// Virtual-time cost of writing/reading a snapshot at the configured level.
   sim::Time write_cost(uint64_t bytes) const { return model_.write_time(level_, bytes); }
@@ -55,14 +93,18 @@ class Store {
 
   uint64_t total_bytes_written() const { return bytes_written_; }
   uint64_t snapshots_taken() const { return snapshots_; }
+  /// Cumulative count of cut-crossing messages captured (diagnostics).
+  uint64_t in_flight_captured() const { return in_flight_captured_; }
   StorageLevel level() const { return level_; }
 
  private:
   StorageLevel level_;
   StorageCostModel model_;
-  std::map<int, Snapshot> latest_;
+  std::map<int, std::map<uint64_t, Snapshot>> snaps_;  // rank -> epoch -> snap
+  std::map<std::pair<int, uint64_t>, std::vector<CapturedMsg>> in_flight_;
   uint64_t bytes_written_ = 0;
   uint64_t snapshots_ = 0;
+  uint64_t in_flight_captured_ = 0;
 };
 
 }  // namespace spbc::ckpt

@@ -66,9 +66,26 @@ bool SpbcProtocol::is_inter_cluster(const mpi::Envelope& env) const {
   return machine_->cluster_of(env.src) != machine_->cluster_of(env.dst);
 }
 
+uint64_t SpbcProtocol::committed_epoch(int cluster) const {
+  auto it = waves_.find(cluster);
+  return it == waves_.end() ? 0 : it->second.committed;
+}
+
+uint64_t SpbcProtocol::snapshot_epoch(int rank) const {
+  return ckpt_.at(static_cast<size_t>(rank)).snap_epoch;
+}
+
 // ---------------------------------------------------------------------------
 // Failure-free path (Algorithm 1, lines 3-12)
 // ---------------------------------------------------------------------------
+
+void SpbcProtocol::stamp_envelope(mpi::Rank& sender, mpi::Envelope& env) {
+  // The piggybacked marker: every envelope carries the sender's current
+  // snapshot epoch. An intra-cluster message stamped below the receiver's
+  // snapshot epoch was sent before the sender's cut and delivered after the
+  // receiver's — exactly the channel state a Chandy-Lamport wave records.
+  env.ckpt_epoch = ckpt_[static_cast<size_t>(sender.rank())].snap_epoch;
+}
 
 sim::Time SpbcProtocol::on_send(mpi::Rank& sender, const mpi::Envelope& env,
                                 const mpi::Payload& payload) {
@@ -88,9 +105,23 @@ bool SpbcProtocol::should_transmit(mpi::Rank& sender, const mpi::Envelope& env) 
   return !ch.peer_received.contains(env.seqnum);
 }
 
-void SpbcProtocol::on_delivered(mpi::Rank& /*receiver*/, const mpi::Envelope& env) {
+void SpbcProtocol::on_delivered(mpi::Rank& receiver, const mpi::Envelope& env,
+                                const mpi::Payload& payload) {
   // Received-window bookkeeping (the LR of line 11, generalized) already
-  // happened in Rank::accept_seq. Only the HydEE hook observes replays here.
+  // happened in Rank::accept_seq.
+  if (!is_inter_cluster(env)) {
+    // Marker-wave channel capture: a message stamped below the receiver's
+    // snapshot epoch crossed the cut(s) in (stamp, snap_epoch]. The restored
+    // sender will not re-send it (its snapshot counts it as sent) and the
+    // restored receiver has not received it, so it must be part of the
+    // epoch's restore data. Redelivered captures are re-stamped with the
+    // restored epoch, which keeps them out of this branch.
+    const auto& cs = ckpt_[static_cast<size_t>(receiver.rank())];
+    if (env.ckpt_epoch < cs.snap_epoch)
+      store_.record_in_flight(receiver.rank(), env.ckpt_epoch + 1, cs.snap_epoch,
+                              env, payload);
+  }
+  // The HydEE hook observes replays here.
   if (env.replayed) on_replay_delivered(env);
 }
 
@@ -99,82 +130,50 @@ void SpbcProtocol::on_delivered(mpi::Rank& /*receiver*/, const mpi::Envelope& en
 // ---------------------------------------------------------------------------
 
 bool SpbcProtocol::maybe_checkpoint(mpi::Rank& rank) {
-  if (cfg_.checkpoint_every == 0) return false;
   auto& cs = ckpt_[static_cast<size_t>(rank.rank())];
   ++cs.calls;
-  // The decision is a pure function of the call index, so every member of a
-  // cluster reaches the same decision at the same logical spot (SPMD).
-  if (cs.calls % cfg_.checkpoint_every != 0) return false;
+  // Periodic trigger: a pure function of the call index, so every member of
+  // a cluster reaches the same decision at the same logical spot (SPMD).
+  const bool boundary =
+      cfg_.checkpoint_every != 0 && cs.calls % cfg_.checkpoint_every == 0;
+  // Marker trigger: a cluster peer already cut an epoch we have not (it
+  // called checkpoint_now, or cadences drifted). This is our first
+  // app-consistent point since its marker arrived — join the wave here. The
+  // cut need not land at the same call index on every member: consistency
+  // comes from the epoch stamps (capture for sent-before/received-after,
+  // duplicate filtering plus send determinism for the reverse), not from
+  // call-index alignment.
+  if (!boundary && cs.wave_seen <= cs.snap_epoch) return false;
   run_coordinated_checkpoint(rank);
   return true;
 }
 
 void SpbcProtocol::checkpoint_now(mpi::Rank& rank) { run_coordinated_checkpoint(rank); }
 
+// The marker-based wave (replaces the old Ready/Take/Done/Resume drain
+// barrier — see DESIGN.md). Each member snapshots at its own checkpoint
+// boundary without waiting for anyone: the checkpoint decision is SPMD (a
+// pure function of the call index), so every member cuts at the same logical
+// spot. From the cut on, outgoing intra-cluster envelopes carry the new
+// epoch stamp (stamp_envelope), which is the piggybacked marker; an explicit
+// kCkptMarker control message announces the cut to peers that see no data
+// traffic. Messages that cross the cut are captured at the receiver
+// (on_delivered) and re-delivered on restore. The wave commits through an
+// async completion reduction: each member reports kCkptComplete to the wave
+// root once its snapshot is written and its pre-cut intra-cluster sends have
+// landed; the root broadcasts kCkptCommit when every member reported. No
+// rank ever parks, so two clusters checkpointing concurrently cannot form a
+// cross-cluster circular wait through halo dependencies.
 void SpbcProtocol::run_coordinated_checkpoint(mpi::Rank& rank) {
   const int me = rank.rank();
   const int cluster = machine_->cluster_of(me);
   const std::vector<int> members = machine_->ranks_in_cluster(cluster);
-  const int coordinator = members.front();
   auto& cs = ckpt_[static_cast<size_t>(me)];
-  const uint64_t epoch = cs.epoch + 1;
+  const uint64_t epoch = cs.snap_epoch + 1;
 
-  // Drain: our in-flight intra-cluster sends must land before the snapshot
-  // so intra-cluster channels are empty in the recorded global state.
-  // Also wait out any replay we are performing for another cluster's
-  // recovery — snapshots during active replay are not supported.
-  rank.block_until(
-      [&rank] {
-        for (const auto& [key, ch] : rank.all_send_states())
-          if (ch.replay_pending != 0) return false;
-        return true;
-      },
-      "ckpt: drain replay");
-  machine_->flush_intra_sends(rank);
-
-  auto control = [&](mpi::ControlMsg::Kind kind, int dst) {
-    mpi::ControlMsg m;
-    m.kind = kind;
-    m.src = me;
-    m.dst = dst;
-    m.words.push_back(epoch);
-    machine_->send_control(me, dst, std::move(m));
-  };
-
-  if (me == coordinator) {
-    rank.block_until(
-        [&cs, &members] { return cs.ready_count == static_cast<int>(members.size()) - 1; },
-        "ckpt: await Ready");
-    cs.ready_count = 0;
-    for (int m : members)
-      if (m != me) control(mpi::ControlMsg::Kind::kCkptTake, m);
-    take_snapshot(rank);
-    rank.block_until(
-        [&cs, &members] { return cs.done_count == static_cast<int>(members.size()) - 1; },
-        "ckpt: await Done");
-    cs.done_count = 0;
-    for (int m : members)
-      if (m != me) control(mpi::ControlMsg::Kind::kCkptResume, m);
-  } else {
-    control(mpi::ControlMsg::Kind::kCkptReady, coordinator);
-    rank.block_until([&cs] { return cs.take_received; }, "ckpt: await Take");
-    cs.take_received = false;
-    take_snapshot(rank);
-    control(mpi::ControlMsg::Kind::kCkptDone, coordinator);
-    rank.block_until([&cs] { return cs.resume_received; }, "ckpt: await Resume");
-    cs.resume_received = false;
-  }
-  cs.epoch = epoch;
-
-  if (cfg_.gc_logs && me == coordinator) gc_after_checkpoint(cluster);
-}
-
-void SpbcProtocol::take_snapshot(mpi::Rank& rank) {
-  const int me = rank.rank();
-  auto& cs = ckpt_[static_cast<size_t>(me)];
-
+  // --- the cut: capture local state, no coordination, no parking ---------
   util::ByteWriter w;
-  w.put<uint64_t>(cs.epoch + 1);
+  w.put<uint64_t>(epoch);
   w.put<uint64_t>(cs.calls);
   rank.serialize_runtime(w);
   logs_[static_cast<size_t>(me)].serialize(w);
@@ -184,25 +183,126 @@ void SpbcProtocol::take_snapshot(mpi::Rank& rank) {
 
   ckpt::Snapshot snap;
   snap.taken_at = machine_->engine().now();
-  snap.epoch = cs.epoch + 1;
+  snap.epoch = epoch;
   snap.bytes = w.take();
   sim::Time cost = store_.write_cost(snap.bytes.size());
   store_.save(me, std::move(snap));
+
+  if (cfg_.gc_logs) {
+    // Freeze the inter-cluster received-windows the epoch captured; GC at
+    // commit must not see post-snapshot receipts.
+    auto& frozen = gc_windows_[{me, epoch}];
+    for (const auto& [key, win] : rank.all_recv_windows()) {
+      if (machine_->cluster_of(key.peer) != cluster) frozen[key] = win;
+    }
+  }
+
+  // From this instant the cut exists: deliveries of pre-cut messages (even
+  // those arriving during the storage wait below) are classified as
+  // cut-crossing, and everything we send is stamped with the new epoch.
+  cs.snap_epoch = epoch;
+
+  // Explicit markers so idle peers learn of the wave without data traffic.
+  for (int m : members) {
+    if (m == me) continue;
+    mpi::ControlMsg msg;
+    msg.kind = mpi::ControlMsg::Kind::kCkptMarker;
+    msg.src = me;
+    msg.dst = m;
+    msg.words.push_back(epoch);
+    machine_->send_control(me, m, std::move(msg));
+  }
+
+  // Storage cost is charged to the member's own fiber (the write itself is
+  // not free) — but no cluster-wide rendezvous follows it.
   if (cost > 0) machine_->engine().wait(cost);
+
+  // --- async completion: report once our pre-cut sends have landed --------
+  arm_wave_completion(me, epoch);
 }
 
-void SpbcProtocol::gc_after_checkpoint(int cluster) {
-  // Extension (off by default): after a cluster checkpoints, every channel
-  // into it can drop log entries the checkpoint captured. We use the
-  // captured received-windows directly; a real implementation piggybacks
-  // them on one control message per channel after the wave completes.
+void SpbcProtocol::arm_wave_completion(int member, uint64_t epoch) {
+  const uint32_t inc = machine_->incarnation(member);
+  machine_->notify_when_intra_drained(member, [this, member, epoch, inc] {
+    if (machine_->incarnation(member) != inc) return;  // rolled back meanwhile
+    auto& cs = ckpt_[static_cast<size_t>(member)];
+    if (cs.snap_epoch < epoch) return;  // superseded by a rollback
+    // The member may have out-raced this epoch's drain and already cut a
+    // newer one; the drain that just finished covers every epoch cut before
+    // it, so report everything not yet reported — dropping the older report
+    // would leave its wave one member short forever.
+    const int cluster = machine_->cluster_of(member);
+    const int root = machine_->ranks_in_cluster(cluster).front();
+    for (uint64_t e = cs.complete_sent + 1; e <= cs.snap_epoch; ++e) {
+      if (member == root) {
+        note_wave_complete(cluster, e, member);
+      } else {
+        mpi::ControlMsg msg;
+        msg.kind = mpi::ControlMsg::Kind::kCkptComplete;
+        msg.src = member;
+        msg.dst = root;
+        msg.words.push_back(e);
+        machine_->send_control(member, root, std::move(msg));
+      }
+    }
+    cs.complete_sent = std::max(cs.complete_sent, cs.snap_epoch);
+  });
+}
+
+void SpbcProtocol::note_wave_complete(int cluster, uint64_t epoch, int member) {
+  auto& wave = waves_[cluster];
+  if (epoch <= wave.committed) return;  // stale report from a superseded wave
+  const std::vector<int> members = machine_->ranks_in_cluster(cluster);
+  auto& reported = wave.complete[epoch];
+  reported.insert(member);
+  if (reported.size() != members.size()) return;
+
+  // Commit: every member snapshotted `epoch` and drained its pre-cut sends,
+  // so the epoch's snapshots plus its in-flight captures form a complete
+  // consistent cut. Older epochs are superseded.
+  wave.committed = epoch;
+  wave.complete.erase(wave.complete.begin(), wave.complete.upper_bound(epoch));
+  const int root = members.front();
+  for (int m : members) {
+    if (cfg_.gc_logs) {
+      // Frozen GC windows of superseded epochs (committed ones are erased
+      // after use below; an epoch skipped over never gets used) would leak.
+      for (auto it = gc_windows_.lower_bound({m, 0});
+           it != gc_windows_.end() && it->first.first == m &&
+           it->first.second < epoch;) {
+        it = gc_windows_.erase(it);
+      }
+    }
+    if (m == root) {
+      // The down-sweep reaches the root locally; members prune their
+      // superseded snapshots/captures when their kCkptCommit arrives.
+      ckpt_[static_cast<size_t>(m)].epoch = epoch;
+      store_.prune_epochs_below(m, epoch);
+      continue;
+    }
+    mpi::ControlMsg msg;
+    msg.kind = mpi::ControlMsg::Kind::kCkptCommit;
+    msg.src = root;
+    msg.dst = m;
+    msg.words.push_back(epoch);
+    machine_->send_control(root, m, std::move(msg));
+  }
+  if (cfg_.gc_logs) gc_after_checkpoint(cluster, epoch);
+}
+
+void SpbcProtocol::gc_after_checkpoint(int cluster, uint64_t epoch) {
+  // Extension (off by default): once a cluster's wave commits, every channel
+  // into it can drop log entries the committed epoch captured. Windows were
+  // frozen at snapshot time; a real implementation piggybacks them on one
+  // control message per channel after the completion reduction.
   for (int member : machine_->ranks_in_cluster(cluster)) {
-    const mpi::Rank& mr = machine_->rank(member);
-    for (const auto& [key, win] : mr.all_recv_windows()) {
-      if (machine_->cluster_of(key.peer) == cluster) continue;
+    auto it = gc_windows_.find({member, epoch});
+    if (it == gc_windows_.end()) continue;
+    for (const auto& [key, win] : it->second) {
       logs_[static_cast<size_t>(key.peer)].gc_received(member, key.ctx, win,
                                                        key.stream);
     }
+    gc_windows_.erase(it);
   }
 }
 
@@ -231,14 +331,21 @@ void SpbcProtocol::on_failure(int victim_rank) {
     targets[r] = frozen ? *frozen : machine_->rank(r).progress_now();
   }
 
-  // Line 18: the whole cluster rolls back to its last coordinated
-  // checkpoint. Kill first (fibers unwind, incarnations bump), then restore
-  // in-memory state; fibers respawn after the restart delay.
+  // Line 18: the whole cluster rolls back to its last committed checkpoint
+  // epoch. Kill first (fibers unwind, incarnations bump), then restore
+  // in-memory state; fibers respawn after the restart delay. The epoch is
+  // chosen cluster-wide: members that already snapshotted a newer,
+  // not-yet-committed epoch discard it — restoring a mix of epochs would be
+  // an inconsistent cut.
   for (int r : members) machine_->kill_rank(r);
+  auto& wave = waves_[cluster];
+  const uint64_t epoch = wave.committed;
+  wave.complete.clear();  // in-progress waves died with the cluster
   sim::Time ckpt_time = 0;
   for (int r : members) {
-    if (store_.has(r)) ckpt_time = std::max(ckpt_time, store_.latest(r).taken_at);
-    restore_rank(r);
+    if (epoch > 0)
+      ckpt_time = std::max(ckpt_time, store_.at_epoch(r, epoch).taken_at);
+    restore_rank(r, epoch);
   }
 
   // Collect, per recovering rank, the peers that must learn of the rollback:
@@ -248,10 +355,15 @@ void SpbcProtocol::on_failure(int victim_rank) {
   for (int r : members) peers[r] = rollback_peers_of(r);
 
   machine_->engine().after(machine_->config().restart_delay, [this, cluster, members,
-                                                              failure_time, ckpt_time,
-                                                              targets, peers] {
+                                                              epoch, failure_time,
+                                                              ckpt_time, targets,
+                                                              peers] {
     restart_pending_.erase(cluster);
-    for (int r : members) machine_->respawn_rank(r, store_.has(r));
+    for (int r : members) machine_->respawn_rank(r, epoch > 0);
+    // Re-deliver the intra-cluster messages the restored epoch captured as
+    // in flight across its cut: their senders' snapshots count them as sent,
+    // so nothing else would ever deliver them.
+    for (int r : members) redeliver_captured(r, epoch);
     machine_->begin_recovery_record(cluster, failure_time, ckpt_time, targets);
     // Lines 19-20: announce the rollback with the restored received-windows.
     for (int r : members) send_rollbacks_from(r, peers.at(r));
@@ -274,32 +386,54 @@ void SpbcProtocol::on_failure(int victim_rank) {
   });
 }
 
-void SpbcProtocol::restore_rank(int r) {
+void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
   mpi::Rank& rank = machine_->rank(r);
   rank.reset_for_restart();
   // Any replay this rank was performing for another cluster dies with the
   // rollback (the log is about to be replaced); the peers will re-announce.
   replayers_[static_cast<size_t>(r)].reset();
+  // Snapshots and captures above the committed epoch belong to a wave that
+  // never finished; re-execution will redo that wave from scratch.
+  store_.drop_epochs_above(r, epoch);
+  for (auto it = gc_windows_.lower_bound({r, epoch + 1});
+       it != gc_windows_.end() && it->first.first == r;) {
+    it = gc_windows_.erase(it);
+  }
   auto& cs = ckpt_[static_cast<size_t>(r)];
-  cs.ready_count = 0;
-  cs.done_count = 0;
-  cs.take_received = false;
-  cs.resume_received = false;
-  if (!store_.has(r)) {
-    // No checkpoint yet: roll back to the initial state sigma_0.
+  if (epoch == 0) {
+    // No committed checkpoint yet: roll back to the initial state sigma_0.
     logs_[static_cast<size_t>(r)].clear();
-    cs.calls = 0;
-    cs.epoch = 0;
+    cs = CkptLocal{};
     return;
   }
-  const ckpt::Snapshot& snap = store_.latest(r);
+  const ckpt::Snapshot& snap = store_.at_epoch(r, epoch);
   util::ByteReader reader(snap.bytes);
-  cs.epoch = reader.get<uint64_t>();
+  const uint64_t snap_epoch = reader.get<uint64_t>();
+  SPBC_ASSERT_MSG(snap_epoch == epoch, "snapshot/epoch mismatch for rank " << r);
+  cs.epoch = epoch;
+  cs.snap_epoch = epoch;
+  // Transient wave state restarts at the restored epoch: it is committed by
+  // definition, and markers of any dropped in-flight wave died with the old
+  // incarnation.
+  cs.complete_sent = epoch;
+  cs.wave_seen = epoch;
   cs.calls = reader.get<uint64_t>();
   rank.restore_runtime(reader);
   logs_[static_cast<size_t>(r)].restore(reader);
   machine_->set_pending_app_state(r, reader.get_bytes());
   SPBC_ASSERT_MSG(reader.exhausted(), "trailing bytes in snapshot of rank " << r);
+}
+
+void SpbcProtocol::redeliver_captured(int r, uint64_t epoch) {
+  if (epoch == 0) return;
+  for (const ckpt::CapturedMsg& cm : store_.in_flight(r, epoch)) {
+    mpi::Envelope env = cm.env;
+    // Re-stamp with the restored epoch: the copy is now part of the
+    // epoch's state, not a cut-crossing message to capture again.
+    env.ckpt_epoch = epoch;
+    machine_->rank(r).deliver_envelope(env, *cm.payload, /*payload_ready=*/true,
+                                       /*sender_req=*/0);
+  }
 }
 
 std::set<int> SpbcProtocol::rollback_peers_of(int r) const {
@@ -340,12 +474,17 @@ void SpbcProtocol::handle_rollback(mpi::Rank& receiver, const mpi::ControlMsg& m
   size_t pos = 0;
   StreamWindows peer_windows = decode_windows(msg.words, pos);
 
-  // The Rollback carries the peer's restored received-windows — refresh our
-  // LS-suppression state from it. Without this, a rank that itself rolled
-  // back earlier keeps suppression learned from the peer's PRE-crash state:
-  // it would keep skipping re-sends the peer no longer holds, and if those
-  // sends were not yet re-logged when this Rollback arrived, nothing would
-  // ever deliver them (observed as a deadlock under repeated failures).
+  // The Rollback carries the peer's COMPLETE restored received-windows —
+  // replace our LS-suppression state with it. Without the refresh, a rank
+  // that itself rolled back earlier keeps suppression learned from the
+  // peer's PRE-crash state: it would keep skipping re-sends the peer no
+  // longer holds, and if those sends were not yet re-logged when this
+  // Rollback arrived, nothing would ever deliver them (observed as a
+  // deadlock under repeated failures). The reset must cover streams ABSENT
+  // from the announcement too: a peer restored to the initial state (or an
+  // epoch predating a stream) announces no window for it, and stale
+  // suppression left behind would silently drop the re-executed sends.
+  receiver.clear_peer_received(peer);
   for (const auto& [key, win] : peer_windows) {
     receiver.send_state(peer, key.first, key.second == -1 ? 0 : key.second)
         .peer_received = win;
@@ -386,9 +525,12 @@ void SpbcProtocol::handle_rollback(mpi::Rank& receiver, const mpi::ControlMsg& m
 void SpbcProtocol::handle_last_message(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
   // Lines 25-26: install the peer's received-windows as our suppression
   // state for streams me -> peer. The stream id doubles as the tag in
-  // seq_per_tag mode and is -1 otherwise, matching stream_of().
+  // seq_per_tag mode and is -1 otherwise, matching stream_of(). As with
+  // Rollback, the reply enumerates the peer's complete receive state, so
+  // streams it does not mention must drop any stale suppression.
   size_t pos = 0;
   StreamWindows windows = decode_windows(msg.words, pos);
+  receiver.clear_peer_received(msg.src);
   for (auto& [key, win] : windows) {
     receiver.send_state(msg.src, key.first, key.second == -1 ? 0 : key.second)
         .peer_received = std::move(win);
@@ -405,21 +547,21 @@ void SpbcProtocol::on_control(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
     case mpi::ControlMsg::Kind::kLastMessage:
       handle_last_message(receiver, msg);
       break;
-    case mpi::ControlMsg::Kind::kCkptReady:
-      ++cs.ready_count;
-      receiver.wake();
+    case mpi::ControlMsg::Kind::kCkptMarker:
+      // A cluster peer cut epoch msg.words[0]. If this member has not, it
+      // joins the wave at its next maybe_checkpoint() call (nothing blocks
+      // on the marker — the wave stays non-blocking).
+      cs.wave_seen = std::max(cs.wave_seen, msg.words.at(0));
       break;
-    case mpi::ControlMsg::Kind::kCkptTake:
-      cs.take_received = true;
-      receiver.wake();
+    case mpi::ControlMsg::Kind::kCkptComplete:
+      note_wave_complete(machine_->cluster_of(receiver.rank()), msg.words.at(0),
+                         msg.src);
       break;
-    case mpi::ControlMsg::Kind::kCkptDone:
-      ++cs.done_count;
-      receiver.wake();
-      break;
-    case mpi::ControlMsg::Kind::kCkptResume:
-      cs.resume_received = true;
-      receiver.wake();
+    case mpi::ControlMsg::Kind::kCkptCommit:
+      // The wave's down-sweep: the member learns its epoch committed and
+      // discards the local state the commit supersedes.
+      cs.epoch = std::max(cs.epoch, msg.words.at(0));
+      store_.prune_epochs_below(receiver.rank(), cs.epoch);
       break;
     default:
       SPBC_UNREACHABLE("unhandled control message kind in SpbcProtocol");

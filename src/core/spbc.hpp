@@ -19,14 +19,16 @@
 //     one cluster re-triggers Rollbacks from other still-recovering
 //     clusters, so replays invalidated by a second crash are re-issued.
 //
-// Known limitation: the intra-cluster checkpoint wave is a blocking drain
-// barrier. Under sustained failure storms (many rollbacks close together),
-// clusters can drift far enough out of phase that two concurrently blocking
-// waves form a cross-cluster circular wait through application halo
-// dependencies. A marker-based (Chandy-Lamport) wave that snapshots without
-// parking its members would remove the cycle; the paper does not specify
-// the intra-cluster coordination algorithm. The MTBF stress bench reports
-// such rows as "fail" rather than masking them.
+//   * The intra-cluster checkpoint wave is marker-based (Chandy-Lamport
+//     style) and never parks a member: each rank snapshots at its own
+//     checkpoint boundary, stamps subsequent intra-cluster messages with the
+//     new epoch (the piggybacked marker), keeps executing while peers catch
+//     up, and the wave commits through an async completion reduction. Intra-
+//     cluster messages that cross the cut are captured at the receiver and
+//     re-delivered on restore. This replaces an earlier blocking drain
+//     barrier whose concurrent waves could form a cross-cluster circular
+//     wait through application halo dependencies under failure storms (the
+//     paper does not specify the intra-cluster coordination algorithm).
 
 #include <cstdint>
 #include <map>
@@ -76,10 +78,12 @@ class SpbcProtocol : public mpi::ProtocolHooks {
 
   // ---- ProtocolHooks ---------------------------------------------------
   void attach(mpi::Machine& machine) override;
+  void stamp_envelope(mpi::Rank& sender, mpi::Envelope& env) override;
   sim::Time on_send(mpi::Rank& sender, const mpi::Envelope& env,
                     const mpi::Payload& payload) override;
   bool should_transmit(mpi::Rank& sender, const mpi::Envelope& env) override;
-  void on_delivered(mpi::Rank& receiver, const mpi::Envelope& env) override;
+  void on_delivered(mpi::Rank& receiver, const mpi::Envelope& env,
+                    const mpi::Payload& payload) override;
   bool pattern_matching_enabled() const override { return cfg_.pattern_ids; }
   bool maybe_checkpoint(mpi::Rank& rank) override;
   void on_failure(int victim_rank) override;
@@ -94,9 +98,21 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   const SpbcConfig& config() const { return cfg_; }
   uint64_t checkpoints_taken() const { return store_.snapshots_taken(); }
   uint64_t rollbacks() const { return rollbacks_; }
+  /// Last checkpoint epoch whose wave fully committed (every member
+  /// snapshotted and drained its pre-cut intra-cluster sends). Recovery
+  /// restores this epoch.
+  uint64_t committed_epoch(int cluster) const;
+  /// Epoch of this rank's most recent local snapshot (>= its cluster's
+  /// committed epoch while a wave is in flight).
+  uint64_t snapshot_epoch(int rank) const;
 
-  /// Forces an immediate coordinated checkpoint of the caller's cluster
-  /// (fiber context) regardless of the periodic schedule.
+  /// Starts a checkpoint wave from the caller (fiber context) regardless of
+  /// the periodic schedule: the caller snapshots immediately; its markers
+  /// make every cluster peer join the wave at its next maybe_checkpoint()
+  /// call (peers running with checkpoint_every=0 included). The epoch
+  /// commits — i.e. becomes the restore target — once every member has
+  /// joined and drained, so peers must keep reaching checkpoint
+  /// opportunities for the forced snapshot to become restorable.
   void checkpoint_now(mpi::Rank& rank);
 
  protected:
@@ -111,29 +127,53 @@ class SpbcProtocol : public mpi::ProtocolHooks {
 
  private:
   struct CkptLocal {
-    uint64_t calls = 0;        // maybe_checkpoint() invocations (checkpointed)
-    uint64_t epoch = 0;        // completed checkpoint waves (checkpointed)
-    // Transient barrier state (zeroed on rollback):
-    int ready_count = 0;
-    int done_count = 0;
-    bool take_received = false;
-    bool resume_received = false;
+    uint64_t calls = 0;       // maybe_checkpoint() invocations (checkpointed)
+    uint64_t epoch = 0;       // last epoch this rank knows committed
+    uint64_t snap_epoch = 0;  // last epoch this rank snapshotted (>= epoch);
+                              // the stamp carried by its outgoing envelopes
+    // Highest epoch whose kCkptComplete this member has sent (transient;
+    // reset to the restored epoch on rollback). A drain at time T covers
+    // every epoch cut before T, so one watcher firing can report several.
+    uint64_t complete_sent = 0;
+    // Highest epoch announced by a cluster peer's kCkptMarker (transient).
+    // When it runs ahead of snap_epoch, this member joins the wave at its
+    // next maybe_checkpoint() call — the application-level analogue of
+    // "snapshot on first marker receipt": the marker cannot interrupt the
+    // app mid-iteration, but the next checkpoint opportunity is the first
+    // point where an app-consistent local snapshot exists.
+    uint64_t wave_seen = 0;
+  };
+
+  /// Per-cluster marker-wave state (event-context authoritative view).
+  struct ClusterWave {
+    uint64_t committed = 0;  // last epoch whose completion reduction finished
+    // epoch -> members that reported kCkptComplete. A set, not a count:
+    // re-executed waves after a rollback must not double-count.
+    std::map<uint64_t, std::set<int>> complete;
   };
 
   bool is_inter_cluster(const mpi::Envelope& env) const;
   void run_coordinated_checkpoint(mpi::Rank& rank);
-  void take_snapshot(mpi::Rank& rank);
-  void restore_rank(int r);
+  void arm_wave_completion(int member, uint64_t epoch);
+  void note_wave_complete(int cluster, uint64_t epoch, int member);
+  void restore_rank(int r, uint64_t epoch);
+  void redeliver_captured(int r, uint64_t epoch);
   void send_rollbacks_from(int r, const std::set<int>& peers);
   std::set<int> rollback_peers_of(int r) const;
   void handle_rollback(mpi::Rank& receiver, const mpi::ControlMsg& msg);
   void handle_last_message(mpi::Rank& receiver, const mpi::ControlMsg& msg);
-  void gc_after_checkpoint(int cluster);
+  void gc_after_checkpoint(int cluster, uint64_t epoch);
 
   ckpt::Store store_;
   std::vector<SenderLog> logs_;
   std::vector<Replayer> replayers_;
   std::vector<CkptLocal> ckpt_;
+  std::map<int, ClusterWave> waves_;
+  // gc_logs extension: per (rank, epoch), the inter-cluster received-windows
+  // at snapshot time — GC at commit must use the windows the epoch captured,
+  // not the live ones, or it would drop log entries a rollback still needs.
+  std::map<std::pair<int, uint64_t>, std::map<mpi::Rank::StreamKey, mpi::SeqWindow>>
+      gc_windows_;
   std::set<int> recovering_clusters_;
   std::set<int> restart_pending_;  // killed + restored, respawn scheduled
   uint64_t rollbacks_ = 0;

@@ -19,6 +19,7 @@ Machine::Machine(MachineConfig cfg, std::unique_ptr<ProtocolHooks> protocol)
       incarnation_(static_cast<size_t>(cfg.nranks), 0),
       alive_(static_cast<size_t>(cfg.nranks), false),
       intra_outstanding_(static_cast<size_t>(cfg.nranks), 0),
+      intra_drain_watchers_(static_cast<size_t>(cfg.nranks)),
       cluster_of_(static_cast<size_t>(cfg.nranks), 0) {
   SPBC_ASSERT(protocol_);
   engine_.set_abort_on_deadlock(cfg.abort_on_deadlock);
@@ -138,9 +139,7 @@ void Machine::transport_send(Rank& /*sender*/, const Envelope& env, Payload payl
                 [this, env, pl, inc, src_inc, intra] {
                   if (intra &&
                       incarnation_[static_cast<size_t>(env.src)] == src_inc) {
-                    SPBC_ASSERT(intra_outstanding_[static_cast<size_t>(env.src)] > 0);
-                    --intra_outstanding_[static_cast<size_t>(env.src)];
-                    rank(env.src).wake();  // flush waiters
+                    note_intra_send_landed(env.src);
                   }
                   if (incarnation_[static_cast<size_t>(env.dst)] != inc ||
                       !alive_[static_cast<size_t>(env.dst)]) {
@@ -152,9 +151,15 @@ void Machine::transport_send(Rank& /*sender*/, const Envelope& env, Payload payl
     on_complete();
   } else {
     // Rendezvous: RTS -> (match) -> CTS -> payload. The send completes when
-    // the CTS arrives (buffer handed to the NIC).
+    // the CTS arrives (buffer handed to the NIC). The intra-cluster
+    // in-flight count covers the whole handshake: the message is "in the
+    // channel" from RTS until its payload lands at the destination's MPI
+    // layer, and the checkpoint wave's completion must wait out that span.
+    if (intra) ++intra_outstanding_[static_cast<size_t>(env.src)];
     uint64_t id = ++next_rendezvous_id_;
-    rendezvous_[id] = PendingRendezvous{env, std::move(payload), std::move(on_complete)};
+    rendezvous_[id] =
+        PendingRendezvous{env, std::move(payload), std::move(on_complete),
+                          incarnation_[static_cast<size_t>(env.dst)]};
     ControlMsg rts;
     rts.kind = ControlMsg::Kind::kRts;
     rts.src = env.src;
@@ -191,15 +196,17 @@ void Machine::handle_control(int dst, const ControlMsg& msg) {
       if (it == rendezvous_.end()) return;  // purged by a crash in between
       PendingRendezvous pr = std::move(it->second);
       rendezvous_.erase(it);
+      // The rendezvous entry still existing proves the sender has not been
+      // killed since the RTS, so the RTS-time intra increment is still live.
+      bool intra = cluster_of(pr.env.src) == cluster_of(pr.env.dst);
       if (!msg.words.empty() && msg.words[0] == 1) {
         // Discard-CTS: the receiver already holds this seqnum; complete the
         // send without shipping the payload.
+        if (intra) note_intra_send_landed(pr.env.src);
         if (pr.on_complete) pr.on_complete();
         break;
       }
       const Envelope env = pr.env;
-      bool intra = cluster_of(env.src) == cluster_of(env.dst);
-      if (intra) ++intra_outstanding_[static_cast<size_t>(env.src)];
       uint32_t inc = incarnation_[static_cast<size_t>(env.dst)];
       uint32_t src_inc = incarnation_[static_cast<size_t>(env.src)];
       auto pl = std::make_shared<Payload>(std::move(pr.payload));
@@ -208,9 +215,7 @@ void Machine::handle_control(int dst, const ControlMsg& msg) {
                   [this, env, pl, inc, src_inc, intra, req_id] {
                     if (intra &&
                         incarnation_[static_cast<size_t>(env.src)] == src_inc) {
-                      SPBC_ASSERT(intra_outstanding_[static_cast<size_t>(env.src)] > 0);
-                      --intra_outstanding_[static_cast<size_t>(env.src)];
-                      rank(env.src).wake();
+                      note_intra_send_landed(env.src);
                     }
                     if (incarnation_[static_cast<size_t>(env.dst)] != inc ||
                         !alive_[static_cast<size_t>(env.dst)]) {
@@ -269,6 +274,9 @@ void Machine::kill_rank(int r) {
       ++it;
   }
   intra_outstanding_[static_cast<size_t>(r)] = 0;
+  // Drain watchers armed by the old incarnation are void: the checkpoint
+  // wave they belonged to died with the rollback.
+  intra_drain_watchers_[static_cast<size_t>(r)].clear();
   Rank& rk = rank(r);
   if (rk.task() != sim::Engine::kInvalidTask) {
     engine_.kill(rk.task());
@@ -319,7 +327,8 @@ std::vector<Envelope> Machine::pending_rendezvous_envelopes() const {
 std::vector<Machine::OrphanSend> Machine::take_rendezvous_to(int dst, int src) {
   std::vector<OrphanSend> out;
   for (auto it = rendezvous_.begin(); it != rendezvous_.end();) {
-    if (it->second.env.dst == dst && it->second.env.src == src) {
+    if (it->second.env.dst == dst && it->second.env.src == src &&
+        it->second.dst_inc != incarnation_[static_cast<size_t>(dst)]) {
       out.push_back(OrphanSend{it->second.env, std::move(it->second.on_complete)});
       it = rendezvous_.erase(it);
     } else {
@@ -329,11 +338,23 @@ std::vector<Machine::OrphanSend> Machine::take_rendezvous_to(int dst, int src) {
   return out;
 }
 
-void Machine::flush_intra_sends(Rank& rk) {
-  int r = rk.rank();
-  rk.block_until(
-      [this, r] { return intra_outstanding_[static_cast<size_t>(r)] == 0; },
-      "flush intra-cluster sends");
+void Machine::note_intra_send_landed(int src) {
+  SPBC_ASSERT(intra_outstanding_[static_cast<size_t>(src)] > 0);
+  --intra_outstanding_[static_cast<size_t>(src)];
+  rank(src).wake();  // waiters on the count (diagnostics, legacy drains)
+  if (intra_outstanding_[static_cast<size_t>(src)] == 0) {
+    auto fns = std::move(intra_drain_watchers_[static_cast<size_t>(src)]);
+    intra_drain_watchers_[static_cast<size_t>(src)].clear();
+    for (auto& fn : fns) fn();
+  }
+}
+
+void Machine::notify_when_intra_drained(int r, std::function<void()> fn) {
+  if (intra_outstanding_[static_cast<size_t>(r)] == 0) {
+    fn();
+    return;
+  }
+  intra_drain_watchers_[static_cast<size_t>(r)].push_back(std::move(fn));
 }
 
 // ---------------------------------------------------------------------------

@@ -154,9 +154,14 @@ class Machine {
   void set_pending_app_state(int rank, std::vector<unsigned char> bytes);
   std::vector<unsigned char> take_pending_app_state(int rank);
 
-  /// Removes and returns pending rendezvous sends from `src` to `dst` (the
-  /// peer crashed mid-rendezvous). The protocol completes their application
-  /// requests when the corresponding logged messages finish replaying.
+  /// Removes and returns pending rendezvous sends from `src` to `dst` whose
+  /// handshake died with a previous incarnation of `dst` (the peer crashed
+  /// mid-rendezvous, so its CTS will never come). The protocol completes
+  /// their application requests when the corresponding logged messages
+  /// finish replaying. Handshakes addressed to the CURRENT incarnation are
+  /// left alone: a Rollback can also be a re-announcement during overlapping
+  /// recoveries, and orphaning a live handshake would park the sender on a
+  /// CTS the receiver still owes it.
   struct OrphanSend {
     Envelope env;
     std::function<void()> on_complete;
@@ -165,11 +170,18 @@ class Machine {
 
   bool rank_alive(int rank) const { return alive_[rank]; }
 
-  // ---- intra-cluster flush (checkpoint drain) ---------------------------
-  /// Count of this rank's in-flight intra-cluster data transfers.
+  // ---- intra-cluster in-flight tracking (checkpoint-wave completion) ----
+  /// Count of this rank's in-flight intra-cluster data transfers. A
+  /// rendezvous send counts from RTS until its payload lands (or a
+  /// discard-CTS completes it), so the count covers every message that could
+  /// cross a checkpoint cut.
   uint64_t outstanding_intra_sends(int rank) const { return intra_outstanding_[rank]; }
-  /// Fiber-side: parks until this rank's intra-cluster in-flight count is 0.
-  void flush_intra_sends(Rank& rank);
+
+  /// Registers a one-shot callback fired when `rank`'s intra-cluster
+  /// in-flight count reaches zero (immediately if already drained). The
+  /// marker-based checkpoint wave uses this to emit its completion message
+  /// without parking the fiber. Watchers are dropped when the rank is killed.
+  void notify_when_intra_drained(int rank, std::function<void()> fn);
 
   // ---- measurement -------------------------------------------------------
   /// Per-channel world-level traffic matrix (bytes), for the clustering tool.
@@ -205,6 +217,7 @@ class Machine {
                     uint64_t sender_req);
   void handle_control(int dst, const ControlMsg& msg);
   void record_traffic(const Envelope& env);
+  void note_intra_send_landed(int src);
 
   MachineConfig cfg_;
   sim::Engine engine_;
@@ -217,6 +230,7 @@ class Machine {
   std::vector<uint32_t> incarnation_;
   std::vector<bool> alive_;
   std::vector<uint64_t> intra_outstanding_;
+  std::vector<std::vector<std::function<void()>>> intra_drain_watchers_;
   std::vector<int> cluster_of_;
   int nclusters_ = 1;
 
@@ -227,6 +241,7 @@ class Machine {
     Envelope env;
     Payload payload;
     std::function<void()> on_complete;
+    uint32_t dst_inc = 0;  // destination incarnation the RTS was addressed to
   };
   std::map<uint64_t, PendingRendezvous> rendezvous_;
   uint64_t next_rendezvous_id_ = 0;

@@ -109,6 +109,21 @@ bool MatchEngine::complete_unexpected_payload(uint64_t sender_req, int src,
   return false;
 }
 
+bool MatchEngine::adopt_pending_rts(const Envelope& env, Payload& payload,
+                                    uint64_t* stale_req) {
+  for (auto& um : unexpected_) {
+    if (!um.payload_ready && um.env.src == env.src && um.env.ctx == env.ctx &&
+        um.env.tag == env.tag && um.env.seqnum == env.seqnum) {
+      *stale_req = um.sender_req;
+      um.payload = std::move(payload);
+      um.payload_ready = true;
+      um.sender_req = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
 void MatchEngine::cancel_posted(const RequestState* req) {
   posted_.erase(std::remove_if(posted_.begin(), posted_.end(),
                                [req](const auto& p) { return p.get() == req; }),

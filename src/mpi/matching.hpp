@@ -87,6 +87,16 @@ class MatchEngine {
   /// already matched — the caller then completes the matched request).
   bool complete_unexpected_payload(uint64_t sender_req, int src, Payload payload);
 
+  /// Recovery: a full copy of a message whose rendezvous RTS is still queued
+  /// unmatched arrived (replay or re-execution overlapping an in-flight
+  /// handshake during overlapping recoveries). Merges the payload into the
+  /// queued entry in place — keeping its arrival-order position and avoiding
+  /// a duplicate queue entry — and returns the entry's original sender_req
+  /// through `stale_req` so the caller can release the sender with a
+  /// discard-CTS. Returns false if no such pending entry exists.
+  bool adopt_pending_rts(const Envelope& env, Payload& payload,
+                         uint64_t* stale_req);
+
   /// Cancels a posted request (removes it from the posted queue).
   void cancel_posted(const RequestState* req);
 

@@ -26,6 +26,13 @@ class ProtocolHooks {
   /// Called once after the Machine wired up all ranks.
   virtual void attach(Machine& machine) = 0;
 
+  /// Sender-side stamping of protocol metadata onto the envelope, called
+  /// right after seqnum assignment and before on_send. SPBC piggybacks its
+  /// checkpoint-epoch marker here: intra-cluster messages carry the sender's
+  /// current epoch so receivers can classify traffic that crosses a
+  /// checkpoint cut without any blocking coordination.
+  virtual void stamp_envelope(Rank& /*sender*/, Envelope& /*env*/) {}
+
   /// Send path, called from the sender's fiber after seqnum assignment and
   /// before any transport activity. Returns the virtual-time cost to charge
   /// to the sender (payload logging memcpy etc.).
@@ -37,8 +44,11 @@ class ProtocolHooks {
   virtual bool should_transmit(Rank& sender, const Envelope& env) = 0;
 
   /// Delivery path at the destination's MPI layer (event context), after the
-  /// received-window was updated and before matching.
-  virtual void on_delivered(Rank& receiver, const Envelope& env) = 0;
+  /// received-window was updated and before matching. The payload is the
+  /// delivered message content; SPBC's marker-based wave copies it into the
+  /// per-epoch in-flight capture when the message crossed a checkpoint cut.
+  virtual void on_delivered(Rank& receiver, const Envelope& env,
+                            const Payload& payload) = 0;
 
   /// A message was matched to (and completed) a reception request — the
   /// application has consumed it. HydEE's coordinator model acknowledges
@@ -73,7 +83,7 @@ class NativeProtocol final : public ProtocolHooks {
   void attach(Machine&) override {}
   sim::Time on_send(Rank&, const Envelope&, const Payload&) override { return 0.0; }
   bool should_transmit(Rank&, const Envelope&) override { return true; }
-  void on_delivered(Rank&, const Envelope&) override {}
+  void on_delivered(Rank&, const Envelope&, const Payload&) override {}
   bool pattern_matching_enabled() const override { return false; }
   bool maybe_checkpoint(Rank&) override { return false; }
   void on_failure(int) override {}

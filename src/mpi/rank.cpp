@@ -40,6 +40,7 @@ Request Rank::isend(int dst, int tag, Payload payload, const Comm& comm) {
   env.hash = payload.hash;
   env.uid = machine_.fresh_uid();
   env.lclock = ++lamport_;
+  machine_.protocol().stamp_envelope(*this, env);
 
   ++profile_.sends;
   bool inter = machine_.cluster_of(env.src) != machine_.cluster_of(env.dst);
@@ -105,6 +106,7 @@ Request Rank::irecv(int src, int tag, const Comm& comm) {
       // Rendezvous: clear-to-send, then wait for the payload.
       st->matched = true;
       st->matched_seq = res.msg.env.seqnum;
+      st->matched_tag = res.msg.env.tag;
       pending_payload_[{res.msg.env.src, res.msg.sender_req}] = st;
       ControlMsg cts;
       cts.kind = ControlMsg::Kind::kCts;
@@ -311,6 +313,12 @@ Rank::ChannelSendState& Rank::send_state(int dst, int ctx, int tag) {
   return send_state_[StreamKey{dst, ctx, stream_of(tag)}];
 }
 
+void Rank::clear_peer_received(int peer) {
+  for (auto& [key, ch] : send_state_) {
+    if (key.peer == peer) ch.peer_received = SeqWindow{};
+  }
+}
+
 SeqWindow& Rank::recv_window(int src, int ctx, int tag) {
   return recv_window_[StreamKey{src, ctx, stream_of(tag)}];
 }
@@ -332,7 +340,47 @@ void Rank::deliver_envelope(const Envelope& env, Payload payload, bool payload_r
   if (payload_ready) {
     // Full message (eager or replayed): dedupe + received-window update.
     if (!accept_seq(env)) return;
-    machine_.protocol().on_delivered(*this, env);
+    machine_.protocol().on_delivered(*this, env, payload);
+    // Overlapping recoveries can race a REPLAYED full copy of a message
+    // against an in-flight rendezvous handshake for the same message (a
+    // re-executed copy takes the same eager/rendezvous path as the
+    // original, so only replays deliver a full copy of a rendezvous-sized
+    // message). Reconcile instead of queuing a duplicate copy — gated on
+    // env.replayed to keep both scans off the failure-free hot path:
+    if (env.replayed) {
+      //  (a) a request already matched the message's RTS and is parked on
+      //      the payload — complete it with this copy (content is identical
+      //      by send determinism; the eventual rendezvous payload, if the
+      //      handshake is still live, deduplicates on arrival);
+      for (auto it = pending_payload_.begin(); it != pending_payload_.end(); ++it) {
+        const auto& req = it->second;
+        if (it->first.first == env.src && req->matched_seq == env.seqnum &&
+            req->ctx == env.ctx && req->matched_tag == env.tag) {
+          auto r = req;
+          pending_payload_.erase(it);
+          complete_recv(r, env, std::move(payload));
+          wake();
+          return;
+        }
+      }
+      //  (b) the message's RTS is still queued unmatched — merge the payload
+      //      into that entry (keeping its arrival-order position) and
+      //      release the sender with a discard-CTS, since the payload need
+      //      not ship.
+      uint64_t stale_req = 0;
+      if (match_.adopt_pending_rts(env, payload, &stale_req)) {
+        ControlMsg cts;
+        cts.kind = ControlMsg::Kind::kCts;
+        cts.src = world_rank_;
+        cts.dst = env.src;
+        cts.env = env;
+        cts.sender_req = stale_req;
+        cts.words.push_back(1);  // discard: complete the send, skip payload
+        machine_.send_control(world_rank_, env.src, std::move(cts));
+        wake();
+        return;
+      }
+    }
     auto req = match_.on_envelope(env, payload, true, sender_req);
     if (req) complete_recv(req, env, std::move(payload));
   } else {
@@ -359,6 +407,7 @@ void Rank::deliver_envelope(const Envelope& env, Payload payload, bool payload_r
     if (req) {
       req->matched = true;
       req->matched_seq = env.seqnum;
+      req->matched_tag = env.tag;
       pending_payload_[{env.src, sender_req}] = req;
       ControlMsg cts;
       cts.kind = ControlMsg::Kind::kCts;
@@ -374,7 +423,7 @@ void Rank::deliver_envelope(const Envelope& env, Payload payload, bool payload_r
 
 void Rank::deliver_payload(const Envelope& env, Payload payload, uint64_t sender_req) {
   if (!accept_seq(env)) return;
-  machine_.protocol().on_delivered(*this, env);
+  machine_.protocol().on_delivered(*this, env, payload);
   auto it = pending_payload_.find({env.src, sender_req});
   if (it != pending_payload_.end()) {
     auto req = it->second;
@@ -418,6 +467,7 @@ void Rank::rewind_pending_from(int src) {
     } else {
       req->matched = true;
       req->matched_seq = res.msg.env.seqnum;
+      req->matched_tag = res.msg.env.tag;
       pending_payload_[{res.msg.env.src, res.msg.sender_req}] = req;
       ControlMsg cts;
       cts.kind = ControlMsg::Kind::kCts;
@@ -445,8 +495,11 @@ void Rank::complete_recv(const std::shared_ptr<RequestState>& req, const Envelop
 void Rank::serialize_runtime(util::ByteWriter& w) const {
   w.put<uint64_t>(send_state_.size());
   for (const auto& [key, ch] : send_state_) {
-    SPBC_ASSERT_MSG(ch.replay_pending == 0,
-                    "checkpoint during active replay is not supported");
+    // replay_pending is transient and deliberately not serialized: a rank may
+    // snapshot while replaying for another cluster's recovery (the marker
+    // wave never drains replays). If this snapshot is ever restored, the
+    // replayer is reset and the still-recovering peers re-announce their
+    // Rollbacks, which re-queues the replays from the restored log.
     w.put(key);
     w.put<uint64_t>(ch.next_seq);
     ch.peer_received.serialize(w);

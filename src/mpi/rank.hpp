@@ -188,6 +188,14 @@ class Rank {
 
   /// Sender-side state for stream (me -> dst, ctx, stream_of(tag)).
   ChannelSendState& send_state(int dst, int ctx, int tag = 0);
+
+  /// Recovery: wipes the LS-suppression windows of every stream toward
+  /// `peer`. A Rollback (and its lastMessage reply) enumerates the peer's
+  /// COMPLETE restored receive state, so streams absent from it — e.g.
+  /// after the peer rolled back to the initial state — must not keep stale
+  /// suppression, or re-executed sends the peer no longer holds would be
+  /// skipped and lost.
+  void clear_peer_received(int peer);
   /// Receiver-side received-window for stream (src -> me, ctx, stream_of(tag)).
   SeqWindow& recv_window(int src, int ctx, int tag = 0);
 

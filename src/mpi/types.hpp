@@ -85,6 +85,9 @@ struct Envelope {
   uint64_t uid = 0;       // globally unique id (tracing/debug)
   uint64_t lclock = 0;    // Lamport clock (piggybacked; used by the HydEE
                           // baseline to order its centralized replay)
+  uint64_t ckpt_epoch = 0;  // sender's checkpoint epoch at send time — the
+                            // piggybacked marker of the non-blocking
+                            // intra-cluster checkpoint wave (see DESIGN.md)
   bool replayed = false;  // re-sent from a sender log during recovery
 };
 
@@ -200,10 +203,13 @@ struct ControlMsg {
     kCts,          // rendezvous clear-to-send (transport)
     kRollback,     // Algorithm 1: recovering rank announces received windows
     kLastMessage,  // Algorithm 1: peer reports what it already received
-    kCkptReady,    // intra-cluster coordinated checkpoint: drained + ready
-    kCkptTake,     // intra-cluster coordinated checkpoint: take snapshot now
-    kCkptDone,     // snapshot written; waiting for cluster-wide resume
-    kCkptResume,   // all snapshots written; resume the application
+    kCkptMarker,    // marker-based wave: "I snapshotted epoch E"; data
+                    // messages piggyback the same information as an epoch
+                    // stamp, so members never park waiting for it
+    kCkptComplete,  // member -> wave root: snapshot written and every
+                    // pre-cut intra-cluster send has landed
+    kCkptCommit,    // root -> members: all members completed epoch E; the
+                    // wave's async completion reduction
     kReplayGrantRequest,  // HydEE: ask coordinator for permission to replay
     kReplayGrant,         // HydEE: coordinator grants one replay
     kReplayAck,           // HydEE: replayed message delivered

@@ -1,5 +1,7 @@
 // Tests: checkpoint store cost model, rank-state snapshot round trips, and
-// the intra-cluster coordinated (drain) checkpoint protocol.
+// the intra-cluster coordinated checkpoint protocol (non-blocking
+// marker-based wave): consistent waves, periodicity, storage cost,
+// in-flight-message capture, and epoch-consistent restore.
 
 #include <gtest/gtest.h>
 
@@ -176,6 +178,142 @@ TEST(CoordinatedCkpt, PeriodicityHonored) {
   EXPECT_TRUE(m.run().completed);
   EXPECT_EQ(taken0, 2);  // calls 3 and 6
   EXPECT_EQ(p->checkpoints_taken(), 4u);
+}
+
+// An intra-cluster message in flight across the checkpoint cut (sent before
+// the sender's snapshot, delivered after the receiver's) must be captured
+// into the epoch's restore data and re-delivered after a rollback: the
+// restored sender will not re-send it, and the restored receiver has not
+// received it.
+TEST(CoordinatedCkpt, InFlightIntraMessageCapturedAndRestored) {
+  MachineConfig cfg;
+  cfg.nranks = 2;
+  cfg.ranks_per_node = 2;
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 1;
+  auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+  core::SpbcProtocol* p = proto.get();
+  Machine m(cfg, std::move(proto));
+  m.set_cluster_of({0, 0});
+  uint64_t hash_out = 0;
+  m.launch([&hash_out](Rank& r) {
+    struct St {
+      int stage = 0;
+      uint64_t hash = 0;
+    } st;
+    r.set_state_handlers(
+        [&st](util::ByteWriter& w) { w.put(st); },
+        [&st](util::ByteReader& rd) { st = rd.get<decltype(st)>(); });
+    if (r.restarted()) r.restore_app_state();
+    const mpi::Comm& w = r.world();
+    if (r.rank() == 0) {
+      if (st.stage == 0) {
+        // Eager send: the buffer is reusable immediately, so the message is
+        // still in flight when the boundary snapshot below cuts the epoch.
+        r.send(1, 5, Payload::make_synthetic(256, 0xfeed), w);
+        st.stage = 1;
+      }
+      r.maybe_checkpoint();
+      r.compute(5e-3);
+    } else {
+      // Rank 1 reaches its boundary (and snapshots) before the message
+      // arrives -- the delivery then crosses the cut and is captured.
+      r.maybe_checkpoint();
+      if (st.stage == 0) {
+        st.hash = r.recv(0, 5, w).hash;
+        st.stage = 1;
+      }
+      r.compute(5e-3);
+      hash_out = st.hash;
+    }
+  });
+  m.inject_failure(2e-3, 0);  // after epoch 1 committed, during the computes
+  mpi::RunResult res = m.run();
+  ASSERT_TRUE(res.completed) << "deadlocked=" << res.deadlocked;
+  // The cut-crossing message was captured (the per-epoch list itself is
+  // pruned once re-execution commits the next epoch)...
+  EXPECT_GE(p->store().in_flight_captured(), 1u);
+  // ...and the restored epoch was the committed one, not sigma_0.
+  ASSERT_EQ(m.recoveries().size(), 1u);
+  EXPECT_GT(m.recoveries().at(0).checkpoint_time, 0.0);
+  // Rank 1's re-executed recv was satisfied by the re-delivered capture
+  // (rank 0's restored state shows the message as already sent).
+  EXPECT_EQ(hash_out, 0xfeedu);
+  EXPECT_EQ(p->rollbacks(), 1u);
+}
+
+// A failure while a wave is only partially complete (one member snapshotted
+// epoch E, the other has not) must restore the whole cluster to the last
+// COMMITTED epoch -- never a mix of epochs, which would be an inconsistent
+// cut (the epoch-E member would skip re-sends its peer still expects).
+TEST(CoordinatedCkpt, EpochConsistentRestoreDiscardsUncommittedWave) {
+  MachineConfig cfg;
+  cfg.nranks = 2;
+  cfg.ranks_per_node = 2;
+  cfg.abort_on_deadlock = false;
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 1;
+  const int iters = 2;
+  auto run = [&](bool inject, std::map<int, uint64_t>* sums,
+                 core::SpbcProtocol** proto_out) {
+    auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+    if (proto_out) *proto_out = proto.get();
+    auto m = std::make_unique<Machine>(cfg, std::move(proto));
+    m->set_cluster_of({0, 0});
+    m->launch([sums](Rank& r) {
+      struct St {
+        int iter = 0;
+        uint64_t sum = 0;
+      } st;
+      r.set_state_handlers(
+          [&st](util::ByteWriter& w) { w.put(st); },
+          [&st](util::ByteReader& rd) { st = rd.get<decltype(st)>(); });
+      if (r.restarted()) r.restore_app_state();
+      const mpi::Comm& w = r.world();
+      for (; st.iter < iters;) {
+        int peer = 1 - r.rank();
+        mpi::Request rq = r.irecv(peer, 1, w);
+        r.isend(peer, 1,
+                Payload::make_synthetic(
+                    128, static_cast<uint64_t>(r.rank() * 100 + st.iter)),
+                w);
+        r.wait(rq);
+        util::Fnv1a64 h;
+        h.update_u64(st.sum);
+        h.update_u64(rq.result().hash);
+        st.sum = h.digest();
+        // Iteration 1: rank 0 races ahead to the next boundary and
+        // snapshots epoch 2 while rank 1 is still computing.
+        r.compute(st.iter == 1 && r.rank() == 1 ? 8e-3 : 1e-4);
+        ++st.iter;
+        r.maybe_checkpoint();
+      }
+      if (sums) (*sums)[r.rank()] = st.sum;
+    });
+    if (inject) m->inject_failure(4e-3, 0);
+    return m;
+  };
+  std::map<int, uint64_t> expect;
+  {
+    auto m = run(false, &expect, nullptr);
+    ASSERT_TRUE(m->run().completed);
+  }
+  std::map<int, uint64_t> sums;
+  core::SpbcProtocol* p = nullptr;
+  auto m = run(true, &sums, &p);
+  mpi::RunResult res = m->run();
+  ASSERT_TRUE(res.completed) << "deadlocked=" << res.deadlocked;
+  EXPECT_EQ(sums, expect);
+  // The rollback was backed by the committed epoch 1 (not sigma_0, not the
+  // uncommitted epoch 2 rank 0 had already written).
+  ASSERT_EQ(m->recoveries().size(), 1u);
+  EXPECT_GT(m->recoveries().at(0).checkpoint_time, 0.0);
+  EXPECT_LT(m->recoveries().at(0).checkpoint_time, 4e-3);
+  // Re-execution redid the wave: both epochs end up committed, and every
+  // member's local snapshot epoch converged on the committed one.
+  EXPECT_EQ(p->committed_epoch(0), 2u);
+  EXPECT_EQ(p->snapshot_epoch(0), 2u);
+  EXPECT_EQ(p->snapshot_epoch(1), 2u);
 }
 
 TEST(CoordinatedCkpt, StorageCostCharged) {

@@ -1,0 +1,301 @@
+// Tests for the non-blocking marker-based checkpoint wave: the cross-cluster
+// circular-wait regression that killed the old drain barrier, waves running
+// concurrently with recovery, overlapping waves, mid-wave failures, and
+// failure storms that mix sigma_0 and committed-epoch restores.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/spbc.hpp"
+#include "mpi/machine.hpp"
+
+namespace spbc {
+namespace {
+
+using mpi::Machine;
+using mpi::MachineConfig;
+using mpi::Payload;
+using mpi::Rank;
+
+struct Rig {
+  std::unique_ptr<Machine> machine;
+  core::SpbcProtocol* protocol = nullptr;
+};
+
+Rig make_rig(std::vector<int> clusters, core::SpbcConfig scfg,
+             MachineConfig cfg = {}) {
+  cfg.nranks = static_cast<int>(clusters.size());
+  if (cfg.ranks_per_node > cfg.nranks) cfg.ranks_per_node = cfg.nranks;
+  auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+  Rig rig;
+  rig.protocol = proto.get();
+  rig.machine = std::make_unique<Machine>(cfg, std::move(proto));
+  rig.machine->set_cluster_of(std::move(clusters));
+  return rig;
+}
+
+void noop_handlers(Rank& r) {
+  r.set_state_handlers([](util::ByteWriter& w) { w.put<int>(0); },
+                       [](util::ByteReader& rd) { rd.get<int>(); });
+}
+
+// Regression for the drain-barrier deadlock: two clusters checkpoint
+// concurrently while their members hold halo dependencies on each other.
+// Under the old blocking wave this is a textbook circular wait:
+//   rank 0 parks in its wave until rank 1 joins;
+//   rank 1 waits for a message rank 2 sends only after ITS wave completes;
+//   rank 2 parks in its wave until rank 3 joins;
+//   rank 3 waits for a message rank 1 sends only after its recv
+// -- a 1 -> 2 -> 3 -> 1 cycle through two blocking waves. The marker-based
+// wave never parks, so every rank keeps communicating and the run completes.
+TEST(CkptWave, NonBlockingWaveBreaksCrossClusterCycle) {
+  MachineConfig cfg;
+  cfg.ranks_per_node = 2;
+  Rig rig = make_rig({0, 0, 1, 1}, core::SpbcConfig{}, cfg);
+  core::SpbcProtocol* p = rig.protocol;
+  rig.machine->launch([p](Rank& r) {
+    noop_handlers(r);
+    const mpi::Comm& w = r.world();
+    switch (r.rank()) {
+      case 0:
+        p->checkpoint_now(r);
+        break;
+      case 1:
+        r.recv(2, 1, w);
+        r.send(3, 1, Payload::make_synthetic(64, 0x11), w);
+        p->checkpoint_now(r);
+        break;
+      case 2:
+        p->checkpoint_now(r);
+        r.send(1, 1, Payload::make_synthetic(64, 0x22), w);
+        break;
+      case 3:
+        r.recv(1, 1, w);
+        p->checkpoint_now(r);
+        break;
+    }
+  });
+  mpi::RunResult res = rig.machine->run();
+  ASSERT_TRUE(res.completed) << "deadlocked=" << res.deadlocked;
+  EXPECT_EQ(p->checkpoints_taken(), 4u);
+  EXPECT_EQ(p->committed_epoch(0), 1u);
+  EXPECT_EQ(p->committed_epoch(1), 1u);
+}
+
+// Shared iterative workload: ring halo exchange + checksum, checkpointing at
+// every iteration boundary.
+void ring_workload(Rank& r, int iters, std::map<int, uint64_t>* sums) {
+  struct St {
+    int iter = 0;
+    uint64_t sum = 0;
+  } st;
+  r.set_state_handlers(
+      [&st](util::ByteWriter& w) { w.put(st); },
+      [&st](util::ByteReader& rd) { st = rd.get<decltype(st)>(); });
+  if (r.restarted()) r.restore_app_state();
+  const mpi::Comm& w = r.world();
+  int n = r.nranks();
+  for (; st.iter < iters;) {
+    int to = (r.rank() + 1) % n;
+    int from = (r.rank() - 1 + n) % n;
+    mpi::Request rq = r.irecv(from, 1, w);
+    r.isend(to, 1,
+            Payload::make_synthetic(
+                512, static_cast<uint64_t>(r.rank() * 1000 + st.iter)),
+            w);
+    r.wait(rq);
+    util::Fnv1a64 h;
+    h.update_u64(st.sum);
+    h.update_u64(rq.result().hash);
+    st.sum = h.digest();
+    r.compute(5e-4);
+    ++st.iter;
+    r.maybe_checkpoint();
+  }
+  if (sums) (*sums)[r.rank()] = st.sum;
+}
+
+std::map<int, uint64_t> ring_reference(int nranks, int iters) {
+  std::map<int, uint64_t> sums;
+  Rig rig = make_rig(std::vector<int>(static_cast<size_t>(nranks), 0),
+                     core::SpbcConfig{});
+  rig.machine->launch([iters, &sums](Rank& r) { ring_workload(r, iters, &sums); });
+  EXPECT_TRUE(rig.machine->run().completed);
+  return sums;
+}
+
+// A cluster must be able to run its checkpoint wave while another cluster is
+// mid-recovery (the old wave drained replays first, parking members).
+TEST(CkptWave, WaveDuringRecoveryCompletes) {
+  const int n = 8, iters = 10;
+  auto expect = ring_reference(n, iters);
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 1;  // a wave at every boundary, also during recovery
+  MachineConfig cfg;
+  cfg.ranks_per_node = 2;
+  cfg.abort_on_deadlock = false;
+  std::map<int, uint64_t> sums;
+  Rig rig = make_rig({0, 0, 1, 1, 2, 2, 3, 3}, scfg, cfg);
+  rig.machine->launch([&sums](Rank& r) { ring_workload(r, iters, &sums); });
+  rig.machine->inject_failure(0.004, 2);
+  mpi::RunResult res = rig.machine->run();
+  ASSERT_TRUE(res.completed) << "deadlocked=" << res.deadlocked;
+  EXPECT_EQ(sums, expect);
+  for (int c = 0; c < 4; ++c)
+    EXPECT_EQ(rig.protocol->committed_epoch(c), static_cast<uint64_t>(iters));
+}
+
+// Back-to-back waves: with checkpoint_every=1 and an async completion
+// reduction, wave E+1 can start before wave E's commit lands at every
+// member. All epochs must still commit, in order, on every cluster.
+TEST(CkptWave, OverlappingWavesAllCommit) {
+  const int n = 4, iters = 6;
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 1;
+  MachineConfig cfg;
+  cfg.ranks_per_node = 2;
+  std::map<int, uint64_t> sums;
+  Rig rig = make_rig({0, 0, 1, 1}, scfg, cfg);
+  rig.machine->launch([&sums](Rank& r) { ring_workload(r, iters, &sums); });
+  ASSERT_TRUE(rig.machine->run().completed);
+  EXPECT_EQ(rig.protocol->checkpoints_taken(), static_cast<uint64_t>(n * iters));
+  EXPECT_EQ(rig.protocol->committed_epoch(0), static_cast<uint64_t>(iters));
+  EXPECT_EQ(rig.protocol->committed_epoch(1), static_cast<uint64_t>(iters));
+}
+
+// A failure before any wave commits must roll the cluster back to the
+// initial state -- even if some members already wrote an (uncommitted)
+// epoch-1 snapshot -- and the run must still converge to the reference.
+TEST(CkptWave, MidWaveFailureRestoresSigmaZero) {
+  const int n = 4, iters = 4;
+  auto expect = ring_reference(n, iters);
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 2;
+  MachineConfig cfg;
+  cfg.ranks_per_node = 2;
+  cfg.abort_on_deadlock = false;
+  std::map<int, uint64_t> sums;
+  Rig rig = make_rig({0, 0, 1, 1}, scfg, cfg);
+  rig.machine->launch([&sums](Rank& r) { ring_workload(r, iters, &sums); });
+  // First boundary is after iteration 2 (~1.3ms in); fail cluster 0 before
+  // its wave can commit.
+  rig.machine->inject_failure(0.0001, 0);
+  mpi::RunResult res = rig.machine->run();
+  ASSERT_TRUE(res.completed) << "deadlocked=" << res.deadlocked;
+  EXPECT_EQ(sums, expect);
+  ASSERT_EQ(rig.machine->recoveries().size(), 1u);
+  // sigma_0 restore: no checkpoint backed the rollback, so the members
+  // re-ran from the initial state rather than restoring one.
+  EXPECT_EQ(rig.machine->recoveries().at(0).checkpoint_time, 0.0);
+  EXPECT_FALSE(rig.machine->rank(0).restarted());
+  EXPECT_FALSE(rig.machine->rank(1).restarted());
+}
+
+// Failure storm across clusters with rendezvous-sized halo traffic and
+// frequent waves: repeated rollbacks (including to sigma_0 and to committed
+// epochs, including the same cluster twice) must neither deadlock nor
+// corrupt the checksums. This storm covers the marker/rollback races fixed
+// alongside the wave rewrite: live rendezvous handshakes surviving a
+// re-announced Rollback, replayed copies overlapping in-flight handshakes,
+// and stale LS-suppression for streams a peer's rollback emptied.
+TEST(CkptWave, FailureStormCompletes) {
+  const int n = 8, iters = 14;
+  MachineConfig cfg;
+  cfg.ranks_per_node = 2;
+  cfg.eager_threshold = 256;  // 512-byte halos go rendezvous
+  cfg.abort_on_deadlock = false;
+  std::map<int, uint64_t> expect;
+  {
+    Rig rig = make_rig(std::vector<int>(n, 0), core::SpbcConfig{}, cfg);
+    rig.machine->launch([&expect](Rank& r) { ring_workload(r, iters, &expect); });
+    ASSERT_TRUE(rig.machine->run().completed);
+  }
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 2;
+  std::map<int, uint64_t> sums;
+  Rig rig = make_rig({0, 0, 1, 1, 2, 2, 3, 3}, scfg, cfg);
+  rig.machine->launch([&sums](Rank& r) { ring_workload(r, iters, &sums); });
+  rig.machine->inject_failure(0.0008, 2);  // cluster 1, before any commit
+  rig.machine->inject_failure(0.0075, 4);  // cluster 2, overlapping 1's tail
+  rig.machine->inject_failure(0.0145, 2);  // cluster 1 again
+  rig.machine->inject_failure(0.0210, 0);  // cluster 0
+  rig.machine->inject_failure(0.0290, 3);  // cluster 1, third time
+  mpi::RunResult res = rig.machine->run();
+  ASSERT_TRUE(res.completed) << "deadlocked=" << res.deadlocked;
+  EXPECT_EQ(sums, expect);
+  EXPECT_EQ(rig.protocol->rollbacks(), 5u);
+}
+
+// checkpoint_now on one member propagates through markers: peers that never
+// reach a periodic boundary (checkpoint_every=0 here) join the wave at
+// their next maybe_checkpoint() call, so the forced epoch gains every
+// member's snapshot and commits — i.e. becomes the restore target.
+TEST(CkptWave, CheckpointNowPropagatesThroughMarkers) {
+  MachineConfig cfg;
+  cfg.ranks_per_node = 2;
+  Rig rig = make_rig({0, 0}, core::SpbcConfig{}, cfg);
+  core::SpbcProtocol* p = rig.protocol;
+  rig.machine->launch([p](Rank& r) {
+    noop_handlers(r);
+    if (r.rank() == 0) {
+      p->checkpoint_now(r);
+      r.compute(1e-3);
+    } else {
+      // Never forces a checkpoint itself; its checkpoint opportunities
+      // adopt the wave once rank 0's marker has arrived.
+      for (int i = 0; i < 5 && !r.maybe_checkpoint(); ++i) r.compute(1e-4);
+    }
+  });
+  ASSERT_TRUE(rig.machine->run().completed);
+  EXPECT_EQ(p->checkpoints_taken(), 2u);
+  EXPECT_EQ(p->committed_epoch(0), 1u);
+}
+
+// Deterministic repro of the stale-suppression wedge found in the MTBF
+// storm: rank 0 rolls back and re-learns (via lastMessage) that rank 1
+// holds seqs 1-2; rank 1 then rolls back to sigma_0 — losing them — while
+// rank 0 is still BETWEEN its re-executed sends. Rank 1's Rollback carries
+// an EMPTY window map; unless that clears rank 0's suppression for every
+// stream toward rank 1, the upcoming seq-2 send is skipped as "already
+// held", nothing ever delivers it (it was not yet re-logged when the
+// Rollback was handled, so replay missed it too), and rank 1 waits forever.
+TEST(CkptWave, EmptyRollbackResetsStaleSuppression) {
+  MachineConfig cfg;
+  cfg.ranks_per_node = 1;
+  cfg.abort_on_deadlock = false;
+  core::SpbcConfig scfg;  // no checkpoints: every rollback is to sigma_0
+  std::map<int, uint64_t> got;
+  Rig rig = make_rig({0, 1}, scfg, cfg);
+  rig.machine->launch([&got](Rank& r) {
+    noop_handlers(r);
+    const mpi::Comm& w = r.world();
+    if (r.rank() == 0) {
+      r.send(1, 1, Payload::make_synthetic(64, 0xaa), w);
+      r.compute(8e-3);
+      r.send(1, 1, Payload::make_synthetic(64, 0xbb), w);
+      r.compute(12e-3);
+    } else {
+      uint64_t a = r.recv(0, 1, w).hash;
+      uint64_t b = r.recv(0, 1, w).hash;
+      got[0] = a;
+      got[1] = b;
+    }
+  });
+  // Rank 0 falls after both sends (respawns at ~15ms; rank 1, still alive,
+  // replies lastMessage base=2). Rank 1 falls at 16ms — after that reply,
+  // but so that its empty Rollback re-announcement (~22ms) lands while rank
+  // 0's re-execution still sits between its two sends (seq 2 goes out at
+  // ~23ms, not yet re-logged at 22ms).
+  rig.machine->inject_failure(9e-3, 0);
+  rig.machine->inject_failure(16e-3, 1);
+  mpi::RunResult res = rig.machine->run();
+  ASSERT_TRUE(res.completed) << "deadlocked=" << res.deadlocked;
+  EXPECT_EQ(got[0], 0xaau);
+  EXPECT_EQ(got[1], 0xbbu);
+  EXPECT_EQ(rig.protocol->rollbacks(), 2u);
+}
+
+}  // namespace
+}  // namespace spbc
