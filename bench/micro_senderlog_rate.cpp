@@ -1,0 +1,145 @@
+// Micro-bench: sender-log append throughput under a many-small-messages
+// stream — the bookkeeping constant behind Table 2.
+//
+// Each rank streams batches of small eager messages to a partner in the
+// other cluster (every send crosses the cluster cut, so every send is
+// logged) with a slice of compute per batch, roughly the comm/compute ratio
+// of the paper's kernels. The paper reports the resulting failure-free
+// overhead at 0.07%..1.14%; the absolute per-message append cost
+// (SpbcConfig::log_overhead + bytes / log_memcpy_bw) is also derived from
+// the elapsed-time delta so the constant is visible directly, not only as a
+// percentage of an application run.
+//
+// Flags: --ranks --ppn --batches --batch --bytes --compute-us --seed
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/presets.hpp"
+#include "core/spbc.hpp"
+#include "mpi/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace spbc;
+
+namespace {
+
+struct Opts {
+  int ranks = 16;
+  int ppn = 8;
+  int batches = 50;
+  int batch = 16;       // messages per batch per rank
+  double compute_us = 50.0;  // compute per batch
+  uint64_t seed = 1;
+};
+
+struct RunOut {
+  bool ok = false;
+  double elapsed = 0;
+  uint64_t msgs_logged = 0;
+  uint64_t bytes_logged = 0;
+};
+
+RunOut run_stream(const Opts& o, uint64_t bytes, bool with_spbc) {
+  mpi::MachineConfig mc;
+  mc.nranks = o.ranks;
+  mc.ranks_per_node = o.ppn;
+  mc.seed = o.seed;
+  std::unique_ptr<mpi::ProtocolHooks> proto;
+  core::SpbcProtocol* spbc = nullptr;
+  if (with_spbc) {
+    core::SpbcConfig scfg;
+    scfg.checkpoint_every = 0;  // pure logging-path measurement, as Table 2
+    auto p = std::make_unique<core::SpbcProtocol>(scfg);
+    spbc = p.get();
+    proto = std::move(p);
+  } else {
+    proto = baselines::make_native();
+  }
+  mpi::Machine m(mc, std::move(proto));
+  // Two clusters split at the node boundary; partners straddle the cut so
+  // every data message is inter-cluster and hits the sender log.
+  std::vector<int> map(static_cast<size_t>(o.ranks));
+  for (int r = 0; r < o.ranks; ++r) map[static_cast<size_t>(r)] = r < o.ranks / 2 ? 0 : 1;
+  m.set_cluster_of(map);
+
+  const int half = o.ranks / 2;
+  const sim::Time compute = o.compute_us * 1e-6;
+  m.launch([&, bytes](mpi::Rank& r) {
+    const mpi::Comm& w = r.world();
+    const int peer = (r.rank() + half) % o.ranks;
+    for (int b = 0; b < o.batches; ++b) {
+      std::vector<mpi::Request> reqs;
+      reqs.reserve(static_cast<size_t>(2 * o.batch));
+      for (int i = 0; i < o.batch; ++i) {
+        reqs.push_back(r.irecv(peer, 1, w));
+        reqs.push_back(r.isend(
+            peer, 1,
+            mpi::Payload::make_synthetic(bytes, static_cast<uint64_t>(b * o.batch + i)),
+            w));
+      }
+      r.waitall(reqs);
+      r.compute(compute);
+    }
+  });
+  mpi::RunResult res = m.run();
+  RunOut out;
+  out.ok = res.completed;
+  out.elapsed = res.finish_time;
+  if (spbc != nullptr) {
+    for (int r = 0; r < o.ranks; ++r) {
+      out.msgs_logged += spbc->log_of(r).messages_appended();
+      out.bytes_logged += spbc->log_of(r).bytes_appended();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  Opts o;
+  o.ranks = static_cast<int>(cli.get_int("ranks", o.ranks));
+  o.ppn = static_cast<int>(cli.get_int("ppn", std::min(o.ppn, o.ranks / 2)));
+  o.batches = static_cast<int>(cli.get_int("batches", o.batches));
+  o.batch = static_cast<int>(cli.get_int("batch", o.batch));
+  o.compute_us = cli.get_double("compute-us", o.compute_us);
+  o.seed = static_cast<uint64_t>(cli.get_int("seed", 1));
+
+  std::printf("== Micro: sender-log append rate (many small messages) ==\n");
+  std::printf("ranks=%d ppn=%d batches=%d batch=%d compute/batch=%.1fus\n\n",
+              o.ranks, o.ppn, o.batches, o.batch, o.compute_us);
+
+  util::Table table({"Payload B", "native (s)", "SPBC (s)", "overhead %",
+                     "log msgs/s", "log MB/s", "append cost ns/msg"});
+  for (uint64_t bytes : {64ull, 512ull, 4096ull}) {
+    RunOut native = run_stream(o, bytes, /*with_spbc=*/false);
+    RunOut spbc_run = run_stream(o, bytes, /*with_spbc=*/true);
+    if (!native.ok || !spbc_run.ok) {
+      table.add_row({std::to_string(bytes), "fail", "fail", "-", "-", "-", "-"});
+      continue;
+    }
+    double ovh = (spbc_run.elapsed - native.elapsed) / native.elapsed * 100.0;
+    double per_rank_msgs =
+        static_cast<double>(spbc_run.msgs_logged) / o.ranks;
+    double append_ns = per_rank_msgs > 0
+                           ? (spbc_run.elapsed - native.elapsed) / per_rank_msgs * 1e9
+                           : 0.0;
+    table.add_row(
+        {std::to_string(bytes), util::Table::fmt(native.elapsed, 4),
+         util::Table::fmt(spbc_run.elapsed, 4), util::Table::fmt(ovh, 3),
+         util::Table::fmt(spbc_run.msgs_logged / spbc_run.elapsed, 0),
+         util::Table::fmt(spbc_run.bytes_logged / 1.0e6 / spbc_run.elapsed, 2),
+         util::Table::fmt(append_ns, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "(paper, Table 2: whole-app overhead 0.07%%..1.14%% — the append is a\n"
+      " memcpy into sender memory plus fixed bookkeeping; the ns/msg column\n"
+      " is that constant recovered from the elapsed-time delta)\n");
+  return 0;
+}

@@ -1,0 +1,247 @@
+#include "ckpt/staging.hpp"
+
+#include <algorithm>
+
+#include "mpi/machine.hpp"
+#include "util/assert.hpp"
+
+namespace spbc::ckpt {
+
+void StagingArea::attach(mpi::Machine& machine) {
+  machine_ = &machine;
+  const int nodes = machine.topology().nodes();
+  node_storage_gen_.assign(static_cast<size_t>(nodes), 0);
+  node_down_.assign(static_cast<size_t>(nodes), false);
+  node_local_q_.assign(static_cast<size_t>(nodes), {});
+  node_pfs_q_.assign(static_cast<size_t>(nodes), {});
+  pfs_frontier_.assign(static_cast<size_t>(machine.nranks()), 0);
+  partner_.assign(static_cast<size_t>(machine.nranks()), -2);
+}
+
+int StagingArea::partner_of(int rank) const {
+  SPBC_ASSERT(machine_ != nullptr);
+  int& cached = partner_[static_cast<size_t>(rank)];
+  if (cached != -2) return cached;
+  const sim::Topology& topo = machine_->topology();
+  const int nodes = topo.nodes();
+  const int ppn = topo.ranks_per_node();
+  const int home = topo.node_of(rank);
+  const int slot = rank % ppn;
+  int pick = -1;
+  for (int off = 1; off < nodes; ++off) {
+    const int cand = ((home + off) % nodes) * ppn + slot;
+    if (machine_->cluster_of(cand) != machine_->cluster_of(rank)) {
+      pick = cand;  // different failure domain: the preferred buddy
+      break;
+    }
+    if (pick < 0) pick = cand;  // fallback: nearest distinct node
+  }
+  cached = pick;
+  return pick;
+}
+
+uint64_t StagingArea::node_gen(int node) const {
+  return node_storage_gen_[static_cast<size_t>(node)];
+}
+
+StagingArea::Entry* StagingArea::find(int rank, uint64_t epoch) {
+  auto it = entries_.find({rank, epoch});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+const StagingArea::Entry* StagingArea::find(int rank, uint64_t epoch) const {
+  auto it = entries_.find({rank, epoch});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
+  if (!enabled()) return 0.0;
+  SPBC_ASSERT(machine_ != nullptr);
+  const int node = machine_->topology().node_of(rank);
+  const sim::Time now = machine_->engine().now();
+  node_down_[static_cast<size_t>(node)] = false;  // a resident is writing again
+  Entry& e = entries_[{rank, epoch}];
+  e.bytes = bytes;
+
+  if (!cfg_.async) {
+    // Synchronous write at the configured level, charged in full to the
+    // member's fiber (the pre-staging behavior). Local-device writes from
+    // co-resident ranks serialize on the node's device; the PFS cost model
+    // is already a per-process share.
+    sim::Time cost = cfg_.model.write_time(cfg_.level, bytes);
+    switch (cfg_.level) {
+      case StorageLevel::kNone:
+        break;
+      case StorageLevel::kLocal:
+        e.levels = kAtLocal;
+        cost = node_local_q_[static_cast<size_t>(node)].reserve(now, cost) - now;
+        break;
+      case StorageLevel::kPartner:
+        e.levels = static_cast<uint8_t>(
+            kAtLocal | (partner_of(rank) >= 0 ? kAtPartner : 0));
+        cost = node_local_q_[static_cast<size_t>(node)].reserve(now, cost) - now;
+        break;
+      case StorageLevel::kPfs:
+        e.levels = kAtPfs;
+        finish_pfs(rank, epoch);
+        break;
+    }
+    return cost;
+  }
+
+  // Async: the fiber pays only the LOCAL write; the promotion chain starts
+  // when that write completes.
+  e.levels = kAtLocal;
+  ++stats_.drains_started;
+  sim::Time local = cfg_.model.write_time(StorageLevel::kLocal, bytes);
+  sim::Time done = node_local_q_[static_cast<size_t>(node)].reserve(now, local);
+  machine_->engine().at(done,
+                        [this, rank, epoch] { start_partner_copy(rank, epoch); });
+  return done - now;
+}
+
+void StagingArea::start_partner_copy(int rank, uint64_t epoch) {
+  Entry* e = find(rank, epoch);
+  if (e == nullptr || (e->levels & kAtLocal) == 0) {
+    ++stats_.drains_aborted;  // rolled back or node died before the drain ran
+    return;
+  }
+  const int partner = partner_of(rank);
+  const int home = machine_->topology().node_of(rank);
+  if (partner < 0) {
+    // Single-node topology: no cross-failure-domain level; flush directly.
+    start_pfs_flush(rank, epoch, home, kAtLocal);
+    return;
+  }
+  // The copy rides the real network, so it shares the home node's NIC with
+  // application traffic and arrives after genuine transfer time.
+  const int pnode = machine_->topology().node_of(partner);
+  const uint64_t pgen = node_gen(pnode);
+  const uint64_t bytes = e->bytes;
+  machine_->network().submit(
+      net::Transfer{rank, partner, bytes}, [this, rank, epoch, pnode, pgen] {
+        Entry* entry = find(rank, epoch);
+        if (entry == nullptr || (entry->levels & kAtLocal) == 0 ||
+            node_gen(pnode) != pgen) {
+          ++stats_.drains_aborted;  // source or destination died in flight
+          return;
+        }
+        entry->levels |= kAtPartner;
+        ++stats_.partner_copies;
+        stats_.bytes_to_partner += entry->bytes;
+        start_pfs_flush(rank, epoch, pnode, kAtPartner);
+      });
+}
+
+void StagingArea::start_pfs_flush(int rank, uint64_t epoch, int from_node,
+                                  uint8_t source_bit) {
+  Entry* e = find(rank, epoch);
+  if (e == nullptr) return;
+  const sim::Time now = machine_->engine().now();
+  const sim::Time cost = cfg_.model.write_time(StorageLevel::kPfs, e->bytes);
+  const sim::Time done =
+      node_pfs_q_[static_cast<size_t>(from_node)].reserve(now, cost);
+  const uint64_t gen = node_gen(from_node);
+  machine_->engine().at(done, [this, rank, epoch, from_node, gen, source_bit] {
+    Entry* entry = find(rank, epoch);
+    if (entry == nullptr || (entry->levels & source_bit) == 0 ||
+        node_gen(from_node) != gen) {
+      ++stats_.drains_aborted;  // the flush's source copy died mid-write
+      return;
+    }
+    entry->levels |= kAtPfs;
+    ++stats_.pfs_flushes;
+    stats_.bytes_to_pfs += entry->bytes;
+    finish_pfs(rank, epoch);
+  });
+}
+
+void StagingArea::finish_pfs(int rank, uint64_t epoch) {
+  uint64_t& frontier = pfs_frontier_[static_cast<size_t>(rank)];
+  frontier = std::max(frontier, epoch);
+}
+
+uint8_t StagingArea::levels(int rank, uint64_t epoch) const {
+  const Entry* e = find(rank, epoch);
+  return e == nullptr ? 0 : e->levels;
+}
+
+std::optional<StorageLevel> StagingArea::best_level(int rank,
+                                                    uint64_t epoch) const {
+  const Entry* e = find(rank, epoch);
+  if (e == nullptr) return std::nullopt;
+  if (e->levels & kAtLocal) return StorageLevel::kLocal;
+  if (e->levels & kAtPartner) return StorageLevel::kPartner;
+  if (e->levels & kAtPfs) return StorageLevel::kPfs;
+  return std::nullopt;
+}
+
+bool StagingArea::recoverable(int rank, uint64_t epoch) const {
+  if (!enabled()) return true;
+  return best_level(rank, epoch).has_value();
+}
+
+sim::Time StagingArea::read_cost(int rank, uint64_t epoch) const {
+  if (!enabled()) return 0.0;
+  const Entry* e = find(rank, epoch);
+  auto level = best_level(rank, epoch);
+  if (e == nullptr || !level) return 0.0;
+  return cfg_.model.read_time(*level, e->bytes);
+}
+
+std::optional<StorageLevel> StagingArea::note_restore(int rank, uint64_t epoch) {
+  auto level = best_level(rank, epoch);
+  if (level) {
+    ++stats_.restores_by_level[static_cast<size_t>(*level) -
+                               static_cast<size_t>(StorageLevel::kLocal)];
+  }
+  return level;
+}
+
+uint64_t StagingArea::pfs_frontier(int rank) const {
+  if (pfs_frontier_.empty()) return 0;
+  return pfs_frontier_[static_cast<size_t>(rank)];
+}
+
+void StagingArea::invalidate_node(int node) {
+  if (!enabled()) return;
+  // A cluster failure kills every rank of a node back-to-back; only the
+  // first kill does the work. The flag is cleared when a respawned resident
+  // writes again (the node is back in service with empty storage).
+  if (node_down_[static_cast<size_t>(node)]) return;
+  node_down_[static_cast<size_t>(node)] = true;
+  ++node_storage_gen_[static_cast<size_t>(node)];
+  const sim::Topology& topo = machine_->topology();
+  for (auto& [key, e] : entries_) {
+    if (topo.node_of(key.first) == node) e.levels &= static_cast<uint8_t>(~kAtLocal);
+    const int partner = partner_of(key.first);
+    if (partner >= 0 && topo.node_of(partner) == node)
+      e.levels &= static_cast<uint8_t>(~kAtPartner);
+  }
+}
+
+void StagingArea::drop_epochs_above(int rank, uint64_t epoch) {
+  auto it = entries_.lower_bound({rank, epoch + 1});
+  while (it != entries_.end() && it->first.first == rank)
+    it = entries_.erase(it);
+  // The frontier must not claim dropped epochs: commit uses it as the
+  // retention floor, and a stale high frontier would let a re-executed
+  // commit prune the real fallback epochs. Recompute it from the surviving
+  // PFS-resident entries.
+  if (!pfs_frontier_.empty() && pfs_frontier_[static_cast<size_t>(rank)] > epoch) {
+    uint64_t frontier = 0;
+    for (auto e = entries_.lower_bound({rank, 0});
+         e != entries_.end() && e->first.first == rank; ++e) {
+      if (e->second.levels & kAtPfs) frontier = e->first.second;
+    }
+    pfs_frontier_[static_cast<size_t>(rank)] = frontier;
+  }
+}
+
+void StagingArea::prune_epochs_below(int rank, uint64_t epoch) {
+  auto it = entries_.lower_bound({rank, 0});
+  while (it != entries_.end() && it->first.first == rank &&
+         it->first.second < epoch)
+    it = entries_.erase(it);
+}
+
+}  // namespace spbc::ckpt

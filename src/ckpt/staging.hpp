@@ -1,0 +1,160 @@
+#pragma once
+// Asynchronous multi-level checkpoint staging: LOCAL -> PARTNER -> PFS.
+//
+// SCR-style (Moody et al., SC'10) write path for the snapshots the checkpoint
+// wave produces. In async mode a member's fiber is charged only the fast
+// node-local write; a per-node background drainer then promotes the copy
+//   LOCAL  --(cross-failure-domain copy over net::Network)-->  PARTNER
+//   PARTNER --(per-node PFS flush queue)------------------->   PFS
+// overlapped with the application's computation phases. Each level adds
+// redundancy: a snapshot is recoverable from LOCAL while its node survives,
+// from PARTNER while the buddy node survives, and from PFS always. Recovery
+// reads from the cheapest live level, and when a failure destroyed every
+// copy of the committed epoch it falls back to an older epoch (the Store's
+// retention floor tracks the PFS frontier so the fallback target still
+// exists).
+//
+// The drainer is event-driven rather than a parked fiber: the engine treats
+// "parked fibers + empty event queue" as a deadlock, so a perpetual drainer
+// fiber would either wedge run() or require shutdown plumbing through every
+// respawn path. A promotion chain is a sequence of engine events gated by
+// two serialized resources per node (sim::BandwidthQueue for the local
+// device and the PFS ingest share) plus the network itself for the partner
+// copy — which makes staging traffic contend with application messages on
+// the sender's NIC, exactly the interference a real drain causes.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ckpt/store.hpp"
+#include "sim/resource.hpp"
+#include "sim/time.hpp"
+
+namespace spbc::mpi {
+class Machine;
+}
+
+namespace spbc::ckpt {
+
+/// Residency bits: which levels currently hold a copy of a snapshot.
+enum ResidencyBit : uint8_t {
+  kAtLocal = 1u << 0,
+  kAtPartner = 1u << 1,
+  kAtPfs = 1u << 2,
+};
+
+struct StagingConfig {
+  /// kNone disables staging entirely (the store is free and reliable — the
+  /// paper's measurement mode). Otherwise: the level written synchronously,
+  /// or the final drain target when `async` is set.
+  StorageLevel level = StorageLevel::kNone;
+  /// Charge the fiber only the LOCAL write and promote in the background.
+  bool async = false;
+  StorageCostModel model{};
+};
+
+struct StagingStats {
+  uint64_t drains_started = 0;
+  uint64_t partner_copies = 0;  // completed LOCAL -> PARTNER promotions
+  uint64_t pfs_flushes = 0;     // completed -> PFS promotions
+  uint64_t drains_aborted = 0;  // the source copy died mid-promotion
+  uint64_t bytes_to_partner = 0;
+  uint64_t bytes_to_pfs = 0;
+  /// Restores served per level; index = StorageLevel - kLocal.
+  std::array<uint64_t, 3> restores_by_level{};
+  /// Recoveries that had to fall below the committed epoch because every
+  /// copy of it was destroyed.
+  uint64_t epoch_fallbacks = 0;
+};
+
+class StagingArea {
+ public:
+  explicit StagingArea(StagingConfig cfg) : cfg_(cfg) {}
+
+  void attach(mpi::Machine& machine);
+
+  bool enabled() const { return cfg_.level != StorageLevel::kNone; }
+  bool async() const { return enabled() && cfg_.async; }
+  const StagingConfig& config() const { return cfg_; }
+
+  /// The buddy rank whose node hosts this rank's PARTNER copies: the same
+  /// node-local slot on the nearest node of a *different cluster* (failure
+  /// domain), falling back to the nearest distinct node when the machine is
+  /// a single cluster. -1 on single-node topologies (no partner level).
+  /// Resolved lazily because the cluster map is set after attach().
+  int partner_of(int rank) const;
+
+  /// Registers the snapshot of (rank, epoch) with the staging pipeline and
+  /// returns the virtual-time cost to charge the writing fiber: the full
+  /// cost of `level` in sync mode, only the LOCAL write in async mode (the
+  /// promotion chain then runs in the background). 0 when disabled.
+  sim::Time write(int rank, uint64_t epoch, uint64_t bytes);
+
+  /// Residency mask (ResidencyBit) of a snapshot; 0 = unknown or all copies
+  /// lost. Always 0 when staging is disabled.
+  uint8_t levels(int rank, uint64_t epoch) const;
+
+  /// Cheapest level the snapshot is currently readable from.
+  std::optional<StorageLevel> best_level(int rank, uint64_t epoch) const;
+
+  /// Can this snapshot back a restore? True unconditionally when staging is
+  /// disabled (the store is then free and reliable, as in the paper's
+  /// measurement mode).
+  bool recoverable(int rank, uint64_t epoch) const;
+
+  /// Read cost from the cheapest live level (0 when disabled or lost).
+  sim::Time read_cost(int rank, uint64_t epoch) const;
+
+  /// Records which level served a restore (metrics) and returns it.
+  std::optional<StorageLevel> note_restore(int rank, uint64_t epoch);
+  void note_epoch_fallback() { ++stats_.epoch_fallbacks; }
+
+  /// Highest epoch of `rank` flushed to PFS (0 = none). Monotonic — PFS
+  /// copies survive every failure — and therefore usable as the Store's
+  /// retention floor: epochs at or above it must be kept for fallback.
+  uint64_t pfs_frontier(int rank) const;
+
+  /// A node's storage died with its ranks: LOCAL copies of its residents
+  /// and PARTNER copies it hosted are lost, and promotion chains reading
+  /// from them abort when their next hop fires.
+  void invalidate_node(int node);
+
+  /// Pruning hooks mirroring the Store's epoch bookkeeping.
+  void drop_epochs_above(int rank, uint64_t epoch);
+  void prune_epochs_below(int rank, uint64_t epoch);
+
+  const StagingStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t bytes = 0;
+    uint8_t levels = 0;
+  };
+
+  Entry* find(int rank, uint64_t epoch);
+  const Entry* find(int rank, uint64_t epoch) const;
+  /// Generation of a node's storage contents; bumped when the node dies. A
+  /// promotion hop captures the source node's generation when it starts and
+  /// aborts if it changed by the time the hop completes.
+  uint64_t node_gen(int node) const;
+  void start_partner_copy(int rank, uint64_t epoch);
+  void start_pfs_flush(int rank, uint64_t epoch, int from_node,
+                       uint8_t source_bit);
+  void finish_pfs(int rank, uint64_t epoch);
+
+  StagingConfig cfg_;
+  mpi::Machine* machine_ = nullptr;
+  std::map<std::pair<int, uint64_t>, Entry> entries_;
+  std::vector<uint64_t> node_storage_gen_;
+  std::vector<bool> node_down_;  // dedups the per-rank kill notifications
+  std::vector<sim::BandwidthQueue> node_local_q_;  // local snapshot device
+  std::vector<sim::BandwidthQueue> node_pfs_q_;    // per-node PFS ingest share
+  std::vector<uint64_t> pfs_frontier_;
+  mutable std::vector<int> partner_;  // lazy: -2 unresolved, -1 none
+  StagingStats stats_;
+};
+
+}  // namespace spbc::ckpt

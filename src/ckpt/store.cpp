@@ -9,7 +9,7 @@ sim::Time StorageCostModel::write_time(StorageLevel level, uint64_t bytes) const
     case StorageLevel::kNone:
       return 0.0;
     case StorageLevel::kLocal:
-      return base_latency + static_cast<double>(bytes) / local_bw;
+      return local_latency + static_cast<double>(bytes) / local_bw;
     case StorageLevel::kPartner:
       return base_latency + static_cast<double>(bytes) / partner_bw;
     case StorageLevel::kPfs:
@@ -53,6 +53,12 @@ const Snapshot& Store::at_epoch(int rank, uint64_t epoch) const {
   return it->second.at(epoch);
 }
 
+void Store::release_captures(int rank, uint64_t bytes) {
+  auto live = capture_live_.find(rank);
+  if (live == capture_live_.end()) return;
+  live->second -= bytes < live->second ? bytes : live->second;
+}
+
 void Store::drop_epochs_above(int rank, uint64_t epoch) {
   auto it = snaps_.find(rank);
   if (it != snaps_.end()) {
@@ -60,6 +66,7 @@ void Store::drop_epochs_above(int rank, uint64_t epoch) {
   }
   auto cap = in_flight_.lower_bound({rank, epoch + 1});
   while (cap != in_flight_.end() && cap->first.first == rank) {
+    for (const CapturedMsg& cm : cap->second) release_captures(rank, cm.env.bytes);
     cap = in_flight_.erase(cap);
   }
 }
@@ -72,17 +79,27 @@ void Store::prune_epochs_below(int rank, uint64_t epoch) {
   auto cap = in_flight_.lower_bound({rank, 0});
   while (cap != in_flight_.end() && cap->first.first == rank &&
          cap->first.second < epoch) {
+    for (const CapturedMsg& cm : cap->second) release_captures(rank, cm.env.bytes);
     cap = in_flight_.erase(cap);
   }
 }
 
-void Store::record_in_flight(int rank, uint64_t first_epoch, uint64_t last_epoch,
-                             const mpi::Envelope& env, const mpi::Payload& payload) {
+uint64_t Store::record_in_flight(int rank, uint64_t first_epoch, uint64_t last_epoch,
+                                 const mpi::Envelope& env, const mpi::Payload& payload) {
   auto shared = std::make_shared<const mpi::Payload>(payload);
+  uint64_t& live = capture_live_[rank];
   for (uint64_t e = first_epoch; e <= last_epoch; ++e) {
     in_flight_[{rank, e}].push_back(CapturedMsg{env, shared});
     ++in_flight_captured_;
+    live += env.bytes;
   }
+  capture_hwm_ = live > capture_hwm_ ? live : capture_hwm_;
+  return live;
+}
+
+uint64_t Store::capture_live_bytes(int rank) const {
+  auto it = capture_live_.find(rank);
+  return it == capture_live_.end() ? 0 : it->second;
 }
 
 const std::vector<CapturedMsg>& Store::in_flight(int rank, uint64_t epoch) const {

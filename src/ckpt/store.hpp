@@ -6,16 +6,23 @@
 // complementary line of work [3, 27]): LOCAL (node-local SSD), PARTNER (copy
 // on a buddy node), PFS (parallel file system). The paper's measurements
 // exclude checkpoint I/O time (Section 6.1), so experiment configurations
-// default to kNone; the cost model exists for ablations.
+// default to kNone; level residency and data movement live in
+// ckpt::StagingArea (staging.hpp), which drives this cost model.
 //
 // Epoch keying exists because the marker-based checkpoint wave commits
 // asynchronously: while a wave for epoch E is in flight, the last committed
 // epoch E-1 must stay restorable, and a failure mid-wave rolls the cluster
-// back to E-1 even if some members already hold epoch-E snapshots. The store
-// also records, per (rank, epoch), the intra-cluster messages that crossed
-// the epoch's cut (sent before the sender's snapshot, delivered after the
-// receiver's) — recovery re-delivers them, because the restored sender will
-// not re-send and the restored receiver has not received.
+// back to E-1 even if some members already hold epoch-E snapshots. Under
+// async staging, commit prunes only down to the staging pipeline's PFS
+// frontier instead of the committed epoch: a committed epoch whose copies a
+// node failure later destroys must still have an older, safer epoch to fall
+// back to. The store also records, per (rank, epoch), the intra-cluster
+// messages that crossed the epoch's cut (sent before the sender's snapshot,
+// delivered after the receiver's) — recovery re-delivers them, because the
+// restored sender will not re-send and the restored receiver has not
+// received. Captures are modeled as reliably stored with the epoch's restore
+// data; their live footprint is tracked per rank (with a global high-water
+// mark) so protocols can bound it.
 
 #include <cstdint>
 #include <map>
@@ -38,7 +45,10 @@ struct StorageCostModel {
   double local_bw = 1.0e9;     // bytes/s per node
   double partner_bw = 0.8e9;   // effective, includes the network copy
   double pfs_bw = 50.0e6;      // per-process share of PFS bandwidth
-  sim::Time base_latency = sim::msec(2.0);
+  sim::Time base_latency = sim::msec(2.0);    // PARTNER/PFS setup cost
+  sim::Time local_latency = sim::usec(50.0);  // node-local device latency —
+                                              // the short stall async staging
+                                              // charges the fiber
 
   sim::Time write_time(StorageLevel level, uint64_t bytes) const;
   sim::Time read_time(StorageLevel level, uint64_t bytes) const;
@@ -83,9 +93,19 @@ class Store {
   /// crossed the cuts of epochs [first_epoch, last_epoch] at `rank`, in
   /// arrival order (per-channel FIFO makes arrival order seqnum order on
   /// every channel). One payload buffer is shared across the epochs.
-  void record_in_flight(int rank, uint64_t first_epoch, uint64_t last_epoch,
-                        const mpi::Envelope& env, const mpi::Payload& payload);
+  /// Returns the rank's live capture footprint in bytes after the record,
+  /// so the caller can react to memory pressure.
+  uint64_t record_in_flight(int rank, uint64_t first_epoch, uint64_t last_epoch,
+                            const mpi::Envelope& env, const mpi::Payload& payload);
   const std::vector<CapturedMsg>& in_flight(int rank, uint64_t epoch) const;
+
+  /// Bytes of captures currently retained for `rank` (all epochs; a payload
+  /// recorded under several epochs counts once per epoch — the retention
+  /// upper bound).
+  uint64_t capture_live_bytes(int rank) const;
+  /// Highest per-rank live capture footprint ever observed (the in-flight
+  /// capture memory bound metric; see ROADMAP).
+  uint64_t capture_hwm_bytes() const { return capture_hwm_; }
 
   /// Virtual-time cost of writing/reading a snapshot at the configured level.
   sim::Time write_cost(uint64_t bytes) const { return model_.write_time(level_, bytes); }
@@ -100,11 +120,15 @@ class Store {
  private:
   StorageLevel level_;
   StorageCostModel model_;
+  void release_captures(int rank, uint64_t bytes);
+
   std::map<int, std::map<uint64_t, Snapshot>> snaps_;  // rank -> epoch -> snap
   std::map<std::pair<int, uint64_t>, std::vector<CapturedMsg>> in_flight_;
+  std::map<int, uint64_t> capture_live_;  // rank -> live capture bytes
   uint64_t bytes_written_ = 0;
   uint64_t snapshots_ = 0;
   uint64_t in_flight_captured_ = 0;
+  uint64_t capture_hwm_ = 0;
 };
 
 }  // namespace spbc::ckpt

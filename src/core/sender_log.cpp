@@ -9,6 +9,7 @@ void SenderLog::append(const mpi::Envelope& env, const mpi::Payload& payload) {
   entries_.push_back(std::move(e));
   bytes_appended_ += env.bytes;
   bytes_retained_ += env.bytes;
+  if (bytes_retained_ > retained_hwm_) retained_hwm_ = bytes_retained_;
   ++messages_appended_;
 }
 
@@ -32,6 +33,7 @@ uint64_t SenderLog::gc_received(int dst, int ctx, const mpi::SeqWindow& captured
     }
   }
   bytes_retained_ -= freed;
+  bytes_reclaimed_ += freed;
   return freed;
 }
 

@@ -42,6 +42,11 @@ class SenderLog {
 
   /// Live memory footprint of retained entries.
   uint64_t bytes_retained() const { return bytes_retained_; }
+  /// Highest live footprint ever observed (not reset by restore).
+  uint64_t bytes_retained_hwm() const { return retained_hwm_; }
+  /// Cumulative bytes dropped by gc_received (the Table-1 reclamation
+  /// effect measured with SpbcConfig::gc_logs on).
+  uint64_t bytes_reclaimed() const { return bytes_reclaimed_; }
 
   /// Does the log hold any entry destined to `dst`?
   bool has_entries_to(int dst) const;
@@ -64,6 +69,8 @@ class SenderLog {
   uint64_t bytes_appended_ = 0;
   uint64_t messages_appended_ = 0;
   uint64_t bytes_retained_ = 0;
+  uint64_t retained_hwm_ = 0;
+  uint64_t bytes_reclaimed_ = 0;
 };
 
 }  // namespace spbc::core

@@ -34,13 +34,29 @@ StreamWindows decode_windows(const std::vector<uint64_t>& in, size_t& pos) {
   return windows;
 }
 
+// Binomial-tree arithmetic over a cluster's members vector (ascending rank
+// order; index 0 is both the wave root and the tree root). parent(i) clears
+// the lowest set bit of i; the subtree rooted at i spans the contiguous
+// index range [i, i + lowbit(i)) clipped to the member count.
+int tree_parent(int idx) { return idx & (idx - 1); }
+
+int tree_subtree_size(int idx, int k) {
+  if (idx == 0) return k;
+  int low = idx & -idx;
+  return low < k - idx ? low : k - idx;
+}
+
 }  // namespace
 
 SpbcProtocol::SpbcProtocol(SpbcConfig cfg)
-    : cfg_(cfg), store_(cfg.storage, cfg.storage_model) {}
+    : cfg_(cfg),
+      store_(cfg.storage, cfg.storage_model),
+      staging_(ckpt::StagingConfig{cfg.storage, cfg.async_staging,
+                                   cfg.storage_model}) {}
 
 void SpbcProtocol::attach(mpi::Machine& machine) {
   machine_ = &machine;
+  staging_.attach(machine);
   int n = machine.nranks();
   logs_.resize(static_cast<size_t>(n));
   replayers_.resize(static_cast<size_t>(n));
@@ -73,6 +89,10 @@ uint64_t SpbcProtocol::committed_epoch(int cluster) const {
 
 uint64_t SpbcProtocol::snapshot_epoch(int rank) const {
   return ckpt_.at(static_cast<size_t>(rank)).snap_epoch;
+}
+
+uint8_t SpbcProtocol::commit_levels(int rank) const {
+  return ckpt_.at(static_cast<size_t>(rank)).commit_levels;
 }
 
 // ---------------------------------------------------------------------------
@@ -116,10 +136,20 @@ void SpbcProtocol::on_delivered(mpi::Rank& receiver, const mpi::Envelope& env,
     // restored receiver has not received it, so it must be part of the
     // epoch's restore data. Redelivered captures are re-stamped with the
     // restored epoch, which keeps them out of this branch.
-    const auto& cs = ckpt_[static_cast<size_t>(receiver.rank())];
-    if (env.ckpt_epoch < cs.snap_epoch)
-      store_.record_in_flight(receiver.rank(), env.ckpt_epoch + 1, cs.snap_epoch,
-                              env, payload);
+    auto& cs = ckpt_[static_cast<size_t>(receiver.rank())];
+    if (env.ckpt_epoch < cs.snap_epoch) {
+      uint64_t live = store_.record_in_flight(receiver.rank(), env.ckpt_epoch + 1,
+                                              cs.snap_epoch, env, payload);
+      // Capture-pressure trigger: retained captures are only reclaimed when
+      // a newer epoch commits, so a rank past its bound cuts a fresh epoch
+      // at its next checkpoint opportunity (as if a peer's marker arrived)
+      // instead of waiting for the periodic schedule.
+      if (cfg_.capture_bytes_bound != 0 && live > cfg_.capture_bytes_bound &&
+          cs.wave_seen <= cs.snap_epoch) {
+        cs.wave_seen = cs.snap_epoch + 1;
+        ++capture_forced_waves_;
+      }
+    }
   }
   // The HydEE hook observes replays here.
   if (env.replayed) on_replay_delivered(env);
@@ -159,11 +189,12 @@ void SpbcProtocol::checkpoint_now(mpi::Rank& rank) { run_coordinated_checkpoint(
 // kCkptMarker control message announces the cut to peers that see no data
 // traffic. Messages that cross the cut are captured at the receiver
 // (on_delivered) and re-delivered on restore. The wave commits through an
-// async completion reduction: each member reports kCkptComplete to the wave
-// root once its snapshot is written and its pre-cut intra-cluster sends have
-// landed; the root broadcasts kCkptCommit when every member reported. No
-// rank ever parks, so two clusters checkpointing concurrently cannot form a
-// cross-cluster circular wait through halo dependencies.
+// async completion reduction over a binomial tree: a member's kCkptComplete
+// aggregate moves toward the wave root once its snapshot is written, its
+// pre-cut intra-cluster sends have landed, and its tree children reported;
+// the root broadcasts kCkptCommit when the aggregate covers every member.
+// No rank ever parks, so two clusters checkpointing concurrently cannot
+// form a cross-cluster circular wait through halo dependencies.
 void SpbcProtocol::run_coordinated_checkpoint(mpi::Rank& rank) {
   const int me = rank.rank();
   const int cluster = machine_->cluster_of(me);
@@ -185,8 +216,13 @@ void SpbcProtocol::run_coordinated_checkpoint(mpi::Rank& rank) {
   snap.taken_at = machine_->engine().now();
   snap.epoch = epoch;
   snap.bytes = w.take();
-  sim::Time cost = store_.write_cost(snap.bytes.size());
+  const uint64_t snap_bytes = snap.bytes.size();
   store_.save(me, std::move(snap));
+  // Staging write: the fiber stall is the full configured-level cost in sync
+  // mode but only the fast LOCAL write under async staging — the drainer
+  // promotes LOCAL -> PARTNER -> PFS in the background while the
+  // application computes.
+  sim::Time cost = staging_.write(me, epoch, snap_bytes);
 
   if (cfg_.gc_logs) {
     // Freeze the inter-cluster received-windows the epoch captured; GC at
@@ -231,39 +267,78 @@ void SpbcProtocol::arm_wave_completion(int member, uint64_t epoch) {
     // newer one; the drain that just finished covers every epoch cut before
     // it, so report everything not yet reported — dropping the older report
     // would leave its wave one member short forever.
-    const int cluster = machine_->cluster_of(member);
-    const int root = machine_->ranks_in_cluster(cluster).front();
     for (uint64_t e = cs.complete_sent + 1; e <= cs.snap_epoch; ++e) {
-      if (member == root) {
-        note_wave_complete(cluster, e, member);
-      } else {
-        mpi::ControlMsg msg;
-        msg.kind = mpi::ControlMsg::Kind::kCkptComplete;
-        msg.src = member;
-        msg.dst = root;
-        msg.words.push_back(e);
-        machine_->send_control(member, root, std::move(msg));
-      }
+      cs.agg[e].self_done = true;
+      try_forward_aggregate(member, e);
     }
     cs.complete_sent = std::max(cs.complete_sent, cs.snap_epoch);
   });
 }
 
-void SpbcProtocol::note_wave_complete(int cluster, uint64_t epoch, int member) {
-  auto& wave = waves_[cluster];
-  if (epoch <= wave.committed) return;  // stale report from a superseded wave
+// One hop of the binomial-tree completion reduction: once this member's own
+// drain reached `epoch` and every tree-child subtree reported, the combined
+// member set moves one level up (or commits, at the root). Aggregates carry
+// explicit member ranks rather than counts so re-sent reports after partial
+// delivery are idempotent under set union.
+void SpbcProtocol::try_forward_aggregate(int member, uint64_t epoch) {
+  const int cluster = machine_->cluster_of(member);
+  auto& cs = ckpt_[static_cast<size_t>(member)];
+  auto it = cs.agg.find(epoch);
+  if (it == cs.agg.end()) return;
+  if (epoch <= waves_[cluster].committed) {
+    cs.agg.erase(it);  // stale state from a superseded wave
+    return;
+  }
   const std::vector<int> members = machine_->ranks_in_cluster(cluster);
-  auto& reported = wave.complete[epoch];
-  reported.insert(member);
-  if (reported.size() != members.size()) return;
+  const int k = static_cast<int>(members.size());
+  const int idx = static_cast<int>(
+      std::lower_bound(members.begin(), members.end(), member) - members.begin());
+  SPBC_ASSERT_MSG(idx < k && members[static_cast<size_t>(idx)] == member,
+                  "rank " << member << " not a member of cluster " << cluster);
+  auto& agg = it->second;
+  const int descendants = tree_subtree_size(idx, k) - 1;
+  if (!agg.self_done || agg.sent ||
+      static_cast<int>(agg.covered.size()) < descendants) {
+    return;
+  }
+  agg.sent = true;
+  if (idx == 0) {
+    commit_epoch(cluster, epoch);  // covered + self == every member
+    cs.agg.erase(epoch);
+    return;
+  }
+  mpi::ControlMsg msg;
+  msg.kind = mpi::ControlMsg::Kind::kCkptComplete;
+  msg.src = member;
+  msg.dst = members[static_cast<size_t>(tree_parent(idx))];
+  msg.words.push_back(epoch);
+  msg.words.push_back(agg.covered.size() + 1);
+  for (int m : agg.covered) msg.words.push_back(static_cast<uint64_t>(m));
+  msg.words.push_back(static_cast<uint64_t>(member));
+  cs.agg.erase(epoch);
+  machine_->send_control(member, msg.dst, std::move(msg));
+}
+
+void SpbcProtocol::commit_epoch(int cluster, uint64_t epoch) {
+  auto& wave = waves_[cluster];
+  if (epoch <= wave.committed) return;  // stale commit from a superseded wave
 
   // Commit: every member snapshotted `epoch` and drained its pre-cut sends,
   // so the epoch's snapshots plus its in-flight captures form a complete
-  // consistent cut. Older epochs are superseded.
+  // consistent cut. Older epochs are superseded — but under async staging
+  // they are only pruned down to the cluster's PFS frontier: the committed
+  // epoch may still live only at LOCAL/PARTNER, and a node failure that
+  // destroys those copies needs an older, flushed epoch to fall back to.
   wave.committed = epoch;
-  wave.complete.erase(wave.complete.begin(), wave.complete.upper_bound(epoch));
+  const std::vector<int> members = machine_->ranks_in_cluster(cluster);
+  uint64_t floor = epoch;
+  if (staging_.async()) {
+    for (int m : members) floor = std::min(floor, staging_.pfs_frontier(m));
+  }
   const int root = members.front();
   for (int m : members) {
+    // The residency the commit is backed by, for introspection and benches.
+    ckpt_[static_cast<size_t>(m)].commit_levels = staging_.levels(m, epoch);
     if (cfg_.gc_logs) {
       // Frozen GC windows of superseded epochs (committed ones are erased
       // after use below; an epoch skipped over never gets used) would leak.
@@ -277,7 +352,8 @@ void SpbcProtocol::note_wave_complete(int cluster, uint64_t epoch, int member) {
       // The down-sweep reaches the root locally; members prune their
       // superseded snapshots/captures when their kCkptCommit arrives.
       ckpt_[static_cast<size_t>(m)].epoch = epoch;
-      store_.prune_epochs_below(m, epoch);
+      store_.prune_epochs_below(m, floor);
+      staging_.prune_epochs_below(m, floor);
       continue;
     }
     mpi::ControlMsg msg;
@@ -285,6 +361,7 @@ void SpbcProtocol::note_wave_complete(int cluster, uint64_t epoch, int member) {
     msg.src = root;
     msg.dst = m;
     msg.words.push_back(epoch);
+    msg.words.push_back(floor);
     machine_->send_control(root, m, std::move(msg));
   }
   if (cfg_.gc_logs) gc_after_checkpoint(cluster, epoch);
@@ -332,19 +409,47 @@ void SpbcProtocol::on_failure(int victim_rank) {
   }
 
   // Line 18: the whole cluster rolls back to its last committed checkpoint
-  // epoch. Kill first (fibers unwind, incarnations bump), then restore
-  // in-memory state; fibers respawn after the restart delay. The epoch is
-  // chosen cluster-wide: members that already snapshotted a newer,
+  // epoch. Kill first (fibers unwind, incarnations bump, and the staging
+  // residency of the dead nodes is invalidated via on_rank_killed), then
+  // restore in-memory state; fibers respawn after the restart delay. The
+  // epoch is chosen cluster-wide: members that already snapshotted a newer,
   // not-yet-committed epoch discard it — restoring a mix of epochs would be
   // an inconsistent cut.
   for (int r : members) machine_->kill_rank(r);
   auto& wave = waves_[cluster];
-  const uint64_t epoch = wave.committed;
-  wave.complete.clear();  // in-progress waves died with the cluster
+  uint64_t epoch = wave.committed;
+  // Multi-level fallback: the committed epoch may have lived only at levels
+  // this failure just destroyed (e.g. LOCAL on the dead nodes while its
+  // PFS flush was still in flight). Fall back to the newest older epoch
+  // every member still has a live copy of — the commit-time retention floor
+  // keeps epochs down to the cluster's PFS frontier precisely for this.
+  while (epoch > 0) {
+    bool ok = true;
+    for (int r : members) {
+      if (!store_.has_epoch(r, epoch) || !staging_.recoverable(r, epoch)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) break;
+    --epoch;
+  }
+  if (epoch != wave.committed) {
+    // Lower the cluster's committed epoch to what is actually restorable so
+    // re-execution can legitimately re-commit the epochs in between.
+    staging_.note_epoch_fallback();
+    wave.committed = epoch;
+  }
   sim::Time ckpt_time = 0;
+  sim::Time read_cost = 0;
   for (int r : members) {
-    if (epoch > 0)
+    if (epoch > 0) {
       ckpt_time = std::max(ckpt_time, store_.at_epoch(r, epoch).taken_at);
+      // Restart must re-read every member's snapshot from its cheapest live
+      // level; the slowest member's read extends the outage.
+      read_cost = std::max(read_cost, staging_.read_cost(r, epoch));
+      staging_.note_restore(r, epoch);
+    }
     restore_rank(r, epoch);
   }
 
@@ -354,10 +459,9 @@ void SpbcProtocol::on_failure(int victim_rank) {
   std::map<int, std::set<int>> peers;
   for (int r : members) peers[r] = rollback_peers_of(r);
 
-  machine_->engine().after(machine_->config().restart_delay, [this, cluster, members,
-                                                              epoch, failure_time,
-                                                              ckpt_time, targets,
-                                                              peers] {
+  machine_->engine().after(machine_->config().restart_delay + read_cost,
+                           [this, cluster, members, epoch, failure_time,
+                            ckpt_time, targets, peers] {
     restart_pending_.erase(cluster);
     for (int r : members) machine_->respawn_rank(r, epoch > 0);
     // Re-deliver the intra-cluster messages the restored epoch captured as
@@ -386,6 +490,14 @@ void SpbcProtocol::on_failure(int victim_rank) {
   });
 }
 
+void SpbcProtocol::on_rank_killed(int victim) {
+  // The process died with its node (cluster failures take whole nodes down —
+  // node colocation is enforced): LOCAL snapshot copies of the node's
+  // residents and PARTNER copies hosted there are gone, and drains reading
+  // from them will abort.
+  staging_.invalidate_node(machine_->topology().node_of(victim));
+}
+
 void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
   mpi::Rank& rank = machine_->rank(r);
   rank.reset_for_restart();
@@ -395,6 +507,7 @@ void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
   // Snapshots and captures above the committed epoch belong to a wave that
   // never finished; re-execution will redo that wave from scratch.
   store_.drop_epochs_above(r, epoch);
+  staging_.drop_epochs_above(r, epoch);
   for (auto it = gc_windows_.lower_bound({r, epoch + 1});
        it != gc_windows_.end() && it->first.first == r;) {
     it = gc_windows_.erase(it);
@@ -414,9 +527,10 @@ void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
   cs.snap_epoch = epoch;
   // Transient wave state restarts at the restored epoch: it is committed by
   // definition, and markers of any dropped in-flight wave died with the old
-  // incarnation.
+  // incarnation. Partially collected tree aggregates died with it too.
   cs.complete_sent = epoch;
   cs.wave_seen = epoch;
+  cs.agg.clear();
   cs.calls = reader.get<uint64_t>();
   rank.restore_runtime(reader);
   logs_[static_cast<size_t>(r)].restore(reader);
@@ -553,15 +667,27 @@ void SpbcProtocol::on_control(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
       // on the marker — the wave stays non-blocking).
       cs.wave_seen = std::max(cs.wave_seen, msg.words.at(0));
       break;
-    case mpi::ControlMsg::Kind::kCkptComplete:
-      note_wave_complete(machine_->cluster_of(receiver.rank()), msg.words.at(0),
-                         msg.src);
+    case mpi::ControlMsg::Kind::kCkptComplete: {
+      // A tree child's aggregate for words[0]: union its covered member set
+      // into ours and forward when our own subtree is complete.
+      const uint64_t epoch = msg.words.at(0);
+      if (epoch <= waves_[machine_->cluster_of(receiver.rank())].committed)
+        break;  // stale report from a superseded wave
+      auto& agg = cs.agg[epoch];
+      const uint64_t n = msg.words.at(1);
+      for (uint64_t i = 0; i < n; ++i)
+        agg.covered.insert(static_cast<int>(msg.words.at(2 + i)));
+      try_forward_aggregate(receiver.rank(), epoch);
       break;
+    }
     case mpi::ControlMsg::Kind::kCkptCommit:
       // The wave's down-sweep: the member learns its epoch committed and
-      // discards the local state the commit supersedes.
+      // discards the local state the commit supersedes — down to the
+      // retention floor (words[1]), which lags the committed epoch under
+      // async staging until the PFS flush catches up.
       cs.epoch = std::max(cs.epoch, msg.words.at(0));
-      store_.prune_epochs_below(receiver.rank(), cs.epoch);
+      store_.prune_epochs_below(receiver.rank(), msg.words.at(1));
+      staging_.prune_epochs_below(receiver.rank(), msg.words.at(1));
       break;
     default:
       SPBC_UNREACHABLE("unhandled control message kind in SpbcProtocol");

@@ -23,7 +23,10 @@
 //     style) and never parks a member: each rank snapshots at its own
 //     checkpoint boundary, stamps subsequent intra-cluster messages with the
 //     new epoch (the piggybacked marker), keeps executing while peers catch
-//     up, and the wave commits through an async completion reduction. Intra-
+//     up, and the wave commits through an async binomial-tree completion
+//     reduction (O(log k) deep; no member handles more than log2(k)
+//     completion messages per epoch). Snapshot writes go through the
+//     multi-level staging pipeline (ckpt/staging.hpp). Intra-
 //     cluster messages that cross the cut are captured at the receiver and
 //     re-delivered on restore. This replaces an earlier blocking drain
 //     barrier whose concurrent waves could form a cross-cluster circular
@@ -36,6 +39,7 @@
 #include <set>
 #include <vector>
 
+#include "ckpt/staging.hpp"
 #include "ckpt/store.hpp"
 #include "core/replayer.hpp"
 #include "core/sender_log.hpp"
@@ -67,6 +71,21 @@ struct SpbcConfig {
   ckpt::StorageLevel storage = ckpt::StorageLevel::kNone;
   ckpt::StorageCostModel storage_model{};
 
+  /// Multi-level staging (SCR-style; see ckpt/staging.hpp): charge the
+  /// member's fiber only the fast LOCAL write and promote the snapshot
+  /// LOCAL -> PARTNER -> PFS in the background, overlapped with computation.
+  /// When false, the write is synchronous at `storage` level. Ignored while
+  /// storage == kNone.
+  bool async_staging = false;
+
+  /// Bound on a rank's live in-flight-capture bytes: when exceeded, the rank
+  /// cuts a new epoch at its next checkpoint opportunity so the resulting
+  /// commit can prune the retained captures (a cluster that never reaches
+  /// its periodic boundary would otherwise retain them unboundedly — see
+  /// ROADMAP). 0 disables the bound; the high-water mark is always tracked
+  /// (ckpt::Store::capture_hwm_bytes).
+  uint64_t capture_bytes_bound = 0;
+
   /// Extension: reclaim log entries once the destination cluster checkpoints
   /// (requires one notification per channel after each checkpoint wave).
   bool gc_logs = false;
@@ -87,6 +106,7 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   bool pattern_matching_enabled() const override { return cfg_.pattern_ids; }
   bool maybe_checkpoint(mpi::Rank& rank) override;
   void on_failure(int victim_rank) override;
+  void on_rank_killed(int rank) override;
   void on_control(mpi::Rank& receiver, const mpi::ControlMsg& msg) override;
   void on_rank_start(mpi::Rank& rank, bool restarted) override;
 
@@ -95,9 +115,17 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   SenderLog& log_of_mut(int rank);
   const Replayer& replayer_of(int rank) const;
   const ckpt::Store& store() const { return store_; }
+  const ckpt::StagingArea& staging() const { return staging_; }
   const SpbcConfig& config() const { return cfg_; }
   uint64_t checkpoints_taken() const { return store_.snapshots_taken(); }
   uint64_t rollbacks() const { return rollbacks_; }
+  /// Staging residency mask (ckpt::ResidencyBit) of this rank's snapshot at
+  /// the moment its epoch committed — the level redundancy the commit was
+  /// actually backed by (0 when staging is off).
+  uint8_t commit_levels(int rank) const;
+  /// Waves triggered by the capture-bytes bound rather than the periodic
+  /// schedule or a peer marker.
+  uint64_t capture_forced_waves() const { return capture_forced_waves_; }
   /// Last checkpoint epoch whose wave fully committed (every member
   /// snapshotted and drained its pre-cut intra-cluster sends). Recovery
   /// restores this epoch.
@@ -142,20 +170,34 @@ class SpbcProtocol : public mpi::ProtocolHooks {
     // app mid-iteration, but the next checkpoint opportunity is the first
     // point where an app-consistent local snapshot exists.
     uint64_t wave_seen = 0;
+    // Binomial-tree commit reduction (transient, cleared on rollback): per
+    // epoch, the member ranks covered by aggregates received from this
+    // member's tree children. The aggregate (children + self) is forwarded
+    // to the tree parent once this member's own drain reached the epoch and
+    // every child subtree reported; a full aggregate at the tree root (the
+    // wave root) commits the epoch. Replaces the flat member->root
+    // reduction: the commit path is O(log k) hops deep and no member
+    // handles more than log2(k) messages per epoch.
+    struct TreeAgg {
+      std::set<int> covered;
+      bool self_done = false;
+      bool sent = false;
+    };
+    std::map<uint64_t, TreeAgg> agg;
+    // Staging residency of this rank's snapshot when its epoch committed.
+    uint8_t commit_levels = 0;
   };
 
   /// Per-cluster marker-wave state (event-context authoritative view).
   struct ClusterWave {
     uint64_t committed = 0;  // last epoch whose completion reduction finished
-    // epoch -> members that reported kCkptComplete. A set, not a count:
-    // re-executed waves after a rollback must not double-count.
-    std::map<uint64_t, std::set<int>> complete;
   };
 
   bool is_inter_cluster(const mpi::Envelope& env) const;
   void run_coordinated_checkpoint(mpi::Rank& rank);
   void arm_wave_completion(int member, uint64_t epoch);
-  void note_wave_complete(int cluster, uint64_t epoch, int member);
+  void try_forward_aggregate(int member, uint64_t epoch);
+  void commit_epoch(int cluster, uint64_t epoch);
   void restore_rank(int r, uint64_t epoch);
   void redeliver_captured(int r, uint64_t epoch);
   void send_rollbacks_from(int r, const std::set<int>& peers);
@@ -165,6 +207,7 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   void gc_after_checkpoint(int cluster, uint64_t epoch);
 
   ckpt::Store store_;
+  ckpt::StagingArea staging_;
   std::vector<SenderLog> logs_;
   std::vector<Replayer> replayers_;
   std::vector<CkptLocal> ckpt_;
@@ -177,6 +220,7 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   std::set<int> recovering_clusters_;
   std::set<int> restart_pending_;  // killed + restored, respawn scheduled
   uint64_t rollbacks_ = 0;
+  uint64_t capture_forced_waves_ = 0;
 };
 
 }  // namespace spbc::core

@@ -144,8 +144,17 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.max_log_rate_mb_s = std::max(res.max_log_rate_mb_s, rate);
   }
   res.avg_log_rate_mb_s = sum / cfg.nranks;
-  if (auto* spbc = dynamic_cast<core::SpbcProtocol*>(&machine.protocol()))
+  if (auto* spbc = dynamic_cast<core::SpbcProtocol*>(&machine.protocol())) {
     res.checkpoints = spbc->checkpoints_taken();
+    res.capture_hwm_bytes = spbc->store().capture_hwm_bytes();
+    res.capture_forced_waves = spbc->capture_forced_waves();
+    res.staging = spbc->staging().stats();
+    for (int r = 0; r < cfg.nranks; ++r) {
+      res.log_bytes_reclaimed += spbc->log_of(r).bytes_reclaimed();
+      res.log_retained_hwm =
+          std::max(res.log_retained_hwm, spbc->log_of(r).bytes_retained_hwm());
+    }
+  }
   return res;
 }
 

@@ -72,6 +72,19 @@ struct ScenarioResult {
   double max_log_rate_mb_s = 0;
   uint64_t checkpoints = 0;
 
+  // Log reclamation (gc_logs runs): cumulative bytes dropped at commit and
+  // the highest per-rank live log footprint observed.
+  uint64_t log_bytes_reclaimed = 0;
+  uint64_t log_retained_hwm = 0;
+
+  // In-flight capture footprint: highest per-rank live capture bytes
+  // (the ROADMAP memory-bound metric) and waves forced by the bound.
+  uint64_t capture_hwm_bytes = 0;
+  uint64_t capture_forced_waves = 0;
+
+  // Multi-level staging pipeline counters (zeros when staging is off).
+  ckpt::StagingStats staging;
+
   /// Normalized rework time of the first recovery (Fig. 5 / Fig. 6): time to
   /// re-execute the lost work divided by the failure-free time that work
   /// originally took.

@@ -282,6 +282,9 @@ void Machine::kill_rank(int r) {
     engine_.kill(rk.task());
     rk.set_task(sim::Engine::kInvalidTask);
   }
+  // After the fiber unwound: storage-aware protocols drop checkpoint copies
+  // that lived on the dead node.
+  protocol_->on_rank_killed(r);
 }
 
 void Machine::respawn_rank(int r, bool restarted) {

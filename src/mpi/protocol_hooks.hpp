@@ -69,6 +69,12 @@ class ProtocolHooks {
   /// event context once per failure event, on the Machine's behalf.
   virtual void on_failure(int victim_rank) = 0;
 
+  /// A rank's process just died (crash instant or detection-time cluster
+  /// kill — before on_failure's recovery orchestration). Storage-aware
+  /// protocols invalidate the dead node's checkpoint copies here: LOCAL
+  /// snapshots and hosted PARTNER copies do not survive the node.
+  virtual void on_rank_killed(int /*rank*/) {}
+
   /// Protocol-level control message arrived at `receiver` (event context).
   virtual void on_control(Rank& receiver, const ControlMsg& msg) = 0;
 

@@ -1,0 +1,34 @@
+#pragma once
+// Serialized-resource primitive for the discrete-event engine.
+//
+// A BandwidthQueue models a device that services one transfer at a time at a
+// fixed rate (a node's local SSD, its share of the PFS ingest path): callers
+// reserve a span of busy time and get back the completion instant. Concurrent
+// requests from the same node therefore serialize instead of magically
+// overlapping — the bandwidth-sharing half of the staging drain model (the
+// NIC half is already modeled by net::Network's per-node injection
+// serialization).
+
+#include "sim/time.hpp"
+
+namespace spbc::sim {
+
+class BandwidthQueue {
+ public:
+  /// Reserves the resource for `duration` starting no earlier than `now`
+  /// and no earlier than the previously reserved work finishes. Returns the
+  /// completion time of this reservation.
+  Time reserve(Time now, Time duration) {
+    Time start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + duration;
+    return busy_until_;
+  }
+
+  /// When the resource next becomes idle (<= now means idle now).
+  Time busy_until() const { return busy_until_; }
+
+ private:
+  Time busy_until_ = 0;
+};
+
+}  // namespace spbc::sim

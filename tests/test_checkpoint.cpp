@@ -334,8 +334,8 @@ TEST(CoordinatedCkpt, StorageCostCharged) {
     end = r.now();
   });
   EXPECT_TRUE(m.run().completed);
-  // At least the storage base latency was charged.
-  EXPECT_GT(end, 1e-3);
+  // At least the local device latency was charged.
+  EXPECT_GT(end, 1e-5);
 }
 
 }  // namespace

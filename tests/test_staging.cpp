@@ -1,0 +1,368 @@
+// Tests: asynchronous multi-level checkpoint staging (LOCAL -> PARTNER ->
+// PFS), residency-aware recovery (cheapest live level, cross-level and
+// cross-epoch fallback), the binomial-tree commit reduction, the in-flight
+// capture memory bound, and log reclamation accounting.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "ckpt/staging.hpp"
+#include "core/spbc.hpp"
+#include "mpi/machine.hpp"
+
+namespace spbc {
+namespace {
+
+using mpi::Machine;
+using mpi::MachineConfig;
+using mpi::Payload;
+using mpi::Rank;
+
+// Slows the PFS so drains stay observable mid-run: a ~KB snapshot takes tens
+// of milliseconds to flush while LOCAL writes and partner copies stay fast.
+ckpt::StorageCostModel slow_pfs_model() {
+  ckpt::StorageCostModel m;
+  m.pfs_bw = 1.0e5;
+  return m;
+}
+
+TEST(Staging, PartnerMappingPrefersOtherCluster) {
+  MachineConfig cfg;
+  cfg.nranks = 8;
+  cfg.ranks_per_node = 2;
+  core::SpbcConfig scfg;
+  scfg.storage = ckpt::StorageLevel::kPfs;
+  scfg.async_staging = true;
+  auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+  core::SpbcProtocol* p = proto.get();
+  Machine m(cfg, std::move(proto));
+  m.set_cluster_of({0, 0, 0, 0, 1, 1, 1, 1});  // nodes 0,1 vs nodes 2,3
+  for (int r = 0; r < 8; ++r) {
+    int partner = p->staging().partner_of(r);
+    ASSERT_GE(partner, 0);
+    EXPECT_NE(m.cluster_of(partner), m.cluster_of(r))
+        << "rank " << r << " partnered inside its own failure domain";
+    EXPECT_NE(m.topology().node_of(partner), m.topology().node_of(r));
+  }
+  // Single cluster: a cross-cluster buddy does not exist; a distinct node
+  // must still be chosen.
+  auto proto2 = std::make_unique<core::SpbcProtocol>(scfg);
+  core::SpbcProtocol* p2 = proto2.get();
+  Machine m2(cfg, std::move(proto2));
+  m2.set_cluster_of(std::vector<int>(8, 0));
+  EXPECT_NE(m2.topology().node_of(p2->staging().partner_of(0)),
+            m2.topology().node_of(0));
+}
+
+// Async staging charges the member only the LOCAL write; by the end of the
+// run the background drainer has promoted every snapshot to PFS.
+TEST(Staging, AsyncWriteStallsShortAndDrainsToPfs) {
+  MachineConfig cfg;
+  cfg.nranks = 2;
+  cfg.ranks_per_node = 1;
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 1;
+  scfg.storage = ckpt::StorageLevel::kPfs;
+  scfg.async_staging = true;
+  scfg.storage_model = slow_pfs_model();
+  auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+  core::SpbcProtocol* p = proto.get();
+  Machine m(cfg, std::move(proto));
+  m.set_cluster_of({0, 1});
+  sim::Time stall = 0;
+  m.launch([&](Rank& r) {
+    r.set_state_handlers([](util::ByteWriter& w) { w.put<int>(1); },
+                         [](util::ByteReader& rd) { rd.get<int>(); });
+    sim::Time before = r.now();
+    r.maybe_checkpoint();
+    if (r.rank() == 0) stall = r.now() - before;
+  });
+  EXPECT_TRUE(m.run().completed);
+  // The fiber paid roughly the LOCAL write (base latency + ~KB/GBps), far
+  // below the tens-of-milliseconds sync PFS write of the same snapshot.
+  EXPECT_GT(stall, 0.0);
+  EXPECT_LT(stall, 1e-2);
+  const ckpt::StagingStats& st = p->staging().stats();
+  EXPECT_EQ(st.drains_started, 2u);
+  EXPECT_EQ(st.pfs_flushes, 2u);
+  EXPECT_GE(p->staging().pfs_frontier(0), 1u);
+  EXPECT_EQ(p->staging().levels(0, 1) & ckpt::kAtPfs, ckpt::kAtPfs);
+}
+
+// Commit does not wait for the drain: an epoch committed while its PFS flush
+// is still in flight records LOCAL residency, and the introspection shows
+// which redundancy actually backed the commit.
+TEST(Staging, CommitRecordsResidencyAtCommitTime) {
+  MachineConfig cfg;
+  cfg.nranks = 2;
+  cfg.ranks_per_node = 1;
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 1;
+  scfg.storage = ckpt::StorageLevel::kPfs;
+  scfg.async_staging = true;
+  scfg.storage_model = slow_pfs_model();
+  auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+  core::SpbcProtocol* p = proto.get();
+  Machine m(cfg, std::move(proto));
+  m.set_cluster_of({0, 0});
+  m.launch([&](Rank& r) {
+    r.set_state_handlers([](util::ByteWriter& w) { w.put<int>(1); },
+                         [](util::ByteReader& rd) { rd.get<int>(); });
+    r.maybe_checkpoint();
+    r.compute(1e-4);  // commit happens here, long before the PFS flush
+  });
+  EXPECT_TRUE(m.run().completed);
+  EXPECT_EQ(p->committed_epoch(0), 1u);
+  EXPECT_NE(p->commit_levels(0) & ckpt::kAtLocal, 0);
+  EXPECT_EQ(p->commit_levels(0) & ckpt::kAtPfs, 0)
+      << "commit should have preceded the slow PFS flush";
+}
+
+// A failure that destroys the LOCAL copies restores the cluster from the
+// PARTNER copies hosted on the surviving failure domain.
+TEST(Staging, PartnerCopyServesRecovery) {
+  MachineConfig cfg;
+  cfg.nranks = 4;
+  cfg.ranks_per_node = 2;
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 1;
+  scfg.storage = ckpt::StorageLevel::kPfs;
+  scfg.async_staging = true;
+  scfg.storage_model = slow_pfs_model();
+  const int iters = 3;
+  auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+  core::SpbcProtocol* p = proto.get();
+  Machine m(cfg, std::move(proto));
+  m.set_cluster_of({0, 0, 1, 1});
+  m.launch([](Rank& r) {
+    struct St {
+      int iter = 0;
+    } st;
+    r.set_state_handlers(
+        [&st](util::ByteWriter& w) { w.put(st); },
+        [&st](util::ByteReader& rd) { st = rd.get<decltype(st)>(); });
+    if (r.restarted()) r.restore_app_state();
+    const mpi::Comm& w = r.world();
+    for (; st.iter < iters;) {
+      int peer = r.rank() ^ 1;  // intra-cluster pairing
+      mpi::Request rq = r.irecv(peer, 1, w);
+      r.isend(peer, 1, Payload::make_synthetic(128, 7), w);
+      r.wait(rq);
+      r.compute(5e-3);
+      ++st.iter;
+      r.maybe_checkpoint();
+    }
+  });
+  // Epoch 1 commits around t=5ms (LOCAL + PARTNER; the slow PFS flush is
+  // still pending); the crash at 8ms destroys node 0's LOCAL copies.
+  m.inject_failure(8e-3, 0);
+  mpi::RunResult res = m.run();
+  ASSERT_TRUE(res.completed) << "deadlocked=" << res.deadlocked;
+  ASSERT_EQ(m.recoveries().size(), 1u);
+  EXPECT_TRUE(m.recoveries().at(0).complete());
+  EXPECT_GT(m.recoveries().at(0).checkpoint_time, 0.0);
+  const ckpt::StagingStats& st = p->staging().stats();
+  EXPECT_EQ(st.epoch_fallbacks, 0u);
+  // Both members of the failed cluster restored from their buddy node.
+  EXPECT_GE(st.restores_by_level[1], 2u);  // index 1 = PARTNER
+  EXPECT_EQ(st.restores_by_level[0], 0u);  // LOCAL was destroyed
+}
+
+// Drain-in-progress failure: the committed epoch existed only at LOCAL (and
+// at a PARTNER inside the same dying failure domain), so recovery falls back
+// to the older epoch the drainer had already flushed to PFS — and the
+// re-execution still produces the failure-free result.
+TEST(Staging, DrainInProgressFailureFallsBackAnEpoch) {
+  MachineConfig cfg;
+  cfg.nranks = 2;
+  cfg.ranks_per_node = 1;
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 1;
+  scfg.storage = ckpt::StorageLevel::kPfs;
+  scfg.async_staging = true;
+  scfg.storage_model = slow_pfs_model();
+  const int iters = 3;
+  auto run = [&](bool inject, std::map<int, uint64_t>* sums,
+                 core::SpbcProtocol** proto_out) {
+    auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+    if (proto_out) *proto_out = proto.get();
+    auto m = std::make_unique<Machine>(cfg, std::move(proto));
+    m->set_cluster_of({0, 0});  // one cluster spanning both nodes
+    m->launch([sums](Rank& r) {
+      struct St {
+        int iter = 0;
+        uint64_t sum = 0;
+      } st;
+      r.set_state_handlers(
+          [&st](util::ByteWriter& w) { w.put(st); },
+          [&st](util::ByteReader& rd) { st = rd.get<decltype(st)>(); });
+      if (r.restarted()) r.restore_app_state();
+      const mpi::Comm& w = r.world();
+      for (; st.iter < iters;) {
+        int peer = 1 - r.rank();
+        mpi::Request rq = r.irecv(peer, 1, w);
+        r.isend(peer, 1,
+                Payload::make_synthetic(
+                    128, static_cast<uint64_t>(r.rank() * 100 + st.iter)),
+                w);
+        r.wait(rq);
+        util::Fnv1a64 h;
+        h.update_u64(st.sum);
+        h.update_u64(rq.result().hash);
+        st.sum = h.digest();
+        // Iteration 0 ends at ~10ms (epoch 1; its flush lands ~15-20ms);
+        // iteration 1 stretches to ~70ms (epoch 2, flush pending at the
+        // 72ms crash).
+        r.compute(st.iter == 1 ? 60e-3 : 10e-3);
+        ++st.iter;
+        r.maybe_checkpoint();
+      }
+      if (sums) (*sums)[r.rank()] = st.sum;
+    });
+    if (inject) m->inject_failure(72e-3, 0);
+    return m;
+  };
+  std::map<int, uint64_t> expect;
+  {
+    auto m = run(false, &expect, nullptr);
+    ASSERT_TRUE(m->run().completed);
+  }
+  std::map<int, uint64_t> sums;
+  core::SpbcProtocol* p = nullptr;
+  auto m = run(true, &sums, &p);
+  mpi::RunResult res = m->run();
+  ASSERT_TRUE(res.completed) << "deadlocked=" << res.deadlocked;
+  EXPECT_EQ(sums, expect);
+  const ckpt::StagingStats& st = p->staging().stats();
+  EXPECT_EQ(st.epoch_fallbacks, 1u);
+  EXPECT_GE(st.restores_by_level[2], 2u);  // index 2 = PFS
+  ASSERT_EQ(m->recoveries().size(), 1u);
+  // The restored checkpoint is epoch 1 (cut at ~10ms), not the committed-
+  // but-destroyed epoch 2 (cut at ~70ms).
+  EXPECT_GT(m->recoveries().at(0).checkpoint_time, 5e-3);
+  EXPECT_LT(m->recoveries().at(0).checkpoint_time, 40e-3);
+  // Re-execution recommitted the redone epochs.
+  EXPECT_EQ(p->committed_epoch(0), static_cast<uint64_t>(iters));
+}
+
+// The capture bound turns memory pressure into an early checkpoint wave:
+// a rank whose live capture bytes exceed the bound cuts a fresh epoch at its
+// next opportunity, and the resulting commit reclaims the captures.
+TEST(Staging, CaptureBoundForcesEarlyWave) {
+  MachineConfig cfg;
+  cfg.nranks = 2;
+  cfg.ranks_per_node = 2;
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 0;  // no periodic schedule: pressure must trigger
+  scfg.capture_bytes_bound = 512;
+  auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+  core::SpbcProtocol* p = proto.get();
+  Machine m(cfg, std::move(proto));
+  m.set_cluster_of({0, 0});
+  const int batches = 3, per_batch = 4;
+  m.launch([&](Rank& r) {
+    r.set_state_handlers([](util::ByteWriter& w) { w.put<int>(0); },
+                         [](util::ByteReader& rd) { rd.get<int>(); });
+    const mpi::Comm& w = r.world();
+    if (r.rank() == 1) p->checkpoint_now(r);
+    for (int b = 0; b < batches; ++b) {
+      for (int i = 0; i < per_batch; ++i) {
+        if (r.rank() == 0)
+          r.send(1, 1, Payload::make_synthetic(256, 0xc0de), w);
+        else
+          r.recv(0, 1, w);
+      }
+      r.maybe_checkpoint();
+      r.compute(1e-3);
+    }
+  });
+  EXPECT_TRUE(m.run().completed);
+  // Rank 0's first batch was stamped pre-cut and captured at rank 1 (1KB >
+  // the 512B bound), forcing at least one wave beyond the checkpoint_now.
+  EXPECT_GE(p->capture_forced_waves(), 1u);
+  EXPECT_GT(p->store().capture_hwm_bytes(), scfg.capture_bytes_bound);
+  EXPECT_GE(p->committed_epoch(0), 2u);
+  // The forced commit reclaimed the pressure: live captures ended below the
+  // high-water mark.
+  EXPECT_LT(p->store().capture_live_bytes(1), p->store().capture_hwm_bytes());
+}
+
+// The binomial-tree completion reduction commits waves for cluster sizes on
+// and off powers of two.
+TEST(Staging, TreeReductionCommitsAcrossClusterSizes) {
+  for (int nranks : {6, 8}) {
+    MachineConfig cfg;
+    cfg.nranks = nranks;
+    cfg.ranks_per_node = nranks / 2;
+    core::SpbcConfig scfg;
+    scfg.checkpoint_every = 1;
+    auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+    core::SpbcProtocol* p = proto.get();
+    Machine m(cfg, std::move(proto));
+    m.set_cluster_of(std::vector<int>(static_cast<size_t>(nranks), 0));
+    const int iters = 3;
+    m.launch([&](Rank& r) {
+      r.set_state_handlers([](util::ByteWriter& w) { w.put<int>(0); },
+                           [](util::ByteReader& rd) { rd.get<int>(); });
+      const mpi::Comm& w = r.world();
+      for (int it = 0; it < iters; ++it) {
+        int to = (r.rank() + 1) % r.nranks();
+        int from = (r.rank() + r.nranks() - 1) % r.nranks();
+        mpi::Request rq = r.irecv(from, 1, w);
+        r.isend(to, 1, Payload::make_synthetic(64, static_cast<uint64_t>(it)), w);
+        r.wait(rq);
+        r.maybe_checkpoint();
+      }
+    });
+    EXPECT_TRUE(m.run().completed) << "nranks=" << nranks;
+    EXPECT_EQ(p->committed_epoch(0), static_cast<uint64_t>(iters));
+    EXPECT_EQ(p->checkpoints_taken(),
+              static_cast<uint64_t>(nranks) * static_cast<uint64_t>(iters));
+  }
+}
+
+// gc_logs reclaims sender-log entries once the destination cluster commits,
+// and the reclamation is now measurable.
+TEST(Staging, GcLogsReclaimsMeasuredBytes) {
+  MachineConfig cfg;
+  cfg.nranks = 4;
+  cfg.ranks_per_node = 2;
+  core::SpbcConfig scfg;
+  scfg.checkpoint_every = 1;
+  scfg.gc_logs = true;
+  auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+  core::SpbcProtocol* p = proto.get();
+  Machine m(cfg, std::move(proto));
+  m.set_cluster_of({0, 0, 1, 1});
+  const int iters = 4;
+  m.launch([&](Rank& r) {
+    r.set_state_handlers([](util::ByteWriter& w) { w.put<int>(0); },
+                         [](util::ByteReader& rd) { rd.get<int>(); });
+    const mpi::Comm& w = r.world();
+    for (int it = 0; it < iters; ++it) {
+      int to = (r.rank() + 1) % 4;  // ring: crosses clusters at 1->2, 3->0
+      int from = (r.rank() + 3) % 4;
+      mpi::Request rq = r.irecv(from, 1, w);
+      r.isend(to, 1, Payload::make_synthetic(512, static_cast<uint64_t>(it)), w);
+      r.wait(rq);
+      r.compute(1e-3);
+      r.maybe_checkpoint();
+    }
+  });
+  EXPECT_TRUE(m.run().completed);
+  uint64_t reclaimed = 0, retained = 0;
+  for (int r = 0; r < 4; ++r) {
+    reclaimed += p->log_of(r).bytes_reclaimed();
+    retained += p->log_of(r).bytes_retained();
+  }
+  EXPECT_GT(reclaimed, 0u);
+  // Reclamation kept the live log strictly below everything ever appended.
+  uint64_t appended = 0;
+  for (int r = 0; r < 4; ++r) appended += p->log_of(r).bytes_appended();
+  EXPECT_LT(retained, appended);
+}
+
+}  // namespace
+}  // namespace spbc
