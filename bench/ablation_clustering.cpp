@@ -4,8 +4,12 @@
 // produces very imbalanced per-process logs ("inside one cluster some
 // processes have a lot of communication with other clusters while others do
 // not have any") and suggests studying balanced strategies. This bench
-// compares three partitioners at 8 clusters: the tool's min-total objective,
-// the balanced (min-max per-rank) objective, and a naive block partition.
+// compares partitioners at k clusters (--clusters=K, default 8): the tool's
+// min-total objective (flat and multilevel pipelines), the balanced
+// (min-max per-rank) objective, and a naive block partition — reporting the
+// partitioning wall-time per strategy alongside the quality columns.
+
+#include <chrono>
 
 #include "bench_common.hpp"
 #include "clustering/comm_graph.hpp"
@@ -14,14 +18,15 @@
 using namespace spbc;
 
 int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
   bench::BenchOpts o = bench::parse_opts(argc, argv);
   bench::print_header("Ablation: clustering objective (Section 6.6)", o);
 
   int nodes = o.ranks / o.ppn;
-  int k = std::min(8, nodes);
+  int k = std::min(static_cast<int>(cli.get_int("clusters", 8)), nodes);
 
-  util::Table table({"App", "Strategy", "total logged MB/s", "max rank MB/s",
-                     "norm. rework"});
+  util::Table table({"App", "Strategy", "partition ms", "total logged MB/s",
+                     "max rank MB/s", "norm. rework"});
 
   for (const auto& app : bench::paper_apps()) {
     // Trace once per app.
@@ -38,20 +43,44 @@ int main(int argc, char** argv) {
     tracer.launch([&info, acfg](mpi::Rank& r) { info.main(r, acfg); });
     if (!tracer.run().completed) continue;
     clustering::CommGraph graph =
-        clustering::CommGraph::from_traffic(o.ranks, tracer.traffic_bytes());
+        clustering::CommGraph::from_traffic(o.ranks, tracer.traffic());
     sim::Topology topo = sim::Topology::for_ranks(o.ranks, o.ppn);
     clustering::Partitioner part(graph, topo);
 
     struct Strategy {
       const char* name;
       clustering::PartitionResult partition;
+      double ms = 0;
+    };
+    auto timed = [&](auto&& fn) {
+      auto t0 = std::chrono::steady_clock::now();
+      clustering::PartitionResult res = fn();
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      return std::pair<clustering::PartitionResult, double>(std::move(res), ms);
     };
     std::vector<Strategy> strategies;
-    strategies.push_back(
-        {"min-total [30]", part.partition(k, clustering::Objective::kMinTotalLogged)});
-    strategies.push_back(
-        {"balanced", part.partition(k, clustering::Objective::kBalancedLogged)});
-    strategies.push_back({"block", part.block_partition(k)});
+    {
+      auto [res, ms] = timed(
+          [&] { return part.partition(k, clustering::Objective::kMinTotalLogged); });
+      strategies.push_back({"min-total [30]", std::move(res), ms});
+    }
+    {
+      clustering::PartitionConfig pc;
+      pc.multilevel = true;
+      auto [res, ms] = timed([&] { return part.partition(k, pc); });
+      strategies.push_back({"min-total multi", std::move(res), ms});
+    }
+    {
+      auto [res, ms] = timed(
+          [&] { return part.partition(k, clustering::Objective::kBalancedLogged); });
+      strategies.push_back({"balanced", std::move(res), ms});
+    }
+    {
+      auto [res, ms] = timed([&] { return part.block_partition(k); });
+      strategies.push_back({"block", std::move(res), ms});
+    }
 
     for (const auto& s : strategies) {
       harness::ScenarioConfig cfg =
@@ -67,7 +96,8 @@ int main(int argc, char** argv) {
       m.launch([&info, acfg = cfg.app_cfg](mpi::Rank& r) { info.main(r, acfg); });
       mpi::RunResult ffr = m.run();
       if (!ffr.completed) {
-        table.add_row({app, s.name, "fail", "fail", "fail"});
+        table.add_row({app, s.name, util::Table::fmt(s.ms, 2), "fail", "fail",
+                       "fail"});
         continue;
       }
       double elapsed = ffr.finish_time;
@@ -92,8 +122,9 @@ int main(int argc, char** argv) {
         double lost = rec.failure_time - rec.checkpoint_time;
         if (lost > 0) rework = util::Table::fmt(rec.rework() / lost, 3);
       }
-      table.add_row({app, s.name, util::Table::fmt(total_rate, 2),
-                     util::Table::fmt(max_rate, 2), rework});
+      table.add_row({app, s.name, util::Table::fmt(s.ms, 2),
+                     util::Table::fmt(total_rate, 2), util::Table::fmt(max_rate, 2),
+                     rework});
     }
   }
   std::printf("%s\n", table.render().c_str());

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
 
   // 2. Partition for a range of cluster counts and both objectives.
   clustering::CommGraph graph =
-      clustering::CommGraph::from_traffic(nranks, machine.traffic_bytes());
+      clustering::CommGraph::from_traffic(nranks, machine.traffic());
   sim::Topology topo = sim::Topology::for_ranks(nranks, ppn);
   clustering::Partitioner part(graph, topo);
 

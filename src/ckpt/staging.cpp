@@ -75,11 +75,20 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
         e.levels = kAtLocal;
         cost = node_local_q_[static_cast<size_t>(node)].reserve(now, cost) - now;
         break;
-      case StorageLevel::kPartner:
-        e.levels = static_cast<uint8_t>(
-            kAtLocal | (partner_of(rank) >= 0 ? kAtPartner : 0));
+      case StorageLevel::kPartner: {
+        // Same dead-store guard as the async promotion path: a partner copy
+        // must not be recorded on a node whose storage died and has not been
+        // re-initialized by a resident's write (invalidate_node dedups
+        // repeat failures of a down node, so the stale copy would survive
+        // the node's next death).
+        const int partner = partner_of(rank);
+        const bool partner_live =
+            partner >= 0 &&
+            !node_down_[static_cast<size_t>(machine_->topology().node_of(partner))];
+        e.levels = static_cast<uint8_t>(kAtLocal | (partner_live ? kAtPartner : 0));
         cost = node_local_q_[static_cast<size_t>(node)].reserve(now, cost) - now;
         break;
+      }
       case StorageLevel::kPfs:
         e.levels = kAtPfs;
         finish_pfs(rank, epoch);
@@ -112,17 +121,30 @@ void StagingArea::start_partner_copy(int rank, uint64_t epoch) {
     start_pfs_flush(rank, epoch, home, kAtLocal);
     return;
   }
+  const int pnode = machine_->topology().node_of(partner);
+  if (node_down_[static_cast<size_t>(pnode)]) {
+    // The buddy node's storage died and no resident has re-initialized it:
+    // copies must not land on a dead store (invalidate_node dedups repeat
+    // failures of a down node, so such a copy would survive a second death).
+    // Skip the partner level and flush straight from LOCAL.
+    start_pfs_flush(rank, epoch, home, kAtLocal);
+    return;
+  }
   // The copy rides the real network, so it shares the home node's NIC with
   // application traffic and arrives after genuine transfer time.
-  const int pnode = machine_->topology().node_of(partner);
   const uint64_t pgen = node_gen(pnode);
   const uint64_t bytes = e->bytes;
   machine_->network().submit(
       net::Transfer{rank, partner, bytes}, [this, rank, epoch, pnode, pgen] {
         Entry* entry = find(rank, epoch);
-        if (entry == nullptr || (entry->levels & kAtLocal) == 0 ||
-            node_gen(pnode) != pgen) {
-          ++stats_.drains_aborted;  // source or destination died in flight
+        if (entry == nullptr) {
+          ++stats_.drains_aborted;  // rolled back while the copy was in flight
+          return;
+        }
+        if ((entry->levels & kAtLocal) == 0 || node_gen(pnode) != pgen) {
+          // Source or destination died in flight: re-issue from whatever
+          // level still holds a copy instead of abandoning the chain.
+          retry_from_surviving(rank, epoch);
           return;
         }
         entry->levels |= kAtPartner;
@@ -143,9 +165,15 @@ void StagingArea::start_pfs_flush(int rank, uint64_t epoch, int from_node,
   const uint64_t gen = node_gen(from_node);
   machine_->engine().at(done, [this, rank, epoch, from_node, gen, source_bit] {
     Entry* entry = find(rank, epoch);
-    if (entry == nullptr || (entry->levels & source_bit) == 0 ||
-        node_gen(from_node) != gen) {
-      ++stats_.drains_aborted;  // the flush's source copy died mid-write
+    if (entry == nullptr) {
+      ++stats_.drains_aborted;  // rolled back while the flush was queued
+      return;
+    }
+    if ((entry->levels & source_bit) == 0 || node_gen(from_node) != gen) {
+      // The flush's source copy died mid-write (e.g. the partner node was
+      // lost): retry from the cheapest surviving level — usually the home
+      // node's LOCAL copy, which also re-establishes partner redundancy.
+      retry_from_surviving(rank, epoch);
       return;
     }
     entry->levels |= kAtPfs;
@@ -153,6 +181,34 @@ void StagingArea::start_pfs_flush(int rank, uint64_t epoch, int from_node,
     stats_.bytes_to_pfs += entry->bytes;
     finish_pfs(rank, epoch);
   });
+}
+
+void StagingArea::retry_from_surviving(int rank, uint64_t epoch) {
+  Entry* e = find(rank, epoch);
+  if (e == nullptr || e->levels == 0) {
+    ++stats_.drains_aborted;  // every copy is gone; the chain is truly lost
+    return;
+  }
+  if (e->levels & kAtPfs) return;  // already durable; nothing to promote
+  if (e->retries_left == 0) {
+    // A copy survives (the snapshot stays recoverable from it) but the
+    // promotion budget is spent: the chain stalls short of PFS.
+    ++stats_.retries_exhausted;
+    return;
+  }
+  --e->retries_left;
+  ++stats_.hop_retries;
+  if (e->levels & kAtLocal) {
+    // Cheapest surviving copy: the home node's LOCAL write. Restart the
+    // remaining chain there (partner copy first when the buddy node is in
+    // service, else a direct PFS flush).
+    start_partner_copy(rank, epoch);
+    return;
+  }
+  // LOCAL is gone but a PARTNER copy survives on the buddy node: flush it.
+  const int partner = partner_of(rank);
+  SPBC_ASSERT(partner >= 0);
+  start_pfs_flush(rank, epoch, machine_->topology().node_of(partner), kAtPartner);
 }
 
 void StagingArea::finish_pfs(int rank, uint64_t epoch) {

@@ -60,7 +60,13 @@ struct StagingStats {
   uint64_t drains_started = 0;
   uint64_t partner_copies = 0;  // completed LOCAL -> PARTNER promotions
   uint64_t pfs_flushes = 0;     // completed -> PFS promotions
-  uint64_t drains_aborted = 0;  // the source copy died mid-promotion
+  uint64_t drains_aborted = 0;  // every copy died mid-promotion (chain lost)
+  /// Promotion hops re-issued from a surviving level after their source (or
+  /// destination) copy died mid-flight.
+  uint64_t hop_retries = 0;
+  /// Chains that stalled short of PFS with a live copy remaining because
+  /// the per-snapshot retry budget ran out (snapshot still recoverable).
+  uint64_t retries_exhausted = 0;
   uint64_t bytes_to_partner = 0;
   uint64_t bytes_to_pfs = 0;
   /// Restores served per level; index = StorageLevel - kLocal.
@@ -132,6 +138,7 @@ class StagingArea {
   struct Entry {
     uint64_t bytes = 0;
     uint8_t levels = 0;
+    uint8_t retries_left = 3;  // per-snapshot budget for re-issued hops
   };
 
   Entry* find(int rank, uint64_t epoch);
@@ -144,6 +151,10 @@ class StagingArea {
   void start_pfs_flush(int rank, uint64_t epoch, int from_node,
                        uint8_t source_bit);
   void finish_pfs(int rank, uint64_t epoch);
+  /// A promotion hop found its source (or destination) copy dead: re-issue
+  /// the rest of the chain from the cheapest level that still holds a copy
+  /// (usually LOCAL), or count the chain aborted when nothing survives.
+  void retry_from_surviving(int rank, uint64_t epoch);
 
   StagingConfig cfg_;
   mpi::Machine* machine_ = nullptr;

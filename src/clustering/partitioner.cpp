@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "clustering/agglomerate.hpp"
 #include "util/assert.hpp"
 
 namespace spbc::clustering {
@@ -11,24 +12,11 @@ namespace spbc::clustering {
 Partitioner::Partitioner(const CommGraph& graph, const sim::Topology& topo)
     : graph_(graph), topo_(topo), ngroups_(topo.nodes()) {
   SPBC_ASSERT(graph.nranks() == topo.nranks());
-  // Pre-aggregate rank-level traffic to node-group level.
-  gw_.assign(static_cast<size_t>(ngroups_),
-             std::vector<uint64_t>(static_cast<size_t>(ngroups_), 0));
-  for (int a = 0; a < graph.nranks(); ++a) {
-    for (int b = a + 1; b < graph.nranks(); ++b) {
-      uint64_t w = graph.weight(a, b);
-      if (w == 0) continue;
-      int ga = topo.node_of(a);
-      int gb = topo.node_of(b);
-      if (ga == gb) continue;
-      gw_[static_cast<size_t>(ga)][static_cast<size_t>(gb)] += w;
-      gw_[static_cast<size_t>(gb)][static_cast<size_t>(ga)] += w;
-    }
-  }
-}
-
-uint64_t Partitioner::group_weight(int ga, int gb) const {
-  return gw_[static_cast<size_t>(ga)][static_cast<size_t>(gb)];
+  group_of_rank_.resize(static_cast<size_t>(graph.nranks()));
+  for (int r = 0; r < graph.nranks(); ++r)
+    group_of_rank_[static_cast<size_t>(r)] = topo.node_of(r);
+  groups_ = GroupGraph::from_ranks(graph, group_of_rank_, ngroups_,
+                                   std::vector<int>(static_cast<size_t>(ngroups_), 1));
 }
 
 PartitionResult Partitioner::finalize(const std::vector<int>& group_cluster,
@@ -38,7 +26,7 @@ PartitionResult Partitioner::finalize(const std::vector<int>& group_cluster,
   res.cluster_of.resize(static_cast<size_t>(graph_.nranks()));
   for (int r = 0; r < graph_.nranks(); ++r)
     res.cluster_of[static_cast<size_t>(r)] =
-        group_cluster[static_cast<size_t>(topo_.node_of(r))];
+        group_cluster[static_cast<size_t>(group_of_rank_[static_cast<size_t>(r)])];
   res.logged_bytes = graph_.logged_bytes(res.cluster_of);
   auto per_rank = graph_.logged_bytes_per_rank(res.cluster_of);
   res.max_rank_logged = per_rank.empty() ? 0 : *std::max_element(per_rank.begin(),
@@ -46,13 +34,92 @@ PartitionResult Partitioner::finalize(const std::vector<int>& group_cluster,
   return res;
 }
 
-double Partitioner::objective_value(const std::vector<int>& group_cluster, int k,
-                                    Objective objective) const {
+PartitionResult Partitioner::partition(int k, Objective objective) const {
+  PartitionConfig cfg;
+  cfg.objective = objective;
+  return partition(k, cfg);
+}
+
+PartitionResult Partitioner::partition(int k, const PartitionConfig& cfg) const {
+  SPBC_ASSERT_MSG(k >= 1 && k <= ngroups_,
+                  "k=" << k << " must be in [1, nodes=" << ngroups_ << "]");
+
+  RefineParams rp;
+  rp.k = k;
+  rp.objective = cfg.objective;
+  rp.max_rounds = cfg.refine_rounds;
+  rp.node_cap = ((ngroups_ + k - 1) / k) + 1;  // seed refinement slack
+  rp.validate_deltas = cfg.validate_deltas;
+
+  if (!cfg.multilevel) {
+    std::vector<int> group_cluster = agglomerate(groups_, k);
+    refine_partition(graph_, groups_, group_of_rank_, rp, group_cluster);
+    return finalize(group_cluster, k);
+  }
+
+  // V-cycle. Coarsen by heavy-edge matching while the graph stays large;
+  // each level keeps its unit graph, its rank -> unit map, and the map that
+  // projects its units onto the next-coarser level.
+  struct Level {
+    GroupGraph g;
+    std::vector<int> unit_of_rank;
+    std::vector<int> to_coarse;  // this level's units -> next level's units
+  };
+  std::vector<Level> levels;
+  levels.push_back(Level{groups_, group_of_rank_, {}});
+  const int stop_at = std::max(cfg.coarsen_target, 2 * k);
+  const int match_cap = (ngroups_ + k - 1) / k;  // a unit must still fit a cluster
+  while (levels.back().g.n > stop_at) {
+    Level& fine = levels.back();
+    std::vector<int> to_coarse;
+    GroupGraph coarse = fine.g.coarsen(match_cap, &to_coarse);
+    if (coarse.n == fine.g.n) break;  // nothing matched; stop
+    std::vector<int> unit_of_rank(fine.unit_of_rank.size());
+    for (size_t r = 0; r < unit_of_rank.size(); ++r)
+      unit_of_rank[r] = to_coarse[static_cast<size_t>(fine.unit_of_rank[r])];
+    fine.to_coarse = std::move(to_coarse);
+    levels.push_back(Level{std::move(coarse), std::move(unit_of_rank), {}});
+  }
+
+  // Initial partition at the coarsest level, then uncoarsen with refinement
+  // at every level on the way back down.
+  std::vector<int> cluster = agglomerate(levels.back().g, k);
+  for (size_t li = levels.size(); li-- > 0;) {
+    const Level& lvl = levels[li];
+    refine_partition(graph_, lvl.g, lvl.unit_of_rank, rp, cluster);
+    if (li > 0) {
+      const Level& finer = levels[li - 1];
+      std::vector<int> projected(static_cast<size_t>(finer.g.n));
+      for (int u = 0; u < finer.g.n; ++u)
+        projected[static_cast<size_t>(u)] =
+            cluster[static_cast<size_t>(finer.to_coarse[static_cast<size_t>(u)])];
+      cluster = std::move(projected);
+    }
+  }
+  return finalize(cluster, k);
+}
+
+PartitionResult Partitioner::block_partition(int k) const {
+  SPBC_ASSERT(k >= 1 && k <= ngroups_);
+  std::vector<int> group_cluster(static_cast<size_t>(ngroups_));
+  int per = (ngroups_ + k - 1) / k;
+  for (int g = 0; g < ngroups_; ++g)
+    group_cluster[static_cast<size_t>(g)] = std::min(g / per, k - 1);
+  return finalize(group_cluster, k);
+}
+
+// ---------------------------------------------------------------------------
+// Seed reference implementation (pre-CSR algorithm, kept for parity tests
+// and as the baseline of bench/micro_partition_scale.cpp). All-pairs group
+// aggregation, all-pairs merge rescans, full-recompute refinement.
+// ---------------------------------------------------------------------------
+
+double Partitioner::reference_objective(const std::vector<int>& group_cluster,
+                                        Objective objective) const {
   std::vector<int> cluster_of(static_cast<size_t>(graph_.nranks()));
   for (int r = 0; r < graph_.nranks(); ++r)
     cluster_of[static_cast<size_t>(r)] =
         group_cluster[static_cast<size_t>(topo_.node_of(r))];
-  (void)k;
   if (objective == Objective::kMinTotalLogged)
     return static_cast<double>(graph_.logged_bytes(cluster_of));
   auto per_rank = graph_.logged_bytes_per_rank(cluster_of);
@@ -63,25 +130,37 @@ double Partitioner::objective_value(const std::vector<int>& group_cluster, int k
          1e-9 * static_cast<double>(graph_.logged_bytes(cluster_of));
 }
 
-PartitionResult Partitioner::partition(int k, Objective objective) const {
+PartitionResult Partitioner::partition_reference(int k, Objective objective) const {
   SPBC_ASSERT_MSG(k >= 1 && k <= ngroups_,
                   "k=" << k << " must be in [1, nodes=" << ngroups_ << "]");
 
-  // --- Greedy agglomeration: start with one cluster per node-group, merge
-  // the pair of clusters with the highest inter-cluster traffic until k
-  // remain, subject to a size cap that keeps clusters mergeable into k
-  // near-equal parts (recovery cost is proportional to cluster size, so the
-  // tool keeps clusters of similar node counts).
+  // Dense group-level aggregation over all rank pairs (the seed constructor).
+  std::vector<std::vector<uint64_t>> gw(
+      static_cast<size_t>(ngroups_),
+      std::vector<uint64_t>(static_cast<size_t>(ngroups_), 0));
+  for (int a = 0; a < graph_.nranks(); ++a) {
+    for (int b = a + 1; b < graph_.nranks(); ++b) {
+      uint64_t w = graph_.weight(a, b);
+      if (w == 0) continue;
+      int ga = topo_.node_of(a);
+      int gb = topo_.node_of(b);
+      if (ga == gb) continue;
+      gw[static_cast<size_t>(ga)][static_cast<size_t>(gb)] += w;
+      gw[static_cast<size_t>(gb)][static_cast<size_t>(ga)] += w;
+    }
+  }
+
+  // Greedy agglomeration: merge the heaviest mergeable pair until k remain,
+  // rescanning every alive pair per merge.
   int max_nodes_per_cluster = (ngroups_ + k - 1) / k;
   std::vector<int> comp(static_cast<size_t>(ngroups_));
   std::iota(comp.begin(), comp.end(), 0);
   std::vector<int> size(static_cast<size_t>(ngroups_), 1);
-  std::vector<std::vector<uint64_t>> w = gw_;  // cluster-level weights
+  std::vector<std::vector<uint64_t>> w = gw;  // cluster-level weights
   std::vector<bool> alive(static_cast<size_t>(ngroups_), true);
   int ncomp = ngroups_;
 
   while (ncomp > k) {
-    // Find the heaviest mergeable pair; deterministic tie-break on indices.
     int best_a = -1, best_b = -1;
     uint64_t best_w = 0;
     bool found = false;
@@ -102,12 +181,9 @@ PartitionResult Partitioner::partition(int k, Objective objective) const {
       }
     }
     if (!found) {
-      // Size cap too tight for the remaining components (can happen with
-      // k that does not divide the node count): relax by one node.
       ++max_nodes_per_cluster;
       continue;
     }
-    // Merge b into a.
     alive[static_cast<size_t>(best_b)] = false;
     size[static_cast<size_t>(best_a)] += size[static_cast<size_t>(best_b)];
     for (int c = 0; c < ngroups_; ++c) {
@@ -122,7 +198,6 @@ PartitionResult Partitioner::partition(int k, Objective objective) const {
     --ncomp;
   }
 
-  // Renumber components to [0, k).
   std::vector<int> remap(static_cast<size_t>(ngroups_), -1);
   int next = 0;
   std::vector<int> group_cluster(static_cast<size_t>(ngroups_));
@@ -133,20 +208,11 @@ PartitionResult Partitioner::partition(int k, Objective objective) const {
   }
   SPBC_ASSERT(next == k);
 
-  refine(group_cluster, k, objective);
-  return finalize(group_cluster, k);
-}
-
-void Partitioner::refine(std::vector<int>& group_cluster, int k,
-                         Objective objective) const {
-  // Kernighan–Lin-flavoured pass: try moving each node-group to another
-  // cluster; keep the best-improving move; iterate until no improvement.
-  // Moves must not empty a cluster and respect a loose size cap.
-  int max_nodes_per_cluster = ((ngroups_ + k - 1) / k) + 1;
+  // Full-recompute Kernighan–Lin pass.
+  int cap = ((ngroups_ + k - 1) / k) + 1;
   std::vector<int> csize(static_cast<size_t>(k), 0);
   for (int g = 0; g < ngroups_; ++g) ++csize[static_cast<size_t>(group_cluster[g])];
-
-  double current = objective_value(group_cluster, k, objective);
+  double current = reference_objective(group_cluster, objective);
   bool improved = true;
   int rounds = 0;
   while (improved && rounds < 20) {
@@ -159,9 +225,9 @@ void Partitioner::refine(std::vector<int>& group_cluster, int k,
       double best_val = current;
       for (int to = 0; to < k; ++to) {
         if (to == from) continue;
-        if (csize[static_cast<size_t>(to)] + 1 > max_nodes_per_cluster) continue;
+        if (csize[static_cast<size_t>(to)] + 1 > cap) continue;
         group_cluster[static_cast<size_t>(g)] = to;
-        double val = objective_value(group_cluster, k, objective);
+        double val = reference_objective(group_cluster, objective);
         if (val < best_val) {
           best_val = val;
           best_to = to;
@@ -178,14 +244,6 @@ void Partitioner::refine(std::vector<int>& group_cluster, int k,
       }
     }
   }
-}
-
-PartitionResult Partitioner::block_partition(int k) const {
-  SPBC_ASSERT(k >= 1 && k <= ngroups_);
-  std::vector<int> group_cluster(static_cast<size_t>(ngroups_));
-  int per = (ngroups_ + k - 1) / k;
-  for (int g = 0; g < ngroups_; ++g)
-    group_cluster[static_cast<size_t>(g)] = std::min(g / per, k - 1);
   return finalize(group_cluster, k);
 }
 

@@ -11,20 +11,27 @@
 //     alternative strategy Section 6.6 proposes to study; exercised by the
 //     clustering ablation bench).
 //
-// Algorithm: greedy agglomerative merging of node-groups into K clusters
-// (highest inter-group traffic first), followed by Kernighan–Lin-style
-// refinement that moves node-groups between clusters while the objective
-// improves. Deterministic for a given graph.
+// Pipeline (near-linear in the traced edge count; see DESIGN.md §10):
+//   1. aggregate the rank-level CSR graph to node-groups (GroupGraph),
+//   2. greedy agglomeration via a lazy max-heap of candidate cluster pairs
+//      (clustering/agglomerate.hpp) — O(E log E) instead of the seed's
+//      all-pairs rescan per merge,
+//   3. Kernighan–Lin-style refinement with delta-based move evaluation
+//      (clustering/refine.hpp) — O(degree) per candidate instead of a
+//      full-graph logged_bytes() recompute.
+// With PartitionConfig::multilevel the pipeline runs as a V-cycle: coarsen
+// by heavy-edge matching, partition the coarsest graph, then uncoarsen with
+// refinement at every level. Deterministic for a given graph either way.
 
 #include <cstdint>
 #include <vector>
 
 #include "clustering/comm_graph.hpp"
+#include "clustering/group_graph.hpp"
+#include "clustering/refine.hpp"
 #include "sim/topology.hpp"
 
 namespace spbc::clustering {
-
-enum class Objective { kMinTotalLogged, kBalancedLogged };
 
 struct PartitionResult {
   std::vector<int> cluster_of;     // rank -> cluster id in [0, k)
@@ -33,29 +40,52 @@ struct PartitionResult {
   int clusters = 0;
 };
 
+struct PartitionConfig {
+  Objective objective = Objective::kMinTotalLogged;
+  /// V-cycle: coarsen by heavy-edge matching, partition the coarse graph,
+  /// uncoarsen with refinement at each level. Off = flat (agglomerate +
+  /// refine directly on the node-group graph, the seed-equivalent path).
+  bool multilevel = false;
+  /// Stop coarsening at or below this many units (floored at 2k so the
+  /// coarsest graph still distinguishes k clusters).
+  int coarsen_target = 64;
+  int refine_rounds = 20;  // seed used 20
+  /// Debug/property-test mode: every applied refinement move is cross-checked
+  /// against a from-scratch logged_bytes() recompute.
+  bool validate_deltas = false;
+};
+
 class Partitioner {
  public:
   Partitioner(const CommGraph& graph, const sim::Topology& topo);
 
-  /// Partitions into exactly k clusters. k must divide the node count or be
-  /// smaller; clusters hold whole nodes. k == nranks (with 1 rank per node
-  /// group) degenerates to pure message logging only when ranks_per_node==1.
+  /// Partitions into exactly k clusters. k must be in [1, nodes]; clusters
+  /// hold whole nodes. k == nranks (with 1 rank per node group) degenerates
+  /// to pure message logging only when ranks_per_node==1.
   PartitionResult partition(int k, Objective objective = Objective::kMinTotalLogged) const;
+  PartitionResult partition(int k, const PartitionConfig& cfg) const;
 
   /// Baseline for comparison: contiguous block partition (node order).
   PartitionResult block_partition(int k) const;
 
+  /// The seed algorithm, kept verbatim for parity tests and the scaling
+  /// bench: dense all-pairs group aggregation, O(g^3) agglomeration rescans,
+  /// and full-recompute Kernighan–Lin refinement.
+  PartitionResult partition_reference(int k,
+                                      Objective objective = Objective::kMinTotalLogged) const;
+
+  int ngroups() const { return ngroups_; }
+
  private:
-  uint64_t group_weight(int ga, int gb) const;  // node-group to node-group
   PartitionResult finalize(const std::vector<int>& group_cluster, int k) const;
-  void refine(std::vector<int>& group_cluster, int k, Objective objective) const;
-  double objective_value(const std::vector<int>& group_cluster, int k,
-                         Objective objective) const;
+  double reference_objective(const std::vector<int>& group_cluster,
+                             Objective objective) const;
 
   const CommGraph& graph_;
   const sim::Topology& topo_;
   int ngroups_;  // node groups (colocation units)
-  std::vector<std::vector<uint64_t>> gw_;  // symmetric group-level weights
+  GroupGraph groups_;  // CSR node-group graph (symmetric weights)
+  std::vector<int> group_of_rank_;
 };
 
 }  // namespace spbc::clustering

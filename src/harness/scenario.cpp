@@ -101,9 +101,11 @@ std::vector<int> compute_cluster_map(const ScenarioConfig& cfg) {
   mpi::RunResult rr = machine.run();
   SPBC_ASSERT_MSG(rr.completed, "clustering trace run did not complete");
   clustering::CommGraph graph =
-      clustering::CommGraph::from_traffic(cfg.nranks, machine.traffic_bytes());
+      clustering::CommGraph::from_traffic(cfg.nranks, machine.traffic());
   clustering::Partitioner part(graph, topo);
-  return part.partition(cfg.nclusters, cfg.objective).cluster_of;
+  clustering::PartitionConfig pc = cfg.partition;
+  pc.objective = cfg.objective;
+  return part.partition(cfg.nclusters, pc).cluster_of;
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg) {

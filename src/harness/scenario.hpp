@@ -50,6 +50,10 @@ struct ScenarioConfig {
   /// partition of nodes.
   bool use_clustering_tool = true;
   clustering::Objective objective = clustering::Objective::kMinTotalLogged;
+  /// Pipeline knobs for the clustering tool (multilevel V-cycle, refinement
+  /// budget...). `objective` above overrides `partition.objective` so the
+  /// historical field keeps working.
+  clustering::PartitionConfig partition;
   int trace_iters = 3;  // iterations of the traced clustering run
 
   /// Failure injection.

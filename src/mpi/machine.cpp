@@ -22,6 +22,7 @@ Machine::Machine(MachineConfig cfg, std::unique_ptr<ProtocolHooks> protocol)
       intra_drain_watchers_(static_cast<size_t>(cfg.nranks)),
       cluster_of_(static_cast<size_t>(cfg.nranks), 0) {
   SPBC_ASSERT(protocol_);
+  traffic_.reset(cfg.nranks);
   engine_.set_abort_on_deadlock(cfg.abort_on_deadlock);
   ranks_.reserve(static_cast<size_t>(cfg.nranks));
   for (int r = 0; r < cfg.nranks; ++r)
@@ -108,7 +109,7 @@ void Machine::inject_failure(sim::Time t, int victim_rank) {
 // ---------------------------------------------------------------------------
 
 void Machine::record_traffic(const Envelope& env) {
-  traffic_bytes_[{env.src, env.dst}] += env.bytes;
+  traffic_.add(env.src, env.dst, env.bytes);
   if (cfg_.record_send_trace) {
     auto& tr = send_trace_[ChannelKey{env.src, env.dst, env.ctx}];
     util::Fnv1a64 h;

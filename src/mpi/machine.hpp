@@ -23,6 +23,7 @@
 #include "mpi/comm.hpp"
 #include "mpi/protocol_hooks.hpp"
 #include "mpi/rank.hpp"
+#include "mpi/traffic.hpp"
 #include "mpi/types.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -185,8 +186,12 @@ class Machine {
 
   // ---- measurement -------------------------------------------------------
   /// Per-channel world-level traffic matrix (bytes), for the clustering tool.
-  const std::map<std::pair<int, int>, uint64_t>& traffic_bytes() const {
-    return traffic_bytes_;
+  /// Flat open-addressed storage — record_traffic runs on every send.
+  const TrafficMatrix& traffic() const { return traffic_; }
+
+  /// Compatibility view of traffic() as an ordered map (built on demand).
+  std::map<std::pair<int, int>, uint64_t> traffic_bytes() const {
+    return traffic_.as_map();
   }
 
   /// Per-channel send trace hashes (determinism checker).
@@ -246,7 +251,7 @@ class Machine {
   std::map<uint64_t, PendingRendezvous> rendezvous_;
   uint64_t next_rendezvous_id_ = 0;
 
-  std::map<std::pair<int, int>, uint64_t> traffic_bytes_;
+  TrafficMatrix traffic_;
   std::map<ChannelKey, std::vector<uint64_t>> send_trace_;
   std::vector<RecoveryRecord> recoveries_;
   std::map<int, size_t> active_recovery_;  // cluster -> index into recoveries_

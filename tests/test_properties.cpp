@@ -107,7 +107,7 @@ TEST(LogVolume, MatchesTrafficMatrixCut) {
   native.launch([&info, acfg](mpi::Rank& r) { info.main(r, acfg); });
   ASSERT_TRUE(native.run().completed);
   clustering::CommGraph g =
-      clustering::CommGraph::from_traffic(cfg.nranks, native.traffic_bytes());
+      clustering::CommGraph::from_traffic(cfg.nranks, native.traffic());
   uint64_t predicted = g.logged_bytes(map);
 
   // SPBC run with the same map must log exactly that volume.

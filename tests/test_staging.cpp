@@ -323,6 +323,46 @@ TEST(Staging, TreeReductionCommitsAcrossClusterSizes) {
   }
 }
 
+// Kill-during-drain: the partner node dies while it hosts the only PARTNER
+// copy and the PFS flush sourced from it is still in flight. The promotion
+// hop must not abort the chain — it retries from the cheapest surviving
+// level (the home node's LOCAL copy) and still lands the snapshot on PFS.
+// Drives the StagingArea directly so the loss timing is exact.
+TEST(Staging, HopRetriesFromLocalWhenPartnerDiesMidDrain) {
+  MachineConfig cfg;
+  cfg.nranks = 2;
+  cfg.ranks_per_node = 1;
+  auto proto = std::make_unique<core::SpbcProtocol>(core::SpbcConfig{});
+  Machine m(cfg, std::move(proto));
+  m.set_cluster_of({0, 1});  // rank 1's node hosts rank 0's PARTNER copies
+  ckpt::StagingConfig sc;
+  sc.level = ckpt::StorageLevel::kPfs;
+  sc.async = true;
+  sc.model = slow_pfs_model();  // 100KB => ~1s of PFS flush time
+  ckpt::StagingArea area(sc);
+  area.attach(m);
+  ASSERT_EQ(area.partner_of(0), 1);
+  // Rank 0 snapshots epoch 1: LOCAL write, then the background chain copies
+  // to the partner (fast) and starts the ~1s PFS flush from the partner's
+  // node. At t=50ms that node's storage dies, taking the flush's source.
+  m.engine().at(1e-3, [&] { area.write(0, 1, 100000); });
+  m.engine().at(50e-3, [&] { area.invalidate_node(1); });
+  mpi::RunResult res = m.run();
+  EXPECT_TRUE(res.completed);
+  const ckpt::StagingStats& st = area.stats();
+  EXPECT_GE(st.hop_retries, 1u);       // the hop was re-issued, not abandoned
+  EXPECT_EQ(st.drains_aborted, 0u);    // the chain never gave up
+  EXPECT_EQ(st.pfs_flushes, 1u);
+  // The retried chain reached PFS from the surviving LOCAL copy. The buddy
+  // node is still out of service (no resident wrote again), so no new
+  // PARTNER copy may land there — a copy on a down store would outlive the
+  // node's next death, because invalidate_node dedups repeat failures.
+  EXPECT_EQ(area.levels(0, 1) & ckpt::kAtPartner, 0);
+  EXPECT_NE(area.levels(0, 1) & ckpt::kAtPfs, 0);
+  EXPECT_NE(area.levels(0, 1) & ckpt::kAtLocal, 0);
+  EXPECT_EQ(area.pfs_frontier(0), 1u);
+}
+
 // gc_logs reclaims sender-log entries once the destination cluster commits,
 // and the reclamation is now measurable.
 TEST(Staging, GcLogsReclaimsMeasuredBytes) {
