@@ -160,7 +160,7 @@ int main(int argc, char** argv) {
 
   // ---- Part 2: recovery under failures, per-level restore counts -------
   util::Table rec({"MTBF (frac)", "Failures", "sync-PFS eff.", "async eff.",
-                   "restores L/P/F", "epoch fallbacks", "drains aborted",
+                   "restores L/P/F/R", "epoch fallbacks", "drains aborted",
                    "capture HWM KB"});
   harness::ScenarioConfig sync_cfg =
       mode_config(base, ckpt::StorageLevel::kPfs, false);
@@ -179,16 +179,90 @@ int main(int argc, char** argv) {
          async_out.ok ? util::Table::fmt(async_out.efficiency, 3) : "fail",
          std::to_string(st.restores_by_level[0]) + "/" +
              std::to_string(st.restores_by_level[1]) + "/" +
-             std::to_string(st.restores_by_level[2]),
+             std::to_string(st.restores_by_level[2]) + "/" +
+             std::to_string(st.rebuild_restores),
          std::to_string(st.epoch_fallbacks), std::to_string(st.drains_aborted),
          kb(async_out.capture_hwm)});
   }
   std::printf("%s\n", rec.render().c_str());
   std::printf(
       "(LOCAL copies die with the failed nodes, so restores come from the\n"
-      " buddy node (P) or, when a drain was still in flight, an older epoch\n"
-      " on the PFS (F; counted as an epoch fallback). Async staging hides\n"
-      " the PFS latency from the failure-free path without giving up\n"
-      " multi-level recoverability.)\n");
-  return async_wins ? 0 : 1;
+      " buddy node (P), an XOR group rebuild (R), or, when a drain was still\n"
+      " in flight, an older epoch on the PFS (F; counted as an epoch\n"
+      " fallback). Async staging hides the PFS latency from the failure-free\n"
+      " path without giving up multi-level recoverability.)\n\n");
+
+  // ---- Part 3: redundancy schemes — write bytes vs failure coverage ----
+  // Same snapshots, three redundancy shapes. The PFS is slowed so the
+  // retention floor lags: recovery must come out of the redundancy layer,
+  // which is exactly the coverage each scheme is paid to provide. A single
+  // deterministic node-loss (one cluster, past the first commit) probes the
+  // restore source; redundancy bytes count what each scheme landed on
+  // remote storage per run (full copies for PARTNER, parity for XOR).
+  struct SchemeMode {
+    const char* name;
+    ckpt::SchemeKind kind;
+  };
+  const SchemeMode schemes[] = {
+      {"single", ckpt::SchemeKind::kSingle},
+      {"partner", ckpt::SchemeKind::kPartner},
+      {"xor", ckpt::SchemeKind::kXorGroup},
+  };
+  util::Table st3({"Scheme", "redundancy KB", "overhead %", "restores L/P/F",
+                   "rebuilds", "epoch fallbacks", "reprotections"});
+  std::map<std::string, uint64_t> red_bytes;
+  bool xor_ok = false, xor_no_pfs_restore = false, xor_rebuilt = false;
+  for (const SchemeMode& s : schemes) {
+    harness::ScenarioConfig cfg =
+        mode_config(base, ckpt::StorageLevel::kPfs, true);
+    cfg.spbc.redundancy.kind = s.kind;
+    cfg.spbc.redundancy.group_size = o.group_size;
+    cfg.spbc.storage_model.pfs_bw = 2.0e6;  // floors lag; locals persist
+    ModeResult ff3 = run_ff(cfg);
+    if (!ff3.ok) {
+      st3.add_row({s.name, "fail", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    red_bytes[s.name] =
+        ff3.staging.bytes_to_partner + ff3.staging.bytes_to_parity;
+    harness::ScenarioResult fr =
+        harness::run_with_failure(cfg, none.elapsed, 0.8);
+    const ckpt::StagingStats& fs = fr.staging;
+    const double ovh = (ff3.elapsed - none.elapsed) / none.elapsed * 100.0;
+    st3.add_row(
+        {s.name, kb(red_bytes[s.name]), util::Table::fmt(ovh, 3),
+         fr.run.completed
+             ? std::to_string(fs.restores_by_level[0]) + "/" +
+                   std::to_string(fs.restores_by_level[1]) + "/" +
+                   std::to_string(fs.restores_by_level[2])
+             : "fail",
+         std::to_string(fs.rebuild_restores), std::to_string(fs.epoch_fallbacks),
+         std::to_string(fs.reprotections)});
+    if (s.kind == ckpt::SchemeKind::kXorGroup && fr.run.completed) {
+      xor_ok = true;
+      xor_no_pfs_restore = fs.restores_by_level[2] == 0;
+      xor_rebuilt = fs.rebuild_restores > 0;
+    }
+  }
+  std::printf("%s\n", st3.render().c_str());
+  bool scheme_gates_ok = true;
+  if (o.scheme == "xor") {
+    // CI gates: XOR must land at most half the PARTNER copy bytes and must
+    // recover a single in-group node loss without touching the PFS.
+    const bool bytes_ok =
+        red_bytes.count("xor") && red_bytes.count("partner") &&
+        red_bytes["xor"] * 2 <= red_bytes["partner"];
+    scheme_gates_ok = bytes_ok && xor_ok && xor_no_pfs_restore && xor_rebuilt;
+    std::printf(
+        "xor gates: write bytes %.2fx partner (need <= 0.5) %s; single node "
+        "loss %s without a PFS read (%s)\n",
+        red_bytes.count("partner") && red_bytes["partner"] > 0
+            ? static_cast<double>(red_bytes["xor"]) /
+                  static_cast<double>(red_bytes["partner"])
+            : 0.0,
+        bytes_ok ? "OK" : "FAIL",
+        xor_ok && xor_rebuilt ? "rebuilt" : "DID NOT rebuild",
+        xor_no_pfs_restore ? "OK" : "FAIL");
+  }
+  return (async_wins && scheme_gates_ok) ? 0 : 1;
 }

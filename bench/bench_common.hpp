@@ -10,6 +10,7 @@
 // simulator, not the authors' InfiniBand testbed); the shapes are.
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,6 +30,10 @@ struct BenchOpts {
   double msg_scale = 1.0;
   double compute_scale = 1.0;
   bool use_clustering_tool = true;
+  // Staging redundancy scheme override (--scheme {single,partner,xor} and
+  // --group-size); empty = the config default (partner).
+  std::string scheme;
+  int group_size = 4;
   // System noise, as on the paper's real testbed: OS jitter on compute
   // blocks and latency jitter on the network. Without it a simulator is
   // perfectly synchronous and failure-free runs contain no waits for
@@ -50,6 +55,13 @@ inline BenchOpts parse_opts(int argc, char** argv) {
   o.compute_noise = cli.get_double("noise", o.compute_noise);
   o.net_jitter = cli.get_double("jitter", o.net_jitter);
   if (cli.get_flag("block-clustering")) o.use_clustering_tool = false;
+  o.scheme = cli.get_string("scheme", "");
+  o.group_size = static_cast<int>(cli.get_int("group-size", o.group_size));
+  if (!o.scheme.empty() && !ckpt::parse_scheme(o.scheme)) {
+    std::fprintf(stderr, "unknown --scheme=%s (single|partner|xor)\n",
+                 o.scheme.c_str());
+    std::exit(2);
+  }
   return o;
 }
 
@@ -67,6 +79,8 @@ inline harness::ScenarioConfig make_config(const BenchOpts& o, const std::string
   cfg.app_cfg.msg_scale = o.msg_scale;
   cfg.app_cfg.compute_scale = o.compute_scale;
   cfg.spbc.checkpoint_every = static_cast<uint64_t>(o.ckpt_every);
+  if (!o.scheme.empty()) cfg.spbc.redundancy.kind = *ckpt::parse_scheme(o.scheme);
+  cfg.spbc.redundancy.group_size = o.group_size;
   cfg.machine.seed = o.seed;
   cfg.machine.compute_noise_frac = o.compute_noise;
   cfg.machine.net.jitter_frac = o.net_jitter;

@@ -1,0 +1,349 @@
+#include "ckpt/redundancy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mpi/machine.hpp"
+#include "util/assert.hpp"
+
+namespace spbc::ckpt {
+
+const char* scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kSingle:
+      return "single";
+    case SchemeKind::kPartner:
+      return "partner";
+    case SchemeKind::kXorGroup:
+      return "xor";
+  }
+  return "?";
+}
+
+std::optional<SchemeKind> parse_scheme(const std::string& name) {
+  if (name == "single") return SchemeKind::kSingle;
+  if (name == "partner") return SchemeKind::kPartner;
+  if (name == "xor" || name == "xor-group") return SchemeKind::kXorGroup;
+  return std::nullopt;
+}
+
+int cross_domain_partner(const mpi::Machine& machine, int rank) {
+  const sim::Topology& topo = machine.topology();
+  const int nodes = topo.nodes();
+  const int ppn = topo.ranks_per_node();
+  const int home = topo.node_of(rank);
+  const int slot = rank % ppn;
+  int pick = -1;
+  for (int off = 1; off < nodes; ++off) {
+    const int cand = ((home + off) % nodes) * ppn + slot;
+    if (machine.cluster_of(cand) != machine.cluster_of(rank)) {
+      return cand;  // different failure domain: the preferred buddy
+    }
+    if (pick < 0) pick = cand;  // fallback: nearest distinct node
+  }
+  return pick;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// kSingle: LOCAL only. The cheapest write path and the baseline the other
+// schemes are measured against; a node loss always costs a PFS read (or an
+// epoch fallback when the PFS frontier lags).
+// ---------------------------------------------------------------------------
+class SingleScheme : public RedundancyScheme {
+ public:
+  SchemeKind kind() const override { return SchemeKind::kSingle; }
+  std::vector<int> group_of(int) const override { return {}; }
+  PlacementPlan encode(int, uint64_t, uint64_t,
+                       const ResidencyView&) const override {
+    return {};
+  }
+  bool recoverable_without_pfs(int rank, uint64_t epoch,
+                               const ResidencyView& view) const override {
+    return view.has_local(rank, epoch);
+  }
+  RestorePlan restore_plan(int rank, uint64_t epoch, const ResidencyView& view,
+                           const StorageCostModel& model) const override {
+    RestorePlan plan;
+    const uint64_t bytes = view.snapshot_bytes(rank, epoch);
+    if (view.has_local(rank, epoch)) {
+      plan.source = RestorePlan::Source::kLocal;
+      plan.direct_cost = model.read_time(StorageLevel::kLocal, bytes);
+    } else if (view.has_pfs(rank, epoch)) {
+      plan.source = RestorePlan::Source::kPfs;
+      plan.direct_cost = model.read_time(StorageLevel::kPfs, bytes);
+    }
+    return plan;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// kPartner: one full copy on the cross-failure-domain buddy node — the
+// pre-refactor staging behavior expressed through the interface. Mapping,
+// costs and restore ordering (LOCAL < PARTNER < PFS) are unchanged.
+// ---------------------------------------------------------------------------
+class PartnerScheme : public RedundancyScheme {
+ public:
+  explicit PartnerScheme(const mpi::Machine& machine) : machine_(machine) {}
+
+  SchemeKind kind() const override { return SchemeKind::kPartner; }
+
+  std::vector<int> group_of(int rank) const override {
+    const int partner = partner_of(rank);
+    if (partner < 0) return {};
+    return {partner};
+  }
+
+  PlacementPlan encode(int rank, uint64_t epoch, uint64_t bytes,
+                       const ResidencyView& view) const override {
+    PlacementPlan plan;
+    const int partner = partner_of(rank);
+    if (partner < 0) return plan;  // single-node topology: no partner level
+    const std::vector<Fragment>* frags = view.fragments(rank, epoch);
+    if (frags != nullptr) {
+      for (const Fragment& f : *frags)
+        if (f.live && !f.parity) return plan;  // already protected
+    }
+    if (!view.node_in_service(machine_.topology().node_of(partner)))
+      return plan;  // copies must not land on a dead store
+    plan.steps.push_back(PlacementStep{partner, bytes, /*parity=*/false});
+    return plan;
+  }
+
+  bool recoverable_without_pfs(int rank, uint64_t epoch,
+                               const ResidencyView& view) const override {
+    if (view.has_local(rank, epoch)) return true;
+    const std::vector<Fragment>* frags = view.fragments(rank, epoch);
+    if (frags == nullptr) return false;
+    for (const Fragment& f : *frags)
+      if (f.live && !f.parity) return true;
+    return false;
+  }
+
+  RestorePlan restore_plan(int rank, uint64_t epoch, const ResidencyView& view,
+                           const StorageCostModel& model) const override {
+    RestorePlan plan;
+    const uint64_t bytes = view.snapshot_bytes(rank, epoch);
+    if (view.has_local(rank, epoch)) {
+      plan.source = RestorePlan::Source::kLocal;
+      plan.direct_cost = model.read_time(StorageLevel::kLocal, bytes);
+      return plan;
+    }
+    const std::vector<Fragment>* frags = view.fragments(rank, epoch);
+    if (frags != nullptr) {
+      for (const Fragment& f : *frags) {
+        if (f.live && !f.parity) {
+          plan.source = RestorePlan::Source::kRemoteCopy;
+          plan.direct_cost = model.read_time(StorageLevel::kPartner, bytes);
+          return plan;
+        }
+      }
+    }
+    if (view.has_pfs(rank, epoch)) {
+      plan.source = RestorePlan::Source::kPfs;
+      plan.direct_cost = model.read_time(StorageLevel::kPfs, bytes);
+    }
+    return plan;
+  }
+
+ private:
+  int partner_of(int rank) const {
+    if (cache_.empty())
+      cache_.assign(static_cast<size_t>(machine_.nranks()), -2);
+    int& cached = cache_[static_cast<size_t>(rank)];
+    if (cached == -2) cached = cross_domain_partner(machine_, rank);
+    return cached;
+  }
+
+  const mpi::Machine& machine_;
+  mutable std::vector<int> cache_;  // -2 unresolved, -1 none
+};
+
+// ---------------------------------------------------------------------------
+// kXorGroup: RAID-5-style rotating parity across a group of G nodes.
+//
+// Grouping: node ids are stable-sorted by their residents' cluster and dealt
+// round-robin into ceil(nodes/G) groups, so consecutive same-cluster nodes
+// land in different groups and each group spans as many failure domains as
+// the machine allows. A rank's protection group is the same node-local slot
+// on each node of its node group (block placement guarantees the slot
+// exists).
+//
+// Encoding model: when rank r's B-byte snapshot lands at LOCAL, its folded
+// parity contribution — one segment of ceil(B/(G-1)) bytes — is placed on a
+// rotating host pi(r, e) in the group (rotation by epoch and by member index
+// so parity spreads across members within an epoch, as RAID-5 rotates parity
+// across disks). The group's segments collectively implement SCR's chunked
+// XOR: the wire and the host store carry only the folded segment, i.e. the
+// in-network-reduction bound of the reduce-scatter a real implementation
+// runs.
+//
+// Liveness (conservative single-loss rule): epoch e of r is rebuildable
+// without the PFS iff r's parity segment is live on a surviving node AND
+// every other group member still holds its own epoch-e LOCAL data. Any
+// double in-group loss therefore falls back to the PFS frontier epoch.
+//
+// Rebuild: the replacement node streams one folded contribution of
+// ceil(B/(G-1)) bytes from every surviving member plus the parity segment —
+// ~B * G/(G-1) total, each read a real net::Transfer that contends with
+// application traffic.
+// ---------------------------------------------------------------------------
+class XorGroupScheme : public RedundancyScheme {
+ public:
+  XorGroupScheme(const mpi::Machine& machine, int group_size)
+      : machine_(machine), group_size_(group_size < 2 ? 2 : group_size) {}
+
+  SchemeKind kind() const override { return SchemeKind::kXorGroup; }
+
+  std::vector<int> group_of(int rank) const override {
+    build_groups();
+    const sim::Topology& topo = machine_.topology();
+    const int ppn = topo.ranks_per_node();
+    const int slot = rank % ppn;
+    const std::vector<int>& nodes = group_nodes(topo.node_of(rank));
+    std::vector<int> members;
+    members.reserve(nodes.size());
+    for (int n : nodes) {
+      const int m = n * ppn + slot;
+      if (m != rank) members.push_back(m);
+    }
+    return members;
+  }
+
+  PlacementPlan encode(int rank, uint64_t epoch, uint64_t bytes,
+                       const ResidencyView& view) const override {
+    PlacementPlan plan;
+    const std::vector<int> members = group_of(rank);
+    if (members.empty()) return plan;
+    const std::vector<Fragment>* frags = view.fragments(rank, epoch);
+    if (frags != nullptr) {
+      for (const Fragment& f : *frags)
+        if (f.live && f.parity) return plan;  // still protected
+    }
+    const uint64_t chunk = parity_bytes(bytes, members.size() + 1);
+    // Rotate the parity host by epoch and by the member's own position so
+    // one epoch's parity segments spread across the whole group.
+    const size_t start = static_cast<size_t>(
+        (epoch + static_cast<uint64_t>(rank)) % members.size());
+    for (size_t k = 0; k < members.size(); ++k) {
+      const int host = members[(start + k) % members.size()];
+      if (!view.node_in_service(machine_.topology().node_of(host))) continue;
+      plan.steps.push_back(PlacementStep{host, chunk, /*parity=*/true});
+      break;
+    }
+    return plan;
+  }
+
+  bool recoverable_without_pfs(int rank, uint64_t epoch,
+                               const ResidencyView& view) const override {
+    if (view.has_local(rank, epoch)) return true;
+    return rebuildable(rank, epoch, view);
+  }
+
+  RestorePlan restore_plan(int rank, uint64_t epoch, const ResidencyView& view,
+                           const StorageCostModel& model) const override {
+    RestorePlan plan;
+    const uint64_t bytes = view.snapshot_bytes(rank, epoch);
+    if (view.has_local(rank, epoch)) {
+      plan.source = RestorePlan::Source::kLocal;
+      plan.direct_cost = model.read_time(StorageLevel::kLocal, bytes);
+      return plan;
+    }
+    if (rebuildable(rank, epoch, view)) {
+      plan.source = RestorePlan::Source::kRebuild;
+      const std::vector<int> members = group_of(rank);
+      const uint64_t chunk = parity_bytes(bytes, members.size() + 1);
+      for (int m : members)
+        plan.reads.push_back(RestorePlan::Read{m, chunk});
+      // The parity segment itself streams from its (surviving) host.
+      const std::vector<Fragment>* frags = view.fragments(rank, epoch);
+      for (const Fragment& f : *frags) {
+        if (f.live && f.parity) {
+          plan.reads.push_back(RestorePlan::Read{f.host_rank, f.bytes});
+          break;
+        }
+      }
+      return plan;
+    }
+    if (view.has_pfs(rank, epoch)) {
+      plan.source = RestorePlan::Source::kPfs;
+      plan.direct_cost = model.read_time(StorageLevel::kPfs, bytes);
+    }
+    return plan;
+  }
+
+ private:
+  static uint64_t parity_bytes(uint64_t bytes, size_t group_nodes) {
+    const uint64_t g = group_nodes > 1 ? static_cast<uint64_t>(group_nodes) : 2;
+    return (bytes + g - 2) / (g - 1);  // ceil(B / (G-1))
+  }
+
+  bool rebuildable(int rank, uint64_t epoch,
+                   const ResidencyView& view) const {
+    const std::vector<Fragment>* frags = view.fragments(rank, epoch);
+    if (frags == nullptr) return false;
+    bool parity_live = false;
+    for (const Fragment& f : *frags)
+      if (f.live && f.parity) parity_live = true;
+    if (!parity_live) return false;
+    const std::vector<int> members = group_of(rank);
+    if (members.empty()) return false;
+    // Strict RAID-5 rule: every other member's epoch-e data must survive.
+    // Checkpoint ids align across the machine under the periodic SPMD
+    // schedule (as SCR's dataset ids do across a job); a member that never
+    // cut or already pruned epoch e fails the check and the caller falls
+    // back to the PFS.
+    for (int m : members)
+      if (!view.has_local(m, epoch)) return false;
+    return true;
+  }
+
+  void build_groups() const {
+    if (!node_group_.empty()) return;
+    const sim::Topology& topo = machine_.topology();
+    const int nodes = topo.nodes();
+    const int ppn = topo.ranks_per_node();
+    std::vector<int> order(static_cast<size_t>(nodes));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return machine_.cluster_of(a * ppn) < machine_.cluster_of(b * ppn);
+    });
+    const int ngroups = (nodes + group_size_ - 1) / group_size_;
+    node_group_.assign(static_cast<size_t>(nodes), 0);
+    groups_.assign(static_cast<size_t>(ngroups), {});
+    for (size_t i = 0; i < order.size(); ++i) {
+      const int g = static_cast<int>(i) % ngroups;
+      node_group_[static_cast<size_t>(order[i])] = g;
+      groups_[static_cast<size_t>(g)].push_back(order[i]);
+    }
+    for (std::vector<int>& g : groups_) std::sort(g.begin(), g.end());
+  }
+
+  const std::vector<int>& group_nodes(int node) const {
+    build_groups();
+    return groups_[static_cast<size_t>(node_group_[static_cast<size_t>(node)])];
+  }
+
+  const mpi::Machine& machine_;
+  int group_size_;
+  mutable std::vector<int> node_group_;         // node -> group id (lazy)
+  mutable std::vector<std::vector<int>> groups_;  // group id -> node ids
+};
+
+}  // namespace
+
+std::unique_ptr<RedundancyScheme> RedundancyScheme::make(
+    const RedundancyConfig& cfg, const mpi::Machine& machine) {
+  switch (cfg.kind) {
+    case SchemeKind::kSingle:
+      return std::make_unique<SingleScheme>();
+    case SchemeKind::kPartner:
+      return std::make_unique<PartnerScheme>(machine);
+    case SchemeKind::kXorGroup:
+      return std::make_unique<XorGroupScheme>(machine, cfg.group_size);
+  }
+  SPBC_UNREACHABLE("redundancy scheme kind");
+}
+
+}  // namespace spbc::ckpt

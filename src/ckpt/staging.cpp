@@ -9,35 +9,24 @@ namespace spbc::ckpt {
 
 void StagingArea::attach(mpi::Machine& machine) {
   machine_ = &machine;
+  scheme_ = RedundancyScheme::make(cfg_.redundancy, machine);
   const int nodes = machine.topology().nodes();
   node_storage_gen_.assign(static_cast<size_t>(nodes), 0);
   node_down_.assign(static_cast<size_t>(nodes), false);
   node_local_q_.assign(static_cast<size_t>(nodes), {});
   node_pfs_q_.assign(static_cast<size_t>(nodes), {});
   pfs_frontier_.assign(static_cast<size_t>(machine.nranks()), 0);
-  partner_.assign(static_cast<size_t>(machine.nranks()), -2);
 }
 
 int StagingArea::partner_of(int rank) const {
   SPBC_ASSERT(machine_ != nullptr);
-  int& cached = partner_[static_cast<size_t>(rank)];
-  if (cached != -2) return cached;
-  const sim::Topology& topo = machine_->topology();
-  const int nodes = topo.nodes();
-  const int ppn = topo.ranks_per_node();
-  const int home = topo.node_of(rank);
-  const int slot = rank % ppn;
-  int pick = -1;
-  for (int off = 1; off < nodes; ++off) {
-    const int cand = ((home + off) % nodes) * ppn + slot;
-    if (machine_->cluster_of(cand) != machine_->cluster_of(rank)) {
-      pick = cand;  // different failure domain: the preferred buddy
-      break;
-    }
-    if (pick < 0) pick = cand;  // fallback: nearest distinct node
+  // The PARTNER scheme memoizes the mapping; other schemes don't use it, so
+  // introspection computes it directly.
+  if (scheme_->kind() == SchemeKind::kPartner) {
+    std::vector<int> group = scheme_->group_of(rank);
+    return group.empty() ? -1 : group.front();
   }
-  cached = pick;
-  return pick;
+  return cross_domain_partner(*machine_, rank);
 }
 
 uint64_t StagingArea::node_gen(int node) const {
@@ -53,6 +42,35 @@ const StagingArea::Entry* StagingArea::find(int rank, uint64_t epoch) const {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
+// ---- ResidencyView ---------------------------------------------------------
+
+bool StagingArea::has_local(int rank, uint64_t epoch) const {
+  const Entry* e = find(rank, epoch);
+  return e != nullptr && (e->levels & kAtLocal) != 0;
+}
+
+bool StagingArea::has_pfs(int rank, uint64_t epoch) const {
+  const Entry* e = find(rank, epoch);
+  return e != nullptr && (e->levels & kAtPfs) != 0;
+}
+
+const std::vector<Fragment>* StagingArea::fragments(int rank,
+                                                    uint64_t epoch) const {
+  const Entry* e = find(rank, epoch);
+  return e == nullptr ? nullptr : &e->fragments;
+}
+
+uint64_t StagingArea::snapshot_bytes(int rank, uint64_t epoch) const {
+  const Entry* e = find(rank, epoch);
+  return e == nullptr ? 0 : e->bytes;
+}
+
+bool StagingArea::node_in_service(int node) const {
+  return !node_down_[static_cast<size_t>(node)];
+}
+
+// ---- write path ------------------------------------------------------------
+
 sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
   if (!enabled()) return 0.0;
   SPBC_ASSERT(machine_ != nullptr);
@@ -61,37 +79,73 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
   node_down_[static_cast<size_t>(node)] = false;  // a resident is writing again
   Entry& e = entries_[{rank, epoch}];
   e.bytes = bytes;
+  e.levels = 0;
+  e.retries_left = 3;
+  e.chain_id = ++next_chain_id_;
+  e.fragments.clear();
 
   if (!cfg_.async) {
-    // Synchronous write at the configured level, charged in full to the
-    // member's fiber (the pre-staging behavior). Local-device writes from
-    // co-resident ranks serialize on the node's device; the PFS cost model
-    // is already a per-process share.
-    sim::Time cost = cfg_.model.write_time(cfg_.level, bytes);
+    // Synchronous write, charged in full to the member's fiber (the
+    // pre-staging behavior). Local-device writes from co-resident ranks
+    // serialize on the node's device; the PFS cost model is already a
+    // per-process share.
+    sim::Time cost = 0;
     switch (cfg_.level) {
       case StorageLevel::kNone:
         break;
       case StorageLevel::kLocal:
         e.levels = kAtLocal;
-        cost = node_local_q_[static_cast<size_t>(node)].reserve(now, cost) - now;
+        cost = node_local_q_[static_cast<size_t>(node)].reserve(
+                   now, cfg_.model.write_time(StorageLevel::kLocal, bytes)) -
+               now;
         break;
       case StorageLevel::kPartner: {
-        // Same dead-store guard as the async promotion path: a partner copy
-        // must not be recorded on a node whose storage died and has not been
-        // re-initialized by a resident's write (invalidate_node dedups
-        // repeat failures of a down node, so the stale copy would survive
-        // the node's next death).
-        const int partner = partner_of(rank);
-        const bool partner_live =
-            partner >= 0 &&
-            !node_down_[static_cast<size_t>(machine_->topology().node_of(partner))];
-        e.levels = static_cast<uint8_t>(kAtLocal | (partner_live ? kAtPartner : 0));
-        cost = node_local_q_[static_cast<size_t>(node)].reserve(now, cost) - now;
+        // Scheme-driven synchronous redundancy: the fragments land with the
+        // write (no background chain). encode() skips out-of-service hosts —
+        // a copy must not be recorded on a node whose storage died and has
+        // not been re-initialized by a resident's write (invalidate_node
+        // dedups repeat failures of a down node, so the stale copy would
+        // survive the node's next death).
+        e.levels = kAtLocal;
+        PlacementPlan plan = scheme_->encode(rank, epoch, bytes, *this);
+        sim::Time w = 0;
+        switch (cfg_.redundancy.kind) {
+          case SchemeKind::kSingle:
+            w = cfg_.model.write_time(StorageLevel::kLocal, bytes);
+            break;
+          case SchemeKind::kPartner:
+            // Pre-refactor cost: the PARTNER write time covers the local
+            // write plus the buddy copy, charged whether or not the buddy
+            // is in service.
+            w = cfg_.model.write_time(StorageLevel::kPartner, bytes);
+            break;
+          case SchemeKind::kXorGroup:
+            w = cfg_.model.write_time(StorageLevel::kLocal, bytes);
+            for (const PlacementStep& step : plan.steps) {
+              w += cfg_.model.base_latency +
+                   static_cast<double>(step.bytes) / cfg_.model.partner_bw;
+            }
+            break;
+        }
+        for (const PlacementStep& step : plan.steps) {
+          const int hnode = machine_->topology().node_of(step.host_rank);
+          e.fragments.push_back(
+              Fragment{step.host_rank, hnode, step.bytes, step.parity, true});
+          if (step.parity) {
+            ++stats_.parity_fragments;
+            stats_.bytes_to_parity += step.bytes;
+          } else {
+            ++stats_.partner_copies;
+            stats_.bytes_to_partner += step.bytes;
+          }
+        }
+        cost = node_local_q_[static_cast<size_t>(node)].reserve(now, w) - now;
         break;
       }
       case StorageLevel::kPfs:
         e.levels = kAtPfs;
         finish_pfs(rank, epoch);
+        cost = cfg_.model.write_time(StorageLevel::kPfs, bytes);
         break;
     }
     return cost;
@@ -103,59 +157,83 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
   ++stats_.drains_started;
   sim::Time local = cfg_.model.write_time(StorageLevel::kLocal, bytes);
   sim::Time done = node_local_q_[static_cast<size_t>(node)].reserve(now, local);
-  machine_->engine().at(done,
-                        [this, rank, epoch] { start_partner_copy(rank, epoch); });
+  machine_->engine().at(done, [this, rank, epoch] {
+    start_protection(rank, epoch, /*then_flush=*/true);
+  });
   return done - now;
 }
 
-void StagingArea::start_partner_copy(int rank, uint64_t epoch) {
+void StagingArea::start_protection(int rank, uint64_t epoch, bool then_flush) {
   Entry* e = find(rank, epoch);
   if (e == nullptr || (e->levels & kAtLocal) == 0) {
     ++stats_.drains_aborted;  // rolled back or node died before the drain ran
     return;
   }
-  const int partner = partner_of(rank);
-  const int home = machine_->topology().node_of(rank);
-  if (partner < 0) {
-    // Single-node topology: no cross-failure-domain level; flush directly.
-    start_pfs_flush(rank, epoch, home, kAtLocal);
+  PlacementPlan plan = scheme_->encode(rank, epoch, e->bytes, *this);
+  if (plan.steps.empty()) {
+    // Nothing placeable (kSingle, single-node topology, or every viable
+    // host is out of service): promote straight from the LOCAL copy.
+    if (then_flush)
+      start_pfs_flush(rank, epoch, machine_->topology().node_of(rank), -1);
     return;
   }
-  const int pnode = machine_->topology().node_of(partner);
-  if (node_down_[static_cast<size_t>(pnode)]) {
-    // The buddy node's storage died and no resident has re-initialized it:
-    // copies must not land on a dead store (invalidate_node dedups repeat
-    // failures of a down node, so such a copy would survive a second death).
-    // Skip the partner level and flush straight from LOCAL.
-    start_pfs_flush(rank, epoch, home, kAtLocal);
-    return;
-  }
-  // The copy rides the real network, so it shares the home node's NIC with
-  // application traffic and arrives after genuine transfer time.
-  const uint64_t pgen = node_gen(pnode);
-  const uint64_t bytes = e->bytes;
+  auto pending = std::make_shared<int>(static_cast<int>(plan.steps.size()));
+  for (const PlacementStep& step : plan.steps)
+    place_fragment(rank, epoch, step, pending, then_flush);
+}
+
+void StagingArea::place_fragment(int rank, uint64_t epoch,
+                                 const PlacementStep& step,
+                                 std::shared_ptr<int> pending,
+                                 bool then_flush) {
+  Entry* e = find(rank, epoch);
+  SPBC_ASSERT(e != nullptr);
+  const int hnode = machine_->topology().node_of(step.host_rank);
+  const uint64_t hgen = node_gen(hnode);
+  const uint64_t chain = e->chain_id;
+  const size_t frag_idx = e->fragments.size();
+  e->fragments.push_back(
+      Fragment{step.host_rank, hnode, step.bytes, step.parity, false});
+  // The placement rides the real network, so it shares the home node's NIC
+  // with application traffic and arrives after genuine transfer time.
   machine_->network().submit(
-      net::Transfer{rank, partner, bytes}, [this, rank, epoch, pnode, pgen] {
+      net::Transfer{rank, step.host_rank, step.bytes},
+      [this, rank, epoch, hnode, hgen, chain, frag_idx, pending, then_flush] {
         Entry* entry = find(rank, epoch);
         if (entry == nullptr) {
           ++stats_.drains_aborted;  // rolled back while the copy was in flight
           return;
         }
-        if ((entry->levels & kAtLocal) == 0 || node_gen(pnode) != pgen) {
+        if (entry->chain_id != chain) return;  // superseded by a re-write
+        if ((entry->levels & kAtLocal) == 0 || node_gen(hnode) != hgen) {
           // Source or destination died in flight: re-issue from whatever
           // level still holds a copy instead of abandoning the chain.
           retry_from_surviving(rank, epoch);
           return;
         }
-        entry->levels |= kAtPartner;
-        ++stats_.partner_copies;
-        stats_.bytes_to_partner += entry->bytes;
-        start_pfs_flush(rank, epoch, pnode, kAtPartner);
+        Fragment& f = entry->fragments[frag_idx];
+        f.live = true;
+        if (f.parity) {
+          ++stats_.parity_fragments;
+          stats_.bytes_to_parity += f.bytes;
+        } else {
+          ++stats_.partner_copies;
+          stats_.bytes_to_partner += f.bytes;
+        }
+        if (--*pending != 0 || !then_flush) return;
+        // Promote onward: a full copy flushes from its host's node (freeing
+        // the home node's PFS share); parity is not the data, so the flush
+        // streams from the home node's LOCAL copy.
+        if (!f.parity)
+          start_pfs_flush(rank, epoch, f.host_node, static_cast<int>(frag_idx));
+        else
+          start_pfs_flush(rank, epoch, machine_->topology().node_of(rank), -1);
       });
 }
 
 void StagingArea::start_pfs_flush(int rank, uint64_t epoch, int from_node,
-                                  uint8_t source_bit) {
+                                  int source_frag) {
+  if (cfg_.level != StorageLevel::kPfs) return;  // chain ends at redundancy
   Entry* e = find(rank, epoch);
   if (e == nullptr) return;
   const sim::Time now = machine_->engine().now();
@@ -163,16 +241,23 @@ void StagingArea::start_pfs_flush(int rank, uint64_t epoch, int from_node,
   const sim::Time done =
       node_pfs_q_[static_cast<size_t>(from_node)].reserve(now, cost);
   const uint64_t gen = node_gen(from_node);
-  machine_->engine().at(done, [this, rank, epoch, from_node, gen, source_bit] {
+  const uint64_t chain = e->chain_id;
+  machine_->engine().at(done, [this, rank, epoch, from_node, gen, chain,
+                               source_frag] {
     Entry* entry = find(rank, epoch);
     if (entry == nullptr) {
       ++stats_.drains_aborted;  // rolled back while the flush was queued
       return;
     }
-    if ((entry->levels & source_bit) == 0 || node_gen(from_node) != gen) {
-      // The flush's source copy died mid-write (e.g. the partner node was
+    if (entry->chain_id != chain) return;  // superseded by a re-write
+    const bool src_ok =
+        source_frag < 0
+            ? (entry->levels & kAtLocal) != 0
+            : entry->fragments[static_cast<size_t>(source_frag)].live;
+    if (!src_ok || node_gen(from_node) != gen) {
+      // The flush's source copy died mid-write (e.g. the host node was
       // lost): retry from the cheapest surviving level — usually the home
-      // node's LOCAL copy, which also re-establishes partner redundancy.
+      // node's LOCAL copy, which also re-establishes redundancy.
       retry_from_surviving(rank, epoch);
       return;
     }
@@ -185,7 +270,21 @@ void StagingArea::start_pfs_flush(int rank, uint64_t epoch, int from_node,
 
 void StagingArea::retry_from_surviving(int rank, uint64_t epoch) {
   Entry* e = find(rank, epoch);
-  if (e == nullptr || e->levels == 0) {
+  bool any_fragment = false;
+  const Fragment* copy = nullptr;
+  int copy_idx = -1;
+  if (e != nullptr) {
+    for (size_t i = 0; i < e->fragments.size(); ++i) {
+      const Fragment& f = e->fragments[i];
+      if (!f.live) continue;
+      any_fragment = true;
+      if (!f.parity && copy == nullptr) {
+        copy = &f;
+        copy_idx = static_cast<int>(i);
+      }
+    }
+  }
+  if (e == nullptr || ((e->levels & (kAtLocal | kAtPfs)) == 0 && !any_fragment)) {
     ++stats_.drains_aborted;  // every copy is gone; the chain is truly lost
     return;
   }
@@ -200,15 +299,20 @@ void StagingArea::retry_from_surviving(int rank, uint64_t epoch) {
   ++stats_.hop_retries;
   if (e->levels & kAtLocal) {
     // Cheapest surviving copy: the home node's LOCAL write. Restart the
-    // remaining chain there (partner copy first when the buddy node is in
-    // service, else a direct PFS flush).
-    start_partner_copy(rank, epoch);
+    // remaining chain there (missing fragments re-placed when a viable host
+    // is in service, else a direct PFS flush).
+    start_protection(rank, epoch, /*then_flush=*/true);
     return;
   }
-  // LOCAL is gone but a PARTNER copy survives on the buddy node: flush it.
-  const int partner = partner_of(rank);
-  SPBC_ASSERT(partner >= 0);
-  start_pfs_flush(rank, epoch, machine_->topology().node_of(partner), kAtPartner);
+  if (copy != nullptr) {
+    // LOCAL is gone but a full-copy fragment survives: flush from its host.
+    start_pfs_flush(rank, epoch, copy->host_node, copy_idx);
+    return;
+  }
+  // Only parity fragments survive: flushable data requires a full copy, so
+  // the chain stalls short of PFS. The snapshot remains recoverable through
+  // the scheme's rebuild path until the group loses a second member.
+  ++stats_.retries_exhausted;
 }
 
 void StagingArea::finish_pfs(int rank, uint64_t epoch) {
@@ -216,47 +320,106 @@ void StagingArea::finish_pfs(int rank, uint64_t epoch) {
   frontier = std::max(frontier, epoch);
 }
 
+// ---- residency / restore ---------------------------------------------------
+
 uint8_t StagingArea::levels(int rank, uint64_t epoch) const {
   const Entry* e = find(rank, epoch);
-  return e == nullptr ? 0 : e->levels;
-}
-
-std::optional<StorageLevel> StagingArea::best_level(int rank,
-                                                    uint64_t epoch) const {
-  const Entry* e = find(rank, epoch);
-  if (e == nullptr) return std::nullopt;
-  if (e->levels & kAtLocal) return StorageLevel::kLocal;
-  if (e->levels & kAtPartner) return StorageLevel::kPartner;
-  if (e->levels & kAtPfs) return StorageLevel::kPfs;
-  return std::nullopt;
+  if (e == nullptr) return 0;
+  uint8_t mask = e->levels;
+  for (const Fragment& f : e->fragments)
+    if (f.live) mask |= kAtPartner;
+  return mask;
 }
 
 bool StagingArea::recoverable(int rank, uint64_t epoch) const {
   if (!enabled()) return true;
-  return best_level(rank, epoch).has_value();
-}
-
-sim::Time StagingArea::read_cost(int rank, uint64_t epoch) const {
-  if (!enabled()) return 0.0;
   const Entry* e = find(rank, epoch);
-  auto level = best_level(rank, epoch);
-  if (e == nullptr || !level) return 0.0;
-  return cfg_.model.read_time(*level, e->bytes);
+  if (e == nullptr) return false;
+  if (e->levels & kAtPfs) return true;
+  return scheme_->recoverable_without_pfs(rank, epoch, *this);
 }
 
-std::optional<StorageLevel> StagingArea::note_restore(int rank, uint64_t epoch) {
-  auto level = best_level(rank, epoch);
-  if (level) {
-    ++stats_.restores_by_level[static_cast<size_t>(*level) -
-                               static_cast<size_t>(StorageLevel::kLocal)];
+RestorePlan StagingArea::plan_restore(int rank, uint64_t epoch) const {
+  if (!enabled() || find(rank, epoch) == nullptr) return {};
+  return scheme_->restore_plan(rank, epoch, *this, cfg_.model);
+}
+
+void StagingArea::note_restore(const RestorePlan& plan) {
+  switch (plan.source) {
+    case RestorePlan::Source::kNone:
+      break;
+    case RestorePlan::Source::kLocal:
+      ++stats_.restores_by_level[0];
+      break;
+    case RestorePlan::Source::kRemoteCopy:
+      ++stats_.restores_by_level[1];
+      break;
+    case RestorePlan::Source::kRebuild:
+      ++stats_.rebuild_restores;
+      break;
+    case RestorePlan::Source::kPfs:
+      ++stats_.restores_by_level[2];
+      break;
   }
-  return level;
+}
+
+void StagingArea::execute_restore(int rank, uint64_t epoch,
+                                  std::function<void(bool)> done) {
+  do_restore(rank, epoch, std::move(done), /*budget=*/2);
+}
+
+void StagingArea::do_restore(int rank, uint64_t epoch,
+                             std::function<void(bool)> done, int budget) {
+  RestorePlan plan = plan_restore(rank, epoch);
+  if (plan.source == RestorePlan::Source::kNone) {
+    done(false);
+    return;
+  }
+  if (plan.source != RestorePlan::Source::kRebuild) {
+    note_restore(plan);
+    machine_->engine().after(plan.direct_cost, [done] { done(true); });
+    return;
+  }
+  SPBC_ASSERT(!plan.reads.empty());
+  uint64_t total = 0;
+  for (const RestorePlan::Read& rd : plan.reads) total += rd.bytes;
+  auto remaining = std::make_shared<int>(static_cast<int>(plan.reads.size()));
+  auto failed = std::make_shared<bool>(false);
+  for (const RestorePlan::Read& rd : plan.reads) {
+    const int snode = machine_->topology().node_of(rd.src_rank);
+    const uint64_t sgen = node_gen(snode);
+    // Rebuild reads are real transfers: they contend with application and
+    // drain traffic on the survivors' NICs and on the restoring node.
+    machine_->network().submit(
+        net::Transfer{rd.src_rank, rank, rd.bytes},
+        [this, rank, epoch, done, snode, sgen, remaining, failed, total,
+         budget] {
+          if (node_gen(snode) != sgen) *failed = true;
+          if (--*remaining != 0) return;
+          if (*failed) {
+            // A source died mid-rebuild: re-plan from what still survives
+            // (another fragment set, or the PFS), within a bounded budget.
+            if (budget == 0) {
+              done(false);
+              return;
+            }
+            ++stats_.rebuild_retries;
+            do_restore(rank, epoch, done, budget - 1);
+            return;
+          }
+          ++stats_.rebuild_restores;
+          stats_.rebuild_bytes_read += total;
+          done(true);
+        });
+  }
 }
 
 uint64_t StagingArea::pfs_frontier(int rank) const {
   if (pfs_frontier_.empty()) return 0;
   return pfs_frontier_[static_cast<size_t>(rank)];
 }
+
+// ---- failure / pruning -----------------------------------------------------
 
 void StagingArea::invalidate_node(int node) {
   if (!enabled()) return;
@@ -267,12 +430,54 @@ void StagingArea::invalidate_node(int node) {
   node_down_[static_cast<size_t>(node)] = true;
   ++node_storage_gen_[static_cast<size_t>(node)];
   const sim::Topology& topo = machine_->topology();
+  std::vector<std::pair<int, uint64_t>> reprotect;
   for (auto& [key, e] : entries_) {
-    if (topo.node_of(key.first) == node) e.levels &= static_cast<uint8_t>(~kAtLocal);
-    const int partner = partner_of(key.first);
-    if (partner >= 0 && topo.node_of(partner) == node)
-      e.levels &= static_cast<uint8_t>(~kAtPartner);
+    if (topo.node_of(key.first) == node)
+      e.levels &= static_cast<uint8_t>(~kAtLocal);
+    bool lost_fragment = false;
+    for (Fragment& f : e.fragments) {
+      if (f.live && f.host_node == node) {
+        f.live = false;
+        lost_fragment = true;
+      }
+    }
+    // Proactive re-protection: the snapshot's data survives at LOCAL but a
+    // landed fragment just died with its host — re-encode onto a replacement
+    // host so the scheme's coverage is restored before the next failure.
+    if (lost_fragment && (e.levels & kAtLocal) != 0 &&
+        (e.levels & kAtPfs) == 0 && e.retries_left > 0)
+      reprotect.push_back(key);
   }
+  if (reprotect.empty()) return;
+  // Deferred one event: a cluster failure takes several nodes down in one
+  // call stack, and the replacement host must be chosen after the whole
+  // batch is marked down.
+  machine_->engine().after(0.0, [this, reprotect] {
+    for (const auto& [rank, epoch] : reprotect) {
+      Entry* e = find(rank, epoch);
+      if (e == nullptr || (e->levels & kAtLocal) == 0 ||
+          (e->levels & kAtPfs) != 0 || e->retries_left == 0)
+        continue;
+      PlacementPlan plan = scheme_->encode(rank, epoch, e->bytes, *this);
+      if (plan.steps.empty()) continue;  // no viable replacement host
+      --e->retries_left;
+      ++stats_.reprotections;
+      auto pending = std::make_shared<int>(static_cast<int>(plan.steps.size()));
+      for (const PlacementStep& step : plan.steps)
+        place_fragment(rank, epoch, step, pending, /*then_flush=*/false);
+    }
+  });
+}
+
+void StagingArea::charge_local_spill(int rank, uint64_t bytes) {
+  if (!enabled() || machine_ == nullptr) return;
+  const int node = machine_->topology().node_of(rank);
+  if (node_down_[static_cast<size_t>(node)]) return;
+  // Background write: it occupies the node's snapshot device (future LOCAL
+  // writes queue behind it) but charges no fiber.
+  node_local_q_[static_cast<size_t>(node)].reserve(
+      machine_->engine().now(),
+      cfg_.model.write_time(StorageLevel::kLocal, bytes));
 }
 
 void StagingArea::drop_epochs_above(int rank, uint64_t epoch) {

@@ -1,34 +1,40 @@
 #pragma once
-// Asynchronous multi-level checkpoint staging: LOCAL -> PARTNER -> PFS.
+// Asynchronous multi-level checkpoint staging: LOCAL -> redundancy -> PFS.
 //
 // SCR-style (Moody et al., SC'10) write path for the snapshots the checkpoint
 // wave produces. In async mode a member's fiber is charged only the fast
 // node-local write; a per-node background drainer then promotes the copy
-//   LOCAL  --(cross-failure-domain copy over net::Network)-->  PARTNER
-//   PARTNER --(per-node PFS flush queue)------------------->   PFS
-// overlapped with the application's computation phases. Each level adds
-// redundancy: a snapshot is recoverable from LOCAL while its node survives,
-// from PARTNER while the buddy node survives, and from PFS always. Recovery
-// reads from the cheapest live level, and when a failure destroyed every
-// copy of the committed epoch it falls back to an older epoch (the Store's
-// retention floor tracks the PFS frontier so the fallback target still
-// exists).
+//   LOCAL  --(scheme-driven fragment placement over net::Network)--> remote
+//   remote --(per-node PFS flush queue)--------------------------->  PFS
+// overlapped with the application's computation phases. What "remote
+// redundancy" means is no longer staging's decision: a pluggable
+// ckpt::RedundancyScheme (redundancy.hpp) — SINGLE (none), PARTNER (full
+// buddy copy), XOR group (rotating parity) — produces placement plans the
+// chain executes, answers recoverability queries, and plans restores
+// (including event-driven XOR rebuilds whose reads ride the real network).
+// Recovery reads from the cheapest live source, and when a failure destroyed
+// every copy of the committed epoch it falls back to an older epoch (the
+// Store's retention floor tracks the PFS frontier so the fallback target
+// still exists).
 //
 // The drainer is event-driven rather than a parked fiber: the engine treats
 // "parked fibers + empty event queue" as a deadlock, so a perpetual drainer
 // fiber would either wedge run() or require shutdown plumbing through every
 // respawn path. A promotion chain is a sequence of engine events gated by
 // two serialized resources per node (sim::BandwidthQueue for the local
-// device and the PFS ingest share) plus the network itself for the partner
-// copy — which makes staging traffic contend with application messages on
-// the sender's NIC, exactly the interference a real drain causes.
+// device and the PFS ingest share) plus the network itself for fragment
+// placements — which makes staging traffic contend with application messages
+// on the sender's NIC, exactly the interference a real drain causes.
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "ckpt/redundancy.hpp"
 #include "ckpt/store.hpp"
 #include "sim/resource.hpp"
 #include "sim/time.hpp"
@@ -39,7 +45,10 @@ class Machine;
 
 namespace spbc::ckpt {
 
-/// Residency bits: which levels currently hold a copy of a snapshot.
+/// Residency bits: which levels currently hold a copy of a snapshot. The
+/// kAtPartner bit is synthesized from the fragment list: it means "at least
+/// one live remote fragment" (a full copy under kPartner, the parity segment
+/// under kXorGroup).
 enum ResidencyBit : uint8_t {
   kAtLocal = 1u << 0,
   kAtPartner = 1u << 1,
@@ -48,35 +57,55 @@ enum ResidencyBit : uint8_t {
 
 struct StagingConfig {
   /// kNone disables staging entirely (the store is free and reliable — the
-  /// paper's measurement mode). Otherwise: the level written synchronously,
-  /// or the final drain target when `async` is set.
+  /// paper's measurement mode). Otherwise the deepest level of the chain:
+  /// kLocal stops at the node-local write, kPartner adds the scheme's remote
+  /// fragments, kPfs also drains to the parallel file system. In sync mode
+  /// the whole chain is charged to the writing fiber; with `async` only the
+  /// LOCAL write is.
   StorageLevel level = StorageLevel::kNone;
   /// Charge the fiber only the LOCAL write and promote in the background.
   bool async = false;
   StorageCostModel model{};
+  /// What the remote-redundancy hop places (see redundancy.hpp).
+  RedundancyConfig redundancy{};
 };
 
 struct StagingStats {
   uint64_t drains_started = 0;
-  uint64_t partner_copies = 0;  // completed LOCAL -> PARTNER promotions
+  uint64_t partner_copies = 0;  // completed full-copy fragment placements
   uint64_t pfs_flushes = 0;     // completed -> PFS promotions
   uint64_t drains_aborted = 0;  // every copy died mid-promotion (chain lost)
   /// Promotion hops re-issued from a surviving level after their source (or
   /// destination) copy died mid-flight.
   uint64_t hop_retries = 0;
-  /// Chains that stalled short of PFS with a live copy remaining because
-  /// the per-snapshot retry budget ran out (snapshot still recoverable).
+  /// Chains that stalled short of PFS with a live copy remaining: the
+  /// per-snapshot retry budget ran out, or only parity fragments survive
+  /// (flushable data requires a full copy; the snapshot stays recoverable
+  /// through the scheme's rebuild).
   uint64_t retries_exhausted = 0;
-  uint64_t bytes_to_partner = 0;
+  uint64_t bytes_to_partner = 0;  // full-copy fragment bytes landed
   uint64_t bytes_to_pfs = 0;
-  /// Restores served per level; index = StorageLevel - kLocal.
+  /// Parity fragment placements landed and their bytes (kXorGroup).
+  uint64_t parity_fragments = 0;
+  uint64_t bytes_to_parity = 0;
+  /// Fragments re-encoded onto a replacement host after the original host
+  /// node died with a landed fragment (proactive re-protection).
+  uint64_t reprotections = 0;
+  /// Restores served per direct level; index = StorageLevel - kLocal.
   std::array<uint64_t, 3> restores_by_level{};
+  /// Rebuilds completed by an XOR group (no PFS read; the reads really
+  /// streamed, so they count even if a concurrent member's failure later
+  /// abandoned the recovery pass), the network bytes those rebuilds
+  /// streamed, and rebuilds re-planned after a source node died mid-read.
+  uint64_t rebuild_restores = 0;
+  uint64_t rebuild_bytes_read = 0;
+  uint64_t rebuild_retries = 0;
   /// Recoveries that had to fall below the committed epoch because every
   /// copy of it was destroyed.
   uint64_t epoch_fallbacks = 0;
 };
 
-class StagingArea {
+class StagingArea : public ResidencyView {
  public:
   explicit StagingArea(StagingConfig cfg) : cfg_(cfg) {}
 
@@ -85,6 +114,7 @@ class StagingArea {
   bool enabled() const { return cfg_.level != StorageLevel::kNone; }
   bool async() const { return enabled() && cfg_.async; }
   const StagingConfig& config() const { return cfg_; }
+  const RedundancyScheme& scheme() const { return *scheme_; }
 
   /// The buddy rank whose node hosts this rank's PARTNER copies: the same
   /// node-local slot on the nearest node of a *different cluster* (failure
@@ -103,19 +133,28 @@ class StagingArea {
   /// lost. Always 0 when staging is disabled.
   uint8_t levels(int rank, uint64_t epoch) const;
 
-  /// Cheapest level the snapshot is currently readable from.
-  std::optional<StorageLevel> best_level(int rank, uint64_t epoch) const;
-
   /// Can this snapshot back a restore? True unconditionally when staging is
   /// disabled (the store is then free and reliable, as in the paper's
-  /// measurement mode).
+  /// measurement mode). Scheme-aware: an XOR snapshot with a dead LOCAL copy
+  /// is recoverable while its group can rebuild it or the PFS holds it.
   bool recoverable(int rank, uint64_t epoch) const;
 
-  /// Read cost from the cheapest live level (0 when disabled or lost).
-  sim::Time read_cost(int rank, uint64_t epoch) const;
+  /// The scheme's cheapest live reconstruction of (rank, epoch).
+  /// Source::kNone when staging is disabled or every copy is gone.
+  RestorePlan plan_restore(int rank, uint64_t epoch) const;
 
-  /// Records which level served a restore (metrics) and returns it.
-  std::optional<StorageLevel> note_restore(int rank, uint64_t epoch);
+  /// Records which source served a restore (metrics).
+  void note_restore(const RestorePlan& plan);
+
+  /// Executes a restore whose plan requires work beyond a direct read: XOR
+  /// rebuild reads are submitted to net::Network (they contend with real
+  /// traffic) and checked against source-node storage generations; a source
+  /// death mid-read re-plans from the surviving fragments (bounded retries).
+  /// `done(ok)` fires in event context; ok=false means every reconstruction
+  /// path is gone and the caller must fall back an epoch.
+  void execute_restore(int rank, uint64_t epoch,
+                       std::function<void(bool)> done);
+
   void note_epoch_fallback() { ++stats_.epoch_fallbacks; }
 
   /// Highest epoch of `rank` flushed to PFS (0 = none). Monotonic — PFS
@@ -124,9 +163,16 @@ class StagingArea {
   uint64_t pfs_frontier(int rank) const;
 
   /// A node's storage died with its ranks: LOCAL copies of its residents
-  /// and PARTNER copies it hosted are lost, and promotion chains reading
-  /// from them abort when their next hop fires.
+  /// and fragments it hosted are lost, and promotion chains reading from
+  /// them abort when their next hop fires. Entries that still hold a live
+  /// LOCAL copy re-encode their lost fragments onto a replacement host
+  /// (proactive re-protection) once the failure batch has landed.
   void invalidate_node(int node);
+
+  /// Occupies the rank's node-local device with a background write of
+  /// `bytes` (capture spill: in-flight captures pushed out of memory onto
+  /// LOCAL storage — see SpbcConfig::capture_bytes_bound).
+  void charge_local_spill(int rank, uint64_t bytes);
 
   /// Pruning hooks mirroring the Store's epoch bookkeeping.
   void drop_epochs_above(int rank, uint64_t epoch);
@@ -134,11 +180,21 @@ class StagingArea {
 
   const StagingStats& stats() const { return stats_; }
 
+  // ---- ResidencyView (consulted by the scheme) --------------------------
+  bool has_local(int rank, uint64_t epoch) const override;
+  bool has_pfs(int rank, uint64_t epoch) const override;
+  const std::vector<Fragment>* fragments(int rank,
+                                         uint64_t epoch) const override;
+  uint64_t snapshot_bytes(int rank, uint64_t epoch) const override;
+  bool node_in_service(int node) const override;
+
  private:
   struct Entry {
     uint64_t bytes = 0;
-    uint8_t levels = 0;
+    uint8_t levels = 0;        // kAtLocal / kAtPfs (kAtPartner synthesized)
     uint8_t retries_left = 3;  // per-snapshot budget for re-issued hops
+    uint64_t chain_id = 0;     // stale-callback guard across rollback+rewrite
+    std::vector<Fragment> fragments;
   };
 
   Entry* find(int rank, uint64_t epoch);
@@ -147,24 +203,35 @@ class StagingArea {
   /// promotion hop captures the source node's generation when it starts and
   /// aborts if it changed by the time the hop completes.
   uint64_t node_gen(int node) const;
-  void start_partner_copy(int rank, uint64_t epoch);
+  /// Runs the scheme's encode step and places the missing fragments; when
+  /// nothing (more) is placeable the chain proceeds straight to the PFS
+  /// flush. `then_flush=false` places fragments without continuing the chain
+  /// (re-protection: the flush, if any, is already running independently).
+  void start_protection(int rank, uint64_t epoch, bool then_flush);
+  void place_fragment(int rank, uint64_t epoch, const PlacementStep& step,
+                      std::shared_ptr<int> pending, bool then_flush);
+  /// source_frag: index into the entry's fragment list whose copy feeds the
+  /// flush, or -1 for the home node's LOCAL copy.
   void start_pfs_flush(int rank, uint64_t epoch, int from_node,
-                       uint8_t source_bit);
+                       int source_frag);
   void finish_pfs(int rank, uint64_t epoch);
   /// A promotion hop found its source (or destination) copy dead: re-issue
   /// the rest of the chain from the cheapest level that still holds a copy
   /// (usually LOCAL), or count the chain aborted when nothing survives.
   void retry_from_surviving(int rank, uint64_t epoch);
+  void do_restore(int rank, uint64_t epoch, std::function<void(bool)> done,
+                  int budget);
 
   StagingConfig cfg_;
   mpi::Machine* machine_ = nullptr;
+  std::unique_ptr<RedundancyScheme> scheme_;
   std::map<std::pair<int, uint64_t>, Entry> entries_;
   std::vector<uint64_t> node_storage_gen_;
   std::vector<bool> node_down_;  // dedups the per-rank kill notifications
   std::vector<sim::BandwidthQueue> node_local_q_;  // local snapshot device
   std::vector<sim::BandwidthQueue> node_pfs_q_;    // per-node PFS ingest share
   std::vector<uint64_t> pfs_frontier_;
-  mutable std::vector<int> partner_;  // lazy: -2 unresolved, -1 none
+  uint64_t next_chain_id_ = 0;
   StagingStats stats_;
 };
 

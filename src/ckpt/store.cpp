@@ -66,7 +66,8 @@ void Store::drop_epochs_above(int rank, uint64_t epoch) {
   }
   auto cap = in_flight_.lower_bound({rank, epoch + 1});
   while (cap != in_flight_.end() && cap->first.first == rank) {
-    for (const CapturedMsg& cm : cap->second) release_captures(rank, cm.env.bytes);
+    for (const CapturedMsg& cm : cap->second)
+      if (!cm.spilled) release_captures(rank, cm.env.bytes);
     cap = in_flight_.erase(cap);
   }
 }
@@ -79,9 +80,34 @@ void Store::prune_epochs_below(int rank, uint64_t epoch) {
   auto cap = in_flight_.lower_bound({rank, 0});
   while (cap != in_flight_.end() && cap->first.first == rank &&
          cap->first.second < epoch) {
-    for (const CapturedMsg& cm : cap->second) release_captures(rank, cm.env.bytes);
+    for (const CapturedMsg& cm : cap->second)
+      if (!cm.spilled) release_captures(rank, cm.env.bytes);
     cap = in_flight_.erase(cap);
   }
+}
+
+uint64_t Store::spill_captures(int rank, uint64_t target_bytes) {
+  auto live = capture_live_.find(rank);
+  if (live == capture_live_.end() || live->second <= target_bytes) return 0;
+  uint64_t spilled = 0;
+  // Oldest epochs first: they have waited longest for a commit to reclaim
+  // them, so they are the least likely to leave memory any other way.
+  for (auto cap = in_flight_.lower_bound({rank, 0});
+       cap != in_flight_.end() && cap->first.first == rank &&
+       live->second > target_bytes;
+       ++cap) {
+    for (CapturedMsg& cm : cap->second) {
+      if (cm.spilled) continue;
+      cm.spilled = true;
+      const uint64_t b = cm.env.bytes < live->second ? cm.env.bytes : live->second;
+      live->second -= b;
+      spilled += cm.env.bytes;
+      ++captures_spilled_;
+      if (live->second <= target_bytes) break;
+    }
+  }
+  capture_spilled_bytes_ += spilled;
+  return spilled;
 }
 
 uint64_t Store::record_in_flight(int rank, uint64_t first_epoch, uint64_t last_epoch,

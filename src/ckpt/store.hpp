@@ -67,6 +67,9 @@ struct Snapshot {
 struct CapturedMsg {
   mpi::Envelope env;
   std::shared_ptr<const mpi::Payload> payload;
+  /// Pushed out of capture memory onto LOCAL storage (still redeliverable;
+  /// its bytes no longer count against the live capture footprint).
+  bool spilled = false;
 };
 
 class Store {
@@ -107,6 +110,16 @@ class Store {
   /// capture memory bound metric; see ROADMAP).
   uint64_t capture_hwm_bytes() const { return capture_hwm_; }
 
+  /// Spills the oldest retained captures of `rank` (ascending epoch) to
+  /// LOCAL storage until the live footprint drops to `target_bytes`: used
+  /// when capture-bound pressure cannot prune past the PFS retention floor
+  /// (a slow PFS would otherwise stall reclamation indefinitely). Spilled
+  /// captures stay redeliverable but leave capture memory. Returns the
+  /// bytes spilled; the caller charges the node-local device.
+  uint64_t spill_captures(int rank, uint64_t target_bytes);
+  uint64_t captures_spilled() const { return captures_spilled_; }
+  uint64_t capture_spilled_bytes() const { return capture_spilled_bytes_; }
+
   /// Virtual-time cost of writing/reading a snapshot at the configured level.
   sim::Time write_cost(uint64_t bytes) const { return model_.write_time(level_, bytes); }
   sim::Time read_cost(uint64_t bytes) const { return model_.read_time(level_, bytes); }
@@ -129,6 +142,8 @@ class Store {
   uint64_t snapshots_ = 0;
   uint64_t in_flight_captured_ = 0;
   uint64_t capture_hwm_ = 0;
+  uint64_t captures_spilled_ = 0;
+  uint64_t capture_spilled_bytes_ = 0;
 };
 
 }  // namespace spbc::ckpt

@@ -52,7 +52,7 @@ SpbcProtocol::SpbcProtocol(SpbcConfig cfg)
     : cfg_(cfg),
       store_(cfg.storage, cfg.storage_model),
       staging_(ckpt::StagingConfig{cfg.storage, cfg.async_staging,
-                                   cfg.storage_model}) {}
+                                   cfg.storage_model, cfg.redundancy}) {}
 
 void SpbcProtocol::attach(mpi::Machine& machine) {
   machine_ = &machine;
@@ -225,12 +225,22 @@ void SpbcProtocol::run_coordinated_checkpoint(mpi::Rank& rank) {
   sim::Time cost = staging_.write(me, epoch, snap_bytes);
 
   if (cfg_.gc_logs) {
-    // Freeze the inter-cluster received-windows the epoch captured; GC at
-    // commit must not see post-snapshot receipts.
-    auto& frozen = gc_windows_[{me, epoch}];
+    // Freeze the inter-cluster received-windows the epoch captured (GC at
+    // commit must not see post-snapshot receipts) — encoded directly into
+    // the wave's transient aggregate so they piggyback on this member's
+    // kCkptComplete instead of waiting in a per-(rank, epoch) side table.
+    std::vector<uint64_t>& blob = cs.agg[epoch].windows[me];
+    blob.assign(1, 0);
+    uint64_t n = 0;
     for (const auto& [key, win] : rank.all_recv_windows()) {
-      if (machine_->cluster_of(key.peer) != cluster) frozen[key] = win;
+      if (machine_->cluster_of(key.peer) == cluster) continue;
+      blob.push_back(static_cast<uint64_t>(static_cast<int64_t>(key.peer)));
+      blob.push_back(static_cast<uint64_t>(static_cast<int64_t>(key.ctx)));
+      blob.push_back(static_cast<uint64_t>(static_cast<int64_t>(key.stream)));
+      win.encode(blob);
+      ++n;
     }
+    blob[0] = n;
   }
 
   // From this instant the cut exists: deliveries of pre-cut messages (even
@@ -303,7 +313,9 @@ void SpbcProtocol::try_forward_aggregate(int member, uint64_t epoch) {
   }
   agg.sent = true;
   if (idx == 0) {
-    commit_epoch(cluster, epoch);  // covered + self == every member
+    // covered + self == every member; the aggregated GC windows (gc_logs)
+    // are consumed by the commit before the transient state is dropped.
+    commit_epoch(cluster, epoch, agg.windows);
     cs.agg.erase(epoch);
     return;
   }
@@ -315,11 +327,22 @@ void SpbcProtocol::try_forward_aggregate(int member, uint64_t epoch) {
   msg.words.push_back(agg.covered.size() + 1);
   for (int m : agg.covered) msg.words.push_back(static_cast<uint64_t>(m));
   msg.words.push_back(static_cast<uint64_t>(member));
+  if (cfg_.gc_logs) {
+    // Piggyback the frozen GC windows of every member this aggregate
+    // covers: [rank, len, words...] blocks after the member list.
+    for (const auto& [m, blob] : agg.windows) {
+      msg.words.push_back(static_cast<uint64_t>(m));
+      msg.words.push_back(blob.size());
+      msg.words.insert(msg.words.end(), blob.begin(), blob.end());
+    }
+  }
   cs.agg.erase(epoch);
   machine_->send_control(member, msg.dst, std::move(msg));
 }
 
-void SpbcProtocol::commit_epoch(int cluster, uint64_t epoch) {
+void SpbcProtocol::commit_epoch(
+    int cluster, uint64_t epoch,
+    const std::map<int, std::vector<uint64_t>>& gc_windows) {
   auto& wave = waves_[cluster];
   if (epoch <= wave.committed) return;  // stale commit from a superseded wave
 
@@ -339,21 +362,13 @@ void SpbcProtocol::commit_epoch(int cluster, uint64_t epoch) {
   for (int m : members) {
     // The residency the commit is backed by, for introspection and benches.
     ckpt_[static_cast<size_t>(m)].commit_levels = staging_.levels(m, epoch);
-    if (cfg_.gc_logs) {
-      // Frozen GC windows of superseded epochs (committed ones are erased
-      // after use below; an epoch skipped over never gets used) would leak.
-      for (auto it = gc_windows_.lower_bound({m, 0});
-           it != gc_windows_.end() && it->first.first == m &&
-           it->first.second < epoch;) {
-        it = gc_windows_.erase(it);
-      }
-    }
     if (m == root) {
       // The down-sweep reaches the root locally; members prune their
       // superseded snapshots/captures when their kCkptCommit arrives.
       ckpt_[static_cast<size_t>(m)].epoch = epoch;
       store_.prune_epochs_below(m, floor);
       staging_.prune_epochs_below(m, floor);
+      maybe_spill_captures(m);
       continue;
     }
     mpi::ControlMsg msg;
@@ -364,23 +379,38 @@ void SpbcProtocol::commit_epoch(int cluster, uint64_t epoch) {
     msg.words.push_back(floor);
     machine_->send_control(root, m, std::move(msg));
   }
-  if (cfg_.gc_logs) gc_after_checkpoint(cluster, epoch);
+  if (cfg_.gc_logs) {
+    // Extension (off by default): once a cluster's wave commits, every
+    // channel into it can drop log entries the committed epoch captured.
+    // The windows each member froze at its cut arrived piggybacked on the
+    // completion aggregates, so the commit consumes them here and nothing
+    // outlives the wave.
+    for (const auto& [member, blob] : gc_windows) gc_from_windows(member, blob);
+  }
 }
 
-void SpbcProtocol::gc_after_checkpoint(int cluster, uint64_t epoch) {
-  // Extension (off by default): once a cluster's wave commits, every channel
-  // into it can drop log entries the committed epoch captured. Windows were
-  // frozen at snapshot time; a real implementation piggybacks them on one
-  // control message per channel after the completion reduction.
-  for (int member : machine_->ranks_in_cluster(cluster)) {
-    auto it = gc_windows_.find({member, epoch});
-    if (it == gc_windows_.end()) continue;
-    for (const auto& [key, win] : it->second) {
-      logs_[static_cast<size_t>(key.peer)].gc_received(member, key.ctx, win,
-                                                       key.stream);
-    }
-    gc_windows_.erase(it);
+void SpbcProtocol::gc_from_windows(int member, const std::vector<uint64_t>& blob) {
+  size_t pos = 0;
+  const uint64_t n = blob.at(pos++);
+  for (uint64_t i = 0; i < n; ++i) {
+    const int peer = static_cast<int>(static_cast<int64_t>(blob.at(pos++)));
+    const int ctx = static_cast<int>(static_cast<int64_t>(blob.at(pos++)));
+    const int stream = static_cast<int>(static_cast<int64_t>(blob.at(pos++)));
+    mpi::SeqWindow win = mpi::SeqWindow::decode(blob, pos);
+    logs_[static_cast<size_t>(peer)].gc_received(member, ctx, win, stream);
   }
+}
+
+void SpbcProtocol::maybe_spill_captures(int rank) {
+  if (cfg_.capture_bytes_bound == 0) return;
+  if (store_.capture_live_bytes(rank) <= cfg_.capture_bytes_bound) return;
+  // The commit's prune stopped at the retention floor (the PFS frontier
+  // lags the committed epoch under async staging), so memory pressure
+  // cannot be reclaimed by pruning. Push the oldest captures out to the
+  // node-local device instead of stalling reclamation.
+  const uint64_t spilled =
+      store_.spill_captures(rank, cfg_.capture_bytes_bound);
+  if (spilled != 0) staging_.charge_local_spill(rank, spilled);
 }
 
 // ---------------------------------------------------------------------------
@@ -416,13 +446,23 @@ void SpbcProtocol::on_failure(int victim_rank) {
   // not-yet-committed epoch discard it — restoring a mix of epochs would be
   // an inconsistent cut.
   for (int r : members) machine_->kill_rank(r);
+  select_and_restore(cluster, members, failure_time, targets,
+                     waves_[cluster].committed);
+}
+
+void SpbcProtocol::select_and_restore(int cluster, std::vector<int> members,
+                                      sim::Time failure_time,
+                                      std::map<int, mpi::Rank::Progress> targets,
+                                      uint64_t epoch_hint) {
   auto& wave = waves_[cluster];
-  uint64_t epoch = wave.committed;
+  uint64_t epoch = epoch_hint;
   // Multi-level fallback: the committed epoch may have lived only at levels
   // this failure just destroyed (e.g. LOCAL on the dead nodes while its
   // PFS flush was still in flight). Fall back to the newest older epoch
-  // every member still has a live copy of — the commit-time retention floor
-  // keeps epochs down to the cluster's PFS frontier precisely for this.
+  // every member can still reconstruct — scheme-aware: an XOR member with a
+  // dead LOCAL copy counts as recoverable while its group can rebuild it —
+  // down to the commit-time retention floor (the cluster's PFS frontier),
+  // which keeps older flushed epochs around precisely for this.
   while (epoch > 0) {
     bool ok = true;
     for (int r : members) {
@@ -442,13 +482,25 @@ void SpbcProtocol::on_failure(int victim_rank) {
   }
   sim::Time ckpt_time = 0;
   sim::Time read_cost = 0;
+  std::vector<int> rebuilds;
+  std::vector<ckpt::RestorePlan> direct_plans;
   for (int r : members) {
     if (epoch > 0) {
       ckpt_time = std::max(ckpt_time, store_.at_epoch(r, epoch).taken_at);
       // Restart must re-read every member's snapshot from its cheapest live
-      // level; the slowest member's read extends the outage.
-      read_cost = std::max(read_cost, staging_.read_cost(r, epoch));
-      staging_.note_restore(r, epoch);
+      // source; the slowest member's read extends the outage. Direct reads
+      // (LOCAL / remote copy / PFS) are a pure cost; XOR rebuilds schedule
+      // real network reads below and finish when the last fragment lands.
+      // Direct-read metrics are deferred until the pass commits: a rebuild
+      // failure abandons this epoch and re-enters one lower, and the
+      // abandoned pass's direct reads never happen.
+      ckpt::RestorePlan plan = staging_.plan_restore(r, epoch);
+      if (plan.source == ckpt::RestorePlan::Source::kRebuild) {
+        rebuilds.push_back(r);
+      } else if (plan.source != ckpt::RestorePlan::Source::kNone) {
+        direct_plans.push_back(plan);
+        read_cost = std::max(read_cost, plan.direct_cost);
+      }
     }
     restore_rank(r, epoch);
   }
@@ -459,9 +511,12 @@ void SpbcProtocol::on_failure(int victim_rank) {
   std::map<int, std::set<int>> peers;
   for (int r : members) peers[r] = rollback_peers_of(r);
 
-  machine_->engine().after(machine_->config().restart_delay + read_cost,
-                           [this, cluster, members, epoch, failure_time,
-                            ckpt_time, targets, peers] {
+  // Shared, not copied per callback: the rebuild path threads this closure
+  // (and its captured member/target/peer maps) through every network-read
+  // completion.
+  auto finish = std::make_shared<std::function<void()>>(
+      [this, cluster, members, epoch, failure_time, ckpt_time,
+       targets, peers] {
     restart_pending_.erase(cluster);
     for (int r : members) machine_->respawn_rank(r, epoch > 0);
     // Re-deliver the intra-cluster messages the restored epoch captured as
@@ -488,6 +543,48 @@ void SpbcProtocol::on_failure(int victim_rank) {
       }
     }
   });
+
+  if (rebuilds.empty()) {
+    for (const ckpt::RestorePlan& plan : direct_plans)
+      staging_.note_restore(plan);
+    machine_->engine().after(machine_->config().restart_delay + read_cost,
+                             [finish] { (*finish)(); });
+    return;
+  }
+  // XOR rebuilds stream surviving fragments over the real network to the
+  // replacement nodes; the respawn waits for the slowest member (direct
+  // reads overlap the rebuild window).
+  const sim::Time start = machine_->engine().now();
+  auto remaining = std::make_shared<int>(static_cast<int>(rebuilds.size()));
+  auto failed = std::make_shared<bool>(false);
+  auto directs = std::make_shared<std::vector<ckpt::RestorePlan>>(
+      std::move(direct_plans));
+  for (int r : rebuilds) {
+    staging_.execute_restore(
+        r, epoch,
+        [this, cluster, members, failure_time, targets, epoch, read_cost,
+         start, remaining, failed, directs, finish](bool ok) {
+          if (!ok) *failed = true;
+          if (--*remaining != 0) return;
+          if (*failed) {
+            // A rebuild lost its last reconstruction path mid-read (a second
+            // in-group failure): re-select one epoch lower — the retention
+            // floor guarantees an older PFS-resident epoch exists. The
+            // abandoned pass's direct reads never happened; their metrics
+            // were never recorded.
+            select_and_restore(cluster, members, failure_time, targets,
+                               epoch - 1);
+            return;
+          }
+          for (const ckpt::RestorePlan& plan : *directs)
+            staging_.note_restore(plan);
+          const sim::Time rebuilt = machine_->engine().now() - start;
+          const sim::Time residual = std::max(0.0, read_cost - rebuilt);
+          machine_->engine().after(
+              machine_->config().restart_delay + residual,
+              [finish] { (*finish)(); });
+        });
+  }
 }
 
 void SpbcProtocol::on_rank_killed(int victim) {
@@ -508,10 +605,6 @@ void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
   // never finished; re-execution will redo that wave from scratch.
   store_.drop_epochs_above(r, epoch);
   staging_.drop_epochs_above(r, epoch);
-  for (auto it = gc_windows_.lower_bound({r, epoch + 1});
-       it != gc_windows_.end() && it->first.first == r;) {
-    it = gc_windows_.erase(it);
-  }
   auto& cs = ckpt_[static_cast<size_t>(r)];
   if (epoch == 0) {
     // No committed checkpoint yet: roll back to the initial state sigma_0.
@@ -677,6 +770,20 @@ void SpbcProtocol::on_control(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
       const uint64_t n = msg.words.at(1);
       for (uint64_t i = 0; i < n; ++i)
         agg.covered.insert(static_cast<int>(msg.words.at(2 + i)));
+      if (cfg_.gc_logs) {
+        // Piggybacked GC windows of the covered members: [rank, len,
+        // words...] blocks after the member list (idempotent under re-sent
+        // aggregates, like the covered-set union).
+        size_t pos = 2 + n;
+        while (pos < msg.words.size()) {
+          const int m = static_cast<int>(msg.words.at(pos++));
+          const uint64_t len = msg.words.at(pos++);
+          std::vector<uint64_t>& blob = agg.windows[m];
+          blob.assign(msg.words.begin() + static_cast<int64_t>(pos),
+                      msg.words.begin() + static_cast<int64_t>(pos + len));
+          pos += len;
+        }
+      }
       try_forward_aggregate(receiver.rank(), epoch);
       break;
     }
@@ -688,6 +795,7 @@ void SpbcProtocol::on_control(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
       cs.epoch = std::max(cs.epoch, msg.words.at(0));
       store_.prune_epochs_below(receiver.rank(), msg.words.at(1));
       staging_.prune_epochs_below(receiver.rank(), msg.words.at(1));
+      maybe_spill_captures(receiver.rank());
       break;
     default:
       SPBC_UNREACHABLE("unhandled control message kind in SpbcProtocol");

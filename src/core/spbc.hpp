@@ -73,10 +73,17 @@ struct SpbcConfig {
 
   /// Multi-level staging (SCR-style; see ckpt/staging.hpp): charge the
   /// member's fiber only the fast LOCAL write and promote the snapshot
-  /// LOCAL -> PARTNER -> PFS in the background, overlapped with computation.
-  /// When false, the write is synchronous at `storage` level. Ignored while
-  /// storage == kNone.
+  /// LOCAL -> redundancy -> PFS in the background, overlapped with
+  /// computation. When false, the write is synchronous at `storage` level.
+  /// Ignored while storage == kNone.
   bool async_staging = false;
+
+  /// What the staging chain's remote-redundancy hop places (see
+  /// ckpt/redundancy.hpp): SINGLE (LOCAL only), PARTNER (full buddy copy,
+  /// the default — the pre-refactor behavior), or XOR group parity
+  /// (~1/(G-1) of the copy bytes, still tolerating any single in-group
+  /// node loss).
+  ckpt::RedundancyConfig redundancy{};
 
   /// Bound on a rank's live in-flight-capture bytes: when exceeded, the rank
   /// cuts a new epoch at its next checkpoint opportunity so the resulting
@@ -178,10 +185,17 @@ class SpbcProtocol : public mpi::ProtocolHooks {
     // wave root) commits the epoch. Replaces the flat member->root
     // reduction: the commit path is O(log k) hops deep and no member
     // handles more than log2(k) messages per epoch.
+    //
+    // Under gc_logs the aggregate also carries, per covered member, the
+    // inter-cluster received-windows that member froze at its cut (encoded
+    // words, piggybacked on kCkptComplete). The windows therefore live only
+    // inside the in-flight wave state and on the wire — no per-(rank, epoch)
+    // map is frozen in a side table until commit (see ROADMAP).
     struct TreeAgg {
       std::set<int> covered;
       bool self_done = false;
       bool sent = false;
+      std::map<int, std::vector<uint64_t>> windows;  // member -> encoded
     };
     std::map<uint64_t, TreeAgg> agg;
     // Staging residency of this rank's snapshot when its epoch committed.
@@ -197,14 +211,29 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   void run_coordinated_checkpoint(mpi::Rank& rank);
   void arm_wave_completion(int member, uint64_t epoch);
   void try_forward_aggregate(int member, uint64_t epoch);
-  void commit_epoch(int cluster, uint64_t epoch);
+  void commit_epoch(int cluster, uint64_t epoch,
+                    const std::map<int, std::vector<uint64_t>>& gc_windows);
+  /// Picks the newest epoch every member can still restore (scanning down
+  /// from `epoch_hint`), restores in-memory state, executes the staging
+  /// restore plans (XOR rebuilds ride the network), and schedules the
+  /// respawn. Re-enters itself one epoch lower when a rebuild's sources die
+  /// mid-read and no reconstruction path remains.
+  void select_and_restore(int cluster, std::vector<int> members,
+                          sim::Time failure_time,
+                          std::map<int, mpi::Rank::Progress> targets,
+                          uint64_t epoch_hint);
   void restore_rank(int r, uint64_t epoch);
   void redeliver_captured(int r, uint64_t epoch);
   void send_rollbacks_from(int r, const std::set<int>& peers);
   std::set<int> rollback_peers_of(int r) const;
   void handle_rollback(mpi::Rank& receiver, const mpi::ControlMsg& msg);
   void handle_last_message(mpi::Rank& receiver, const mpi::ControlMsg& msg);
-  void gc_after_checkpoint(int cluster, uint64_t epoch);
+  void gc_from_windows(int member, const std::vector<uint64_t>& blob);
+  /// Capture-bound backstop after a commit's prune: when the retention
+  /// floor (PFS frontier) lags and the rank's live captures still exceed
+  /// the bound, spill the oldest ones to LOCAL storage instead of stalling
+  /// reclamation.
+  void maybe_spill_captures(int rank);
 
   ckpt::Store store_;
   ckpt::StagingArea staging_;
@@ -212,11 +241,6 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   std::vector<Replayer> replayers_;
   std::vector<CkptLocal> ckpt_;
   std::map<int, ClusterWave> waves_;
-  // gc_logs extension: per (rank, epoch), the inter-cluster received-windows
-  // at snapshot time — GC at commit must use the windows the epoch captured,
-  // not the live ones, or it would drop log entries a rollback still needs.
-  std::map<std::pair<int, uint64_t>, std::map<mpi::Rank::StreamKey, mpi::SeqWindow>>
-      gc_windows_;
   std::set<int> recovering_clusters_;
   std::set<int> restart_pending_;  // killed + restored, respawn scheduled
   uint64_t rollbacks_ = 0;

@@ -150,6 +150,8 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.checkpoints = spbc->checkpoints_taken();
     res.capture_hwm_bytes = spbc->store().capture_hwm_bytes();
     res.capture_forced_waves = spbc->capture_forced_waves();
+    res.captures_spilled = spbc->store().captures_spilled();
+    res.capture_spilled_bytes = spbc->store().capture_spilled_bytes();
     res.staging = spbc->staging().stats();
     for (int r = 0; r < cfg.nranks; ++r) {
       res.log_bytes_reclaimed += spbc->log_of(r).bytes_reclaimed();

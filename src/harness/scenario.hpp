@@ -86,6 +86,11 @@ struct ScenarioResult {
   uint64_t capture_hwm_bytes = 0;
   uint64_t capture_forced_waves = 0;
 
+  // Captures spilled to LOCAL storage when bound pressure could not prune
+  // past the PFS retention floor (count and bytes).
+  uint64_t captures_spilled = 0;
+  uint64_t capture_spilled_bytes = 0;
+
   // Multi-level staging pipeline counters (zeros when staging is off).
   ckpt::StagingStats staging;
 
