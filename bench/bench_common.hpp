@@ -30,10 +30,13 @@ struct BenchOpts {
   double msg_scale = 1.0;
   double compute_scale = 1.0;
   bool use_clustering_tool = true;
-  // Staging redundancy scheme override (--scheme {single,partner,xor} and
-  // --group-size); empty = the config default (partner).
+  // Staging redundancy scheme override (--scheme {single,partner,xor,rs},
+  // --group-size for XOR, --rs-k/--rs-m for Reed-Solomon); empty = the
+  // config default (partner).
   std::string scheme;
   int group_size = 4;
+  int rs_k = 4;
+  int rs_m = 2;
   // System noise, as on the paper's real testbed: OS jitter on compute
   // blocks and latency jitter on the network. Without it a simulator is
   // perfectly synchronous and failure-free runs contain no waits for
@@ -57,8 +60,10 @@ inline BenchOpts parse_opts(int argc, char** argv) {
   if (cli.get_flag("block-clustering")) o.use_clustering_tool = false;
   o.scheme = cli.get_string("scheme", "");
   o.group_size = static_cast<int>(cli.get_int("group-size", o.group_size));
+  o.rs_k = static_cast<int>(cli.get_int("rs-k", o.rs_k));
+  o.rs_m = static_cast<int>(cli.get_int("rs-m", o.rs_m));
   if (!o.scheme.empty() && !ckpt::parse_scheme(o.scheme)) {
-    std::fprintf(stderr, "unknown --scheme=%s (single|partner|xor)\n",
+    std::fprintf(stderr, "unknown --scheme=%s (single|partner|xor|rs)\n",
                  o.scheme.c_str());
     std::exit(2);
   }
@@ -81,6 +86,8 @@ inline harness::ScenarioConfig make_config(const BenchOpts& o, const std::string
   cfg.spbc.checkpoint_every = static_cast<uint64_t>(o.ckpt_every);
   if (!o.scheme.empty()) cfg.spbc.redundancy.kind = *ckpt::parse_scheme(o.scheme);
   cfg.spbc.redundancy.group_size = o.group_size;
+  cfg.spbc.redundancy.rs_k = o.rs_k;
+  cfg.spbc.redundancy.rs_m = o.rs_m;
   cfg.machine.seed = o.seed;
   cfg.machine.compute_noise_frac = o.compute_noise;
   cfg.machine.net.jitter_frac = o.net_jitter;

@@ -1,10 +1,13 @@
 #include "ckpt/redundancy.hpp"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
+#include <set>
 
 #include "mpi/machine.hpp"
 #include "util/assert.hpp"
+#include "util/gf256.hpp"
 
 namespace spbc::ckpt {
 
@@ -16,6 +19,8 @@ const char* scheme_name(SchemeKind kind) {
       return "partner";
     case SchemeKind::kXorGroup:
       return "xor";
+    case SchemeKind::kReedSolomon:
+      return "rs";
   }
   return "?";
 }
@@ -24,6 +29,7 @@ std::optional<SchemeKind> parse_scheme(const std::string& name) {
   if (name == "single") return SchemeKind::kSingle;
   if (name == "partner") return SchemeKind::kPartner;
   if (name == "xor" || name == "xor-group") return SchemeKind::kXorGroup;
+  if (name == "rs" || name == "reed-solomon") return SchemeKind::kReedSolomon;
   return std::nullopt;
 }
 
@@ -161,14 +167,77 @@ class PartnerScheme : public RedundancyScheme {
 };
 
 // ---------------------------------------------------------------------------
+// Shared grouping for the group-parity schemes (XOR, Reed-Solomon): node ids
+// are stable-sorted by their residents' cluster and dealt round-robin into
+// ceil(nodes/G) groups, so consecutive same-cluster nodes land in different
+// groups and each group spans as many failure domains as the machine allows.
+// A rank's protection group is the same node-local slot on each node of its
+// node group (block placement guarantees the slot exists).
+// ---------------------------------------------------------------------------
+class GroupedScheme : public RedundancyScheme {
+ public:
+  GroupedScheme(const mpi::Machine& machine, int group_size)
+      : machine_(machine), group_size_(group_size < 2 ? 2 : group_size) {}
+
+  std::vector<int> group_of(int rank) const override {
+    std::vector<int> members = group_ranks(rank);
+    members.erase(std::remove(members.begin(), members.end(), rank),
+                  members.end());
+    return members;
+  }
+
+ protected:
+  /// Every rank of `rank`'s protection group, `rank` included, ordered by
+  /// node id — the stable symbol positions the RS scheme keys its Cauchy
+  /// rows on.
+  std::vector<int> group_ranks(int rank) const {
+    build_groups();
+    const sim::Topology& topo = machine_.topology();
+    const int ppn = topo.ranks_per_node();
+    const int slot = rank % ppn;
+    const std::vector<int>& nodes = group_nodes(topo.node_of(rank));
+    std::vector<int> members;
+    members.reserve(nodes.size());
+    for (int n : nodes) members.push_back(n * ppn + slot);
+    return members;
+  }
+
+  const mpi::Machine& machine_;
+  int group_size_;
+
+ private:
+  void build_groups() const {
+    if (!node_group_.empty()) return;
+    const sim::Topology& topo = machine_.topology();
+    const int nodes = topo.nodes();
+    const int ppn = topo.ranks_per_node();
+    std::vector<int> order(static_cast<size_t>(nodes));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return machine_.cluster_of(a * ppn) < machine_.cluster_of(b * ppn);
+    });
+    const int ngroups = (nodes + group_size_ - 1) / group_size_;
+    node_group_.assign(static_cast<size_t>(nodes), 0);
+    groups_.assign(static_cast<size_t>(ngroups), {});
+    for (size_t i = 0; i < order.size(); ++i) {
+      const int g = static_cast<int>(i) % ngroups;
+      node_group_[static_cast<size_t>(order[i])] = g;
+      groups_[static_cast<size_t>(g)].push_back(order[i]);
+    }
+    for (std::vector<int>& g : groups_) std::sort(g.begin(), g.end());
+  }
+
+  const std::vector<int>& group_nodes(int node) const {
+    build_groups();
+    return groups_[static_cast<size_t>(node_group_[static_cast<size_t>(node)])];
+  }
+
+  mutable std::vector<int> node_group_;           // node -> group id (lazy)
+  mutable std::vector<std::vector<int>> groups_;  // group id -> node ids
+};
+
+// ---------------------------------------------------------------------------
 // kXorGroup: RAID-5-style rotating parity across a group of G nodes.
-//
-// Grouping: node ids are stable-sorted by their residents' cluster and dealt
-// round-robin into ceil(nodes/G) groups, so consecutive same-cluster nodes
-// land in different groups and each group spans as many failure domains as
-// the machine allows. A rank's protection group is the same node-local slot
-// on each node of its node group (block placement guarantees the slot
-// exists).
 //
 // Encoding model: when rank r's B-byte snapshot lands at LOCAL, its folded
 // parity contribution — one segment of ceil(B/(G-1)) bytes — is placed on a
@@ -189,27 +258,12 @@ class PartnerScheme : public RedundancyScheme {
 // ~B * G/(G-1) total, each read a real net::Transfer that contends with
 // application traffic.
 // ---------------------------------------------------------------------------
-class XorGroupScheme : public RedundancyScheme {
+class XorGroupScheme : public GroupedScheme {
  public:
   XorGroupScheme(const mpi::Machine& machine, int group_size)
-      : machine_(machine), group_size_(group_size < 2 ? 2 : group_size) {}
+      : GroupedScheme(machine, group_size) {}
 
   SchemeKind kind() const override { return SchemeKind::kXorGroup; }
-
-  std::vector<int> group_of(int rank) const override {
-    build_groups();
-    const sim::Topology& topo = machine_.topology();
-    const int ppn = topo.ranks_per_node();
-    const int slot = rank % ppn;
-    const std::vector<int>& nodes = group_nodes(topo.node_of(rank));
-    std::vector<int> members;
-    members.reserve(nodes.size());
-    for (int n : nodes) {
-      const int m = n * ppn + slot;
-      if (m != rank) members.push_back(m);
-    }
-    return members;
-  }
 
   PlacementPlan encode(int rank, uint64_t epoch, uint64_t bytes,
                        const ResidencyView& view) const override {
@@ -298,37 +352,228 @@ class XorGroupScheme : public RedundancyScheme {
       if (!view.has_local(m, epoch)) return false;
     return true;
   }
+};
 
-  void build_groups() const {
-    if (!node_group_.empty()) return;
-    const sim::Topology& topo = machine_.topology();
-    const int nodes = topo.nodes();
-    const int ppn = topo.ranks_per_node();
-    std::vector<int> order(static_cast<size_t>(nodes));
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-      return machine_.cluster_of(a * ppn) < machine_.cluster_of(b * ppn);
-    });
-    const int ngroups = (nodes + group_size_ - 1) / group_size_;
-    node_group_.assign(static_cast<size_t>(nodes), 0);
-    groups_.assign(static_cast<size_t>(ngroups), {});
-    for (size_t i = 0; i < order.size(); ++i) {
-      const int g = static_cast<int>(i) % ngroups;
-      node_group_[static_cast<size_t>(order[i])] = g;
-      groups_[static_cast<size_t>(g)].push_back(order[i]);
+// ---------------------------------------------------------------------------
+// kReedSolomon: GF(256) systematic Reed-Solomon parity across a group of
+// G = k + m nodes (util/gf256.hpp holds the arithmetic).
+//
+// Encoding model (rotated MDS erasure coding, a la RAID-6 / Ceph EC pools,
+// cooperative across the group like SCR's chunked XOR): conceptually the
+// group's epoch-e snapshots form G data symbols per stripe row; the code
+// extends each row by m Cauchy parity symbols, and every node holds one
+// symbol per row. Per member that amortizes to m parity shares of
+// ceil(B/k) bytes — (m/k)x the partner-copy bytes on the wire and on the
+// host stores — dealt onto m distinct other group nodes, rotating by
+// (epoch + rank) so one epoch's shares spread across the group. Each share
+// carries a stable logical id (Fragment::share) selecting its Cauchy row
+// (row = member_position * m + share), so a re-protection re-places the
+// same symbol on a new host.
+//
+// Liveness (exact symbol-model rule): with r's LOCAL copy dead, epoch e is
+// rebuildable without the PFS iff the number of live parity shares in the
+// whole group (on in-service hosts) is at least the number of unknown
+// members (those whose epoch-e LOCAL is dead or missing). Cauchy rows are
+// linearly independent in any subset, so the count comparison is exactly
+// decode solvability; the restore planner still solves the actual decode
+// submatrix and rejects a singular selection defensively. Any m concurrent
+// in-group node losses keep every member rebuildable (each stripe row
+// loses at most m symbols); m+1 losses exceed the code's distance and fall
+// back to the PFS frontier epoch.
+//
+// Rebuild: the replacement node streams one folded ceil(B/k)-byte
+// contribution from every known member plus one live parity share per
+// unknown member — ~B * (k+m)/k total, each read a real net::Transfer.
+// ---------------------------------------------------------------------------
+class ReedSolomonScheme : public GroupedScheme {
+ public:
+  ReedSolomonScheme(const mpi::Machine& machine, int k, int m)
+      : GroupedScheme(machine, (k < 1 ? 1 : k) + (m < 1 ? 1 : m)),
+        k_(k < 1 ? 1 : k),
+        m_(m < 1 ? 1 : m) {
+    // The global Cauchy family needs G data columns + G*m parity rows of
+    // distinct field elements.
+    SPBC_ASSERT_MSG(group_size_ * (m_ + 1) <= 256,
+                    "RS group too large for GF(256): k=" << k_ << " m=" << m_);
+  }
+
+  SchemeKind kind() const override { return SchemeKind::kReedSolomon; }
+
+  PlacementPlan encode(int rank, uint64_t epoch, uint64_t bytes,
+                       const ResidencyView& view) const override {
+    PlacementPlan plan;
+    const std::vector<int> others = group_of(rank);
+    if (others.empty()) return plan;
+    // Shares still missing: all m at first encode, the lost ones after a
+    // host death (re-protection re-places exactly the dead symbols). A
+    // share whose latest placement attempt is still in flight to an
+    // in-service host counts as covered — it will land, or the generation
+    // check will re-issue it; re-placing it here would duplicate the share
+    // id and could co-locate two of the owner's shares on one host,
+    // silently shrinking the any-m-loss distance. Only the share's most
+    // recent attempt matters: older dead fragments on since-revived nodes
+    // must not mask a genuinely lost share.
+    std::set<int> missing;
+    for (int s = 0; s < m_; ++s) missing.insert(s);
+    std::set<int> hosts_taken;
+    const std::vector<Fragment>* frags = view.fragments(rank, epoch);
+    if (frags != nullptr) {
+      std::map<int, const Fragment*> latest;  // share -> last non-live attempt
+      for (const Fragment& f : *frags) {
+        if (!f.parity) continue;
+        if (f.live) {
+          missing.erase(f.share);
+          hosts_taken.insert(f.host_rank);
+        } else {
+          latest[f.share] = &f;  // fragments are appended chronologically
+        }
+      }
+      for (const auto& [share, f] : latest) {
+        if (!missing.count(share)) continue;  // a live copy already covers it
+        if (view.node_in_service(f->host_node)) {
+          missing.erase(share);  // in flight: will land or retry
+          hosts_taken.insert(f->host_rank);
+        }
+      }
     }
-    for (std::vector<int>& g : groups_) std::sort(g.begin(), g.end());
+    if (missing.empty()) return plan;
+    const uint64_t chunk = share_bytes(bytes);
+    // Rotate the host deal by epoch and by the member's own position so one
+    // epoch's shares spread across the whole group.
+    const size_t start = static_cast<size_t>(
+        (epoch + static_cast<uint64_t>(rank)) % others.size());
+    size_t probe = 0;
+    for (int s : missing) {
+      int host = -1;
+      for (; probe < others.size(); ++probe) {
+        const int cand = others[(start + probe) % others.size()];
+        if (hosts_taken.count(cand)) continue;
+        if (!view.node_in_service(machine_.topology().node_of(cand))) continue;
+        host = cand;
+        break;
+      }
+      if (host < 0) break;  // fewer viable hosts than missing shares
+      ++probe;
+      hosts_taken.insert(host);
+      plan.steps.push_back(PlacementStep{host, chunk, /*parity=*/true, s});
+    }
+    return plan;
   }
 
-  const std::vector<int>& group_nodes(int node) const {
-    build_groups();
-    return groups_[static_cast<size_t>(node_group_[static_cast<size_t>(node)])];
+  bool recoverable_without_pfs(int rank, uint64_t epoch,
+                               const ResidencyView& view) const override {
+    if (view.has_local(rank, epoch)) return true;
+    return plan_rebuild(rank, epoch, view, nullptr);
   }
 
-  const mpi::Machine& machine_;
-  int group_size_;
-  mutable std::vector<int> node_group_;         // node -> group id (lazy)
-  mutable std::vector<std::vector<int>> groups_;  // group id -> node ids
+  RestorePlan restore_plan(int rank, uint64_t epoch, const ResidencyView& view,
+                           const StorageCostModel& model) const override {
+    RestorePlan plan;
+    const uint64_t bytes = view.snapshot_bytes(rank, epoch);
+    if (view.has_local(rank, epoch)) {
+      plan.source = RestorePlan::Source::kLocal;
+      plan.direct_cost = model.read_time(StorageLevel::kLocal, bytes);
+      return plan;
+    }
+    if (plan_rebuild(rank, epoch, view, &plan.reads)) {
+      plan.source = RestorePlan::Source::kRebuild;
+      return plan;
+    }
+    if (view.has_pfs(rank, epoch)) {
+      plan.source = RestorePlan::Source::kPfs;
+      plan.direct_cost = model.read_time(StorageLevel::kPfs, bytes);
+    }
+    return plan;
+  }
+
+ private:
+  uint64_t share_bytes(uint64_t bytes) const {
+    const uint64_t k = static_cast<uint64_t>(k_);
+    return (bytes + k - 1) / k;  // ceil(B / k)
+  }
+
+  /// Decode feasibility (and, when `reads` is non-null, the read list) for
+  /// rebuilding (rank, epoch) out of the group: known members contribute a
+  /// folded data chunk, one live parity share per unknown member closes the
+  /// system, and the Cauchy decode submatrix is solved to prove it.
+  bool plan_rebuild(int rank, uint64_t epoch, const ResidencyView& view,
+                    std::vector<RestorePlan::Read>* reads) const {
+    if (view.fragments(rank, epoch) == nullptr) return false;
+    const std::vector<int> members = group_ranks(rank);
+    const int g = static_cast<int>(members.size());
+    if (g < 2) return false;
+    const sim::Topology& topo = machine_.topology();
+
+    struct Share {
+      int row = 0;
+      int host_rank = -1;
+      uint64_t bytes = 0;
+    };
+    std::vector<int> unknowns;  // positions whose epoch-e data is gone
+    std::vector<Share> live_shares;
+    std::set<int> rows_seen;
+    for (int p = 0; p < g; ++p) {
+      const int member = members[static_cast<size_t>(p)];
+      const bool data_ok = member != rank && view.has_local(member, epoch) &&
+                           view.node_in_service(topo.node_of(member));
+      if (!data_ok) unknowns.push_back(p);
+      const std::vector<Fragment>* frags = view.fragments(member, epoch);
+      if (frags == nullptr) continue;
+      for (const Fragment& f : *frags) {
+        if (!f.live || !f.parity) continue;
+        if (!view.node_in_service(f.host_node)) continue;
+        const int row = p * m_ + f.share;
+        if (!rows_seen.insert(row).second) continue;  // re-placed duplicate
+        live_shares.push_back(Share{row, f.host_rank, f.bytes});
+      }
+    }
+    const int u = static_cast<int>(unknowns.size());
+    if (u == 0) return false;  // nothing to rebuild (caller saw LOCAL dead)
+    if (static_cast<int>(live_shares.size()) < u) return false;
+
+    // Solve the decode submatrix: chosen parity rows x unknown columns. A
+    // Cauchy selection is provably nonsingular, but the solver is the
+    // arbiter — a singular selection (defensive) rejects the rebuild.
+    const util::gf256::Matrix& family = family_for(g);
+    util::gf256::Matrix dec(u, u);
+    for (int i = 0; i < u; ++i)
+      for (int j = 0; j < u; ++j)
+        dec.at(i, j) = family.at(live_shares[static_cast<size_t>(i)].row,
+                                 unknowns[static_cast<size_t>(j)]);
+    if (!util::gf256::invert(dec)) return false;
+
+    if (reads != nullptr) {
+      const uint64_t chunk = share_bytes(view.snapshot_bytes(rank, epoch));
+      for (int p = 0; p < g; ++p) {
+        const int member = members[static_cast<size_t>(p)];
+        if (member == rank) continue;
+        if (std::find(unknowns.begin(), unknowns.end(), p) != unknowns.end())
+          continue;
+        reads->push_back(RestorePlan::Read{member, chunk});
+      }
+      for (int i = 0; i < u; ++i)
+        reads->push_back(RestorePlan::Read{
+            live_shares[static_cast<size_t>(i)].host_rank,
+            live_shares[static_cast<size_t>(i)].bytes});
+    }
+    return true;
+  }
+
+  /// The (g*m x g) Cauchy row family for a group of g members. Depends only
+  /// on (g, m_), and liveness queries run per (rank, epoch) on every
+  /// restore-planning pass — cache it per group size (the round-robin deal
+  /// can produce one short group).
+  const util::gf256::Matrix& family_for(int g) const {
+    auto it = family_cache_.find(g);
+    if (it == family_cache_.end())
+      it = family_cache_
+               .emplace(g, util::gf256::cauchy_parity_matrix(g, g * m_))
+               .first;
+    return it->second;
+  }
+
+  int k_, m_;
+  mutable std::map<int, util::gf256::Matrix> family_cache_;
 };
 
 }  // namespace
@@ -342,6 +587,8 @@ std::unique_ptr<RedundancyScheme> RedundancyScheme::make(
       return std::make_unique<PartnerScheme>(machine);
     case SchemeKind::kXorGroup:
       return std::make_unique<XorGroupScheme>(machine, cfg.group_size);
+    case SchemeKind::kReedSolomon:
+      return std::make_unique<ReedSolomonScheme>(machine, cfg.rs_k, cfg.rs_m);
   }
   SPBC_UNREACHABLE("redundancy scheme kind");
 }

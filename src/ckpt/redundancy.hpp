@@ -21,7 +21,11 @@
 // The kPartner scheme reproduces the pre-refactor buddy-copy behavior
 // bit-identically (same mapping, same costs, same restore-source counts);
 // kXorGroup stores ~1/(G-1) of the partner-copy bytes per snapshot while
-// still tolerating any single in-group node loss.
+// still tolerating any single in-group node loss; kReedSolomon generalizes
+// the group parity to GF(256) Reed-Solomon (util/gf256.hpp): m parity
+// shares of ceil(B/k) bytes per snapshot — (m/k)x the partner bytes —
+// tolerating any m concurrent in-group node losses (the liveness lattice
+// SINGLE < PARTNER < XOR < RS).
 
 #include <cstdint>
 #include <memory>
@@ -39,9 +43,10 @@ class Machine;
 namespace spbc::ckpt {
 
 enum class SchemeKind : uint8_t {
-  kSingle,    // LOCAL only: no remote redundancy (fast, no node-loss cover)
-  kPartner,   // full copy on a cross-failure-domain buddy node (the default)
-  kXorGroup,  // rotating parity across a group of G nodes spanning domains
+  kSingle,       // LOCAL only: no remote redundancy (fast, no node-loss cover)
+  kPartner,      // full copy on a cross-failure-domain buddy node (the default)
+  kXorGroup,     // rotating parity across a group of G nodes spanning domains
+  kReedSolomon,  // GF(256) RS(k, m): m parity shares, any-m-loss tolerance
 };
 
 const char* scheme_name(SchemeKind kind);
@@ -53,6 +58,10 @@ struct RedundancyConfig {
   /// round-robin over the cluster-sorted node list so each group spans as
   /// many failure domains (clusters) as possible.
   int group_size = 4;
+  /// Reed-Solomon shape: groups of k+m nodes, m parity shares of
+  /// ceil(B/k) bytes per snapshot, any m in-group node losses tolerated.
+  int rs_k = 4;
+  int rs_m = 2;
 };
 
 /// One remote protection fragment of a (rank, epoch) snapshot: a full copy
@@ -65,6 +74,10 @@ struct Fragment {
   uint64_t bytes = 0;
   bool parity = false;  // full copy otherwise
   bool live = false;
+  /// Logical share id within the owner's redundancy set (0 for PARTNER and
+  /// XOR; 0..m-1 under RS, where it selects the Cauchy parity row — a
+  /// re-protection re-places the same share id on a new host).
+  int share = 0;
 };
 
 /// One placement the write path must execute: `bytes` from the snapshot
@@ -73,6 +86,7 @@ struct PlacementStep {
   int host_rank = -1;
   uint64_t bytes = 0;
   bool parity = false;
+  int share = 0;
 };
 
 struct PlacementPlan {

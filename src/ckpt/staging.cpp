@@ -120,6 +120,9 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
             w = cfg_.model.write_time(StorageLevel::kPartner, bytes);
             break;
           case SchemeKind::kXorGroup:
+          case SchemeKind::kReedSolomon:
+            // Group parity: the local write plus one wire transfer per
+            // parity share (folded segment for XOR, Cauchy share for RS).
             w = cfg_.model.write_time(StorageLevel::kLocal, bytes);
             for (const PlacementStep& step : plan.steps) {
               w += cfg_.model.base_latency +
@@ -129,8 +132,8 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
         }
         for (const PlacementStep& step : plan.steps) {
           const int hnode = machine_->topology().node_of(step.host_rank);
-          e.fragments.push_back(
-              Fragment{step.host_rank, hnode, step.bytes, step.parity, true});
+          e.fragments.push_back(Fragment{step.host_rank, hnode, step.bytes,
+                                         step.parity, true, step.share});
           if (step.parity) {
             ++stats_.parity_fragments;
             stats_.bytes_to_parity += step.bytes;
@@ -192,8 +195,8 @@ void StagingArea::place_fragment(int rank, uint64_t epoch,
   const uint64_t hgen = node_gen(hnode);
   const uint64_t chain = e->chain_id;
   const size_t frag_idx = e->fragments.size();
-  e->fragments.push_back(
-      Fragment{step.host_rank, hnode, step.bytes, step.parity, false});
+  e->fragments.push_back(Fragment{step.host_rank, hnode, step.bytes,
+                                  step.parity, false, step.share});
   // The placement rides the real network, so it shares the home node's NIC
   // with application traffic and arrives after genuine transfer time.
   machine_->network().submit(

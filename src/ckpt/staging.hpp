@@ -9,9 +9,10 @@
 // overlapped with the application's computation phases. What "remote
 // redundancy" means is no longer staging's decision: a pluggable
 // ckpt::RedundancyScheme (redundancy.hpp) — SINGLE (none), PARTNER (full
-// buddy copy), XOR group (rotating parity) — produces placement plans the
-// chain executes, answers recoverability queries, and plans restores
-// (including event-driven XOR rebuilds whose reads ride the real network).
+// buddy copy), XOR group (rotating parity), Reed-Solomon (GF(256)
+// multi-loss parity) — produces placement plans the chain executes, answers
+// recoverability queries, and plans restores (including event-driven group
+// rebuilds whose reads ride the real network).
 // Recovery reads from the cheapest live source, and when a failure destroyed
 // every copy of the committed epoch it falls back to an older epoch (the
 // Store's retention floor tracks the PFS frontier so the fallback target

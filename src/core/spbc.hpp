@@ -80,9 +80,10 @@ struct SpbcConfig {
 
   /// What the staging chain's remote-redundancy hop places (see
   /// ckpt/redundancy.hpp): SINGLE (LOCAL only), PARTNER (full buddy copy,
-  /// the default — the pre-refactor behavior), or XOR group parity
-  /// (~1/(G-1) of the copy bytes, still tolerating any single in-group
-  /// node loss).
+  /// the default — the pre-refactor behavior), XOR group parity (~1/(G-1)
+  /// of the copy bytes, tolerating any single in-group node loss), or
+  /// Reed-Solomon RS(k, m) (GF(256) parity at (m/k)x the copy bytes,
+  /// tolerating any m concurrent in-group node losses).
   ckpt::RedundancyConfig redundancy{};
 
   /// Bound on a rank's live in-flight-capture bytes: when exceeded, the rank

@@ -125,6 +125,10 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     SPBC_ASSERT_MSG(cfg.failure_at > 0, "inject_failure requires failure_at > 0");
     machine.inject_failure(cfg.failure_at, cfg.victim_rank);
   }
+  for (const auto& [at, victim] : cfg.extra_failures) {
+    SPBC_ASSERT_MSG(at > 0, "extra failures require a positive time");
+    machine.inject_failure(at, victim);
+  }
 
   ScenarioResult res;
   res.cluster_of = cluster_of;

@@ -60,6 +60,10 @@ struct ScenarioConfig {
   bool inject_failure = false;
   sim::Time failure_at = 0;  // absolute virtual time
   int victim_rank = 0;
+  /// Additional failures (absolute virtual time, victim rank) injected on
+  /// top of the primary one — multi-loss redundancy probes kill a second
+  /// in-group node while the first recovery is still in flight.
+  std::vector<std::pair<sim::Time, int>> extra_failures;
 };
 
 struct ScenarioResult {

@@ -1,0 +1,596 @@
+#include "failure_matrix.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "ckpt/staging.hpp"
+#include "core/spbc.hpp"
+#include "mpi/machine.hpp"
+#include "util/gf256.hpp"
+#include "util/rng.hpp"
+
+namespace spbc::testing {
+
+namespace {
+
+// Event schedule (virtual seconds). Mid-drain / mid-rebuild cases use a
+// 100 MB snapshot so the placement / rebuild transfers are long enough to
+// lose a node mid-flight; the other timings use small payloads.
+constexpr double kEpoch1At = 0.01;
+constexpr double kEpoch2At = 0.5;
+constexpr uint64_t kBigBytes = 100000000;
+
+uint64_t checksum(const std::vector<uint8_t>& bytes) {
+  util::Fnv1a64 h;
+  h.update(bytes.data(), bytes.size());
+  return h.digest();
+}
+
+}  // namespace
+
+const char* timing_name(FailureCase::Timing t) {
+  switch (t) {
+    case FailureCase::Timing::kPreDrain:
+      return "pre-drain";
+    case FailureCase::Timing::kSettled:
+      return "settled";
+    case FailureCase::Timing::kMidDrain:
+      return "mid-drain";
+    case FailureCase::Timing::kMidRebuild:
+      return "mid-rebuild";
+  }
+  return "?";
+}
+
+FailureCase sample_case(uint64_t seed) {
+  util::Pcg32 rng(seed, 0xfa17);
+  FailureCase c;
+  c.seed = seed;
+
+  switch (rng.next_bounded(4)) {
+    case 0:
+      c.redundancy.kind = ckpt::SchemeKind::kSingle;
+      break;
+    case 1:
+      c.redundancy.kind = ckpt::SchemeKind::kPartner;
+      break;
+    case 2:
+      c.redundancy.kind = ckpt::SchemeKind::kXorGroup;
+      c.redundancy.group_size = 3 + static_cast<int>(rng.next_bounded(3));
+      break;
+    default:
+      c.redundancy.kind = ckpt::SchemeKind::kReedSolomon;
+      c.redundancy.rs_k = 2 + static_cast<int>(rng.next_bounded(5));  // 2..6
+      c.redundancy.rs_m = 1 + static_cast<int>(rng.next_bounded(3));  // 1..3
+      break;
+  }
+
+  // Machine: at least one full protection group plus slack, one rank per
+  // node so "node" and "rank" coincide and loss patterns stay legible.
+  int span = 2;
+  if (c.redundancy.kind == ckpt::SchemeKind::kXorGroup)
+    span = c.redundancy.group_size;
+  if (c.redundancy.kind == ckpt::SchemeKind::kReedSolomon)
+    span = c.redundancy.rs_k + c.redundancy.rs_m;
+  c.nodes = span + static_cast<int>(rng.next_bounded(5));
+  // Failure domains: 2..nodes clusters, nodes dealt contiguously.
+  c.nclusters = 2 + static_cast<int>(
+                        rng.next_bounded(static_cast<uint32_t>(c.nodes - 1)));
+
+  const uint32_t timing = rng.next_bounded(4);
+  c.timing = static_cast<FailureCase::Timing>(timing);
+  c.bytes = (c.timing == FailureCase::Timing::kMidDrain ||
+             c.timing == FailureCase::Timing::kMidRebuild)
+                ? kBigBytes
+                : 256 + 64 * rng.next_bounded(120);
+
+  // Loss count: 1 .. tolerance+1, so the sweep probes both sides of every
+  // scheme's advertised distance.
+  int max_losses = 2;
+  if (c.redundancy.kind == ckpt::SchemeKind::kReedSolomon)
+    max_losses = c.redundancy.rs_m + 1;
+  max_losses = std::min(max_losses, c.nodes - 1);
+  c.losses = 1 + static_cast<int>(
+                     rng.next_bounded(static_cast<uint32_t>(max_losses)));
+  c.correlated = rng.next_bounded(2) == 0;
+  c.flush_pfs = rng.next_bounded(4) == 0;
+  return c;
+}
+
+std::string describe_case(const FailureCase& c) {
+  std::ostringstream os;
+  os << "seed=" << c.seed << " scheme=" << ckpt::scheme_name(c.redundancy.kind);
+  if (c.redundancy.kind == ckpt::SchemeKind::kXorGroup)
+    os << " G=" << c.redundancy.group_size;
+  if (c.redundancy.kind == ckpt::SchemeKind::kReedSolomon)
+    os << " k=" << c.redundancy.rs_k << " m=" << c.redundancy.rs_m;
+  os << " nodes=" << c.nodes << " clusters=" << c.nclusters
+     << " bytes=" << c.bytes << " losses=" << c.losses
+     << (c.correlated ? " correlated" : " independent")
+     << " timing=" << timing_name(c.timing)
+     << (c.flush_pfs ? " pfs=fast" : " pfs=lagging");
+  return os.str();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shadow codec: re-derives a victim's snapshot bytes from the surviving
+// residency with the real arithmetic (GF(256) Cauchy solve for RS, XOR
+// fold, full copy for PARTNER) and compares checksums against the original
+// payload. It reads only what the residency view says is live — exactly
+// the data a real rebuild could stream.
+// ---------------------------------------------------------------------------
+class ShadowCodec {
+ public:
+  ShadowCodec(const ckpt::RedundancyConfig& red, const ckpt::StagingArea& area,
+              int nodes, uint64_t bytes, util::Pcg32& rng)
+      : red_(red),
+        area_(area),
+        // The codec verifies the reconstruction *math*, not data volume:
+        // payloads are capped so the 100 MB timing cases don't generate
+        // gigabytes of shadow bytes. The sim still accounts the full size.
+        len_(static_cast<size_t>(std::min<uint64_t>(bytes, 4096))) {
+    for (int r = 0; r < nodes; ++r) {
+      for (uint64_t e = 1; e <= 2; ++e) {
+        std::vector<uint8_t>& data = originals_[{r, e}];
+        data.resize(len_);
+        for (uint8_t& b : data) b = static_cast<uint8_t>(rng.next_bounded(256));
+      }
+    }
+  }
+
+  uint64_t original_checksum(int rank, uint64_t epoch) const {
+    return checksum(originals_.at({rank, epoch}));
+  }
+
+  /// Rebuilds (rank, epoch) from live residency; false when the surviving
+  /// symbols cannot determine it (the caller asserts this never happens
+  /// while the scheme claims liveness).
+  bool reconstruct(int rank, uint64_t epoch, std::vector<uint8_t>* out) const {
+    switch (red_.kind) {
+      case ckpt::SchemeKind::kSingle:
+        return false;  // no remote redundancy to decode from
+      case ckpt::SchemeKind::kPartner: {
+        const std::vector<ckpt::Fragment>* frags =
+            area_.fragments(rank, epoch);
+        if (frags == nullptr) return false;
+        for (const ckpt::Fragment& f : *frags) {
+          if (f.live && !f.parity && area_.node_in_service(f.host_node)) {
+            *out = originals_.at({rank, epoch});  // the copy is the data
+            return true;
+          }
+        }
+        return false;
+      }
+      case ckpt::SchemeKind::kXorGroup:
+        return reconstruct_xor(rank, epoch, out);
+      case ckpt::SchemeKind::kReedSolomon:
+        return reconstruct_rs(rank, epoch, out);
+    }
+    return false;
+  }
+
+ private:
+  std::vector<int> group_ranks(int rank) const {
+    std::vector<int> members = area_.scheme().group_of(rank);
+    members.push_back(rank);
+    std::sort(members.begin(), members.end());
+    return members;
+  }
+
+  bool data_live(int member, uint64_t epoch) const {
+    return area_.has_local(member, epoch) && area_.node_in_service(member);
+  }
+
+  // XOR: parity(owner) = fold of every member's data. Rebuild needs the
+  // owner's live parity and every other member's data.
+  bool reconstruct_xor(int rank, uint64_t epoch,
+                       std::vector<uint8_t>* out) const {
+    const std::vector<ckpt::Fragment>* frags = area_.fragments(rank, epoch);
+    if (frags == nullptr) return false;
+    bool parity_live = false;
+    for (const ckpt::Fragment& f : *frags)
+      if (f.live && f.parity && area_.node_in_service(f.host_node))
+        parity_live = true;
+    if (!parity_live) return false;
+    const std::vector<int> members = group_ranks(rank);
+    std::vector<uint8_t> acc(len_, 0);
+    for (int m : members) {  // parity content: fold over the whole group
+      const std::vector<uint8_t>& d = originals_.at({m, epoch});
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] ^= d[i];
+    }
+    for (int m : members) {  // peel the surviving members back out
+      if (m == rank) continue;
+      if (!data_live(m, epoch)) return false;
+      const std::vector<uint8_t>& d = originals_.at({m, epoch});
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] ^= d[i];
+    }
+    *out = std::move(acc);
+    return true;
+  }
+
+  // RS: each live share is one Cauchy equation (row = position * m + share)
+  // over the group's member-data symbols; solve for the unknown members and
+  // return the requested one.
+  bool reconstruct_rs(int rank, uint64_t epoch,
+                      std::vector<uint8_t>* out) const {
+    const std::vector<int> members = group_ranks(rank);
+    const int g = static_cast<int>(members.size());
+    const int m = red_.rs_m;
+    std::vector<int> unknowns;
+    for (int p = 0; p < g; ++p)
+      if (!data_live(members[static_cast<size_t>(p)], epoch))
+        unknowns.push_back(p);
+    const auto rank_pos = std::find(members.begin(), members.end(), rank);
+    const int target = static_cast<int>(rank_pos - members.begin());
+    if (std::find(unknowns.begin(), unknowns.end(), target) == unknowns.end())
+      return false;  // the owner's data is live; nothing to decode
+
+    struct Eq {
+      int row = 0;
+      std::vector<uint8_t> rhs;  // share content minus the known members
+    };
+    const util::gf256::Matrix family =
+        util::gf256::cauchy_parity_matrix(g, g * m);
+    std::vector<Eq> eqs;
+    std::set<int> rows_seen;
+    for (int p = 0; p < g; ++p) {
+      const std::vector<ckpt::Fragment>* frags =
+          area_.fragments(members[static_cast<size_t>(p)], epoch);
+      if (frags == nullptr) continue;
+      for (const ckpt::Fragment& f : *frags) {
+        if (!f.live || !f.parity || !area_.node_in_service(f.host_node))
+          continue;
+        const int row = p * m + f.share;
+        if (!rows_seen.insert(row).second) continue;
+        if (static_cast<int>(eqs.size()) == static_cast<int>(unknowns.size()))
+          continue;  // enough equations picked
+        // Share content minus the known members' terms: in GF(2^8) addition
+        // is XOR, so the RHS is just the unknown columns' contribution.
+        Eq eq;
+        eq.row = row;
+        eq.rhs.assign(len_, 0);
+        for (int j : unknowns)
+          util::gf256::mul_add(eq.rhs.data(),
+                               originals_.at({members[static_cast<size_t>(j)],
+                                              epoch})
+                                   .data(),
+                               eq.rhs.size(), family.at(row, j));
+        eqs.push_back(std::move(eq));
+      }
+    }
+    const int u = static_cast<int>(unknowns.size());
+    if (static_cast<int>(eqs.size()) < u) return false;
+    util::gf256::Matrix dec(u, u);
+    for (int i = 0; i < u; ++i)
+      for (int j = 0; j < u; ++j)
+        dec.at(i, j) =
+            family.at(eqs[static_cast<size_t>(i)].row,
+                      unknowns[static_cast<size_t>(j)]);
+    if (!util::gf256::invert(dec)) return false;
+    // Target row of the inverse applied to the RHS vectors.
+    int trow = 0;
+    while (unknowns[static_cast<size_t>(trow)] != target) ++trow;
+    std::vector<uint8_t> solved(len_, 0);
+    for (int i = 0; i < u; ++i)
+      util::gf256::mul_add(solved.data(),
+                           eqs[static_cast<size_t>(i)].rhs.data(),
+                           solved.size(), dec.at(trow, i));
+    *out = std::move(solved);
+    return true;
+  }
+
+  const ckpt::RedundancyConfig red_;
+  const ckpt::StagingArea& area_;
+  size_t len_;  // shadow payload length (capped; see constructor)
+  std::map<std::pair<int, uint64_t>, std::vector<uint8_t>> originals_;
+};
+
+struct CaseRunner {
+  const FailureCase& c;
+  CaseResult result;
+
+  void fail(const std::string& what) {
+    result.ok = false;
+    result.violations.push_back(what + "  [" + describe_case(c) + "]");
+  }
+};
+
+}  // namespace
+
+bool oracle_recoverable(const ckpt::StagingArea& area,
+                        const ckpt::RedundancyConfig& red, int nodes,
+                        int rank, uint64_t epoch) {
+  if (area.has_local(rank, epoch)) return true;
+  // Random payloads make a wrong reconstruction collide with the original
+  // checksum with probability ~2^-64; the seed only varies the bytes.
+  util::Pcg32 rng(0x0bacULL + static_cast<uint64_t>(rank) * 977 + epoch,
+                  0x5eed);
+  ShadowCodec codec(red, area, nodes, 512, rng);
+  std::vector<uint8_t> out;
+  if (!codec.reconstruct(rank, epoch, &out)) return false;
+  return checksum(out) == codec.original_checksum(rank, epoch);
+}
+
+CaseResult run_case(const FailureCase& c) {
+  CaseRunner run{c, {}};
+  util::Pcg32 rng(c.seed, 0x5badc0de);
+
+  mpi::MachineConfig mc;
+  mc.nranks = c.nodes;
+  mc.ranks_per_node = 1;
+  auto proto = std::make_unique<core::SpbcProtocol>(core::SpbcConfig{});
+  mpi::Machine m(mc, std::move(proto));
+  std::vector<int> clusters(static_cast<size_t>(c.nodes));
+  const int span = (c.nodes + c.nclusters - 1) / c.nclusters;
+  for (int n = 0; n < c.nodes; ++n)
+    clusters[static_cast<size_t>(n)] = n / span;
+  m.set_cluster_of(clusters);
+
+  ckpt::StagingConfig sc;
+  sc.level = ckpt::StorageLevel::kPfs;
+  sc.async = true;
+  sc.model.pfs_bw = c.flush_pfs ? 1.0e12 : 1.0;  // instant vs never-lands
+  sc.redundancy = c.redundancy;
+  ckpt::StagingArea area(sc);
+  area.attach(m);
+
+  ShadowCodec shadow(c.redundancy, area, c.nodes, c.bytes, rng);
+
+  // Victims: `losses` distinct nodes, either spread independently or all
+  // drawn from one failure domain (the correlated multi-node pattern a
+  // cluster failure produces).
+  std::vector<int> victims;
+  {
+    std::vector<int> pool;
+    if (c.correlated) {
+      int dom = clusters[static_cast<size_t>(
+          rng.next_bounded(static_cast<uint32_t>(c.nodes)))];
+      for (int n = 0; n < c.nodes; ++n)
+        if (clusters[static_cast<size_t>(n)] == dom) pool.push_back(n);
+      if (static_cast<int>(pool.size()) < c.losses) {
+        pool.clear();  // domain too small: widen to the whole machine
+        for (int n = 0; n < c.nodes; ++n) pool.push_back(n);
+      }
+    } else {
+      for (int n = 0; n < c.nodes; ++n) pool.push_back(n);
+    }
+    for (int i = 0; i < c.losses; ++i) {
+      const size_t pick = rng.next_bounded(static_cast<uint32_t>(pool.size()));
+      victims.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<long>(pick));
+    }
+    std::sort(victims.begin(), victims.end());
+  }
+  const std::set<int> victim_set(victims.begin(), victims.end());
+
+  const double local_write = static_cast<double>(c.bytes) / sc.model.local_bw;
+  double kill_at = 0;
+  switch (c.timing) {
+    case FailureCase::Timing::kPreDrain:
+      kill_at = kEpoch2At - 0.1;
+      break;
+    case FailureCase::Timing::kSettled:
+    case FailureCase::Timing::kMidRebuild:
+      kill_at = kEpoch2At + local_write + 1.5;
+      break;
+    case FailureCase::Timing::kMidDrain:
+      // The async chain starts when the LOCAL write completes; the kill
+      // lands while epoch 2's fragment placements are on the wire.
+      kill_at = kEpoch2At + local_write + 0.005;
+      break;
+  }
+  const double check_at = kill_at + (c.bytes >= kBigBytes ? 1.0 : 0.3);
+  const double reprotect_check_at = check_at + 1.0;
+
+  // ---- writes ------------------------------------------------------------
+  for (int r = 0; r < c.nodes; ++r) {
+    m.engine().at(kEpoch1At, [&, r] { area.write(r, 1, c.bytes); });
+    m.engine().at(kEpoch2At, [&, r] {
+      // Pre-drain victims died before epoch 2 was cut; a dead rank must not
+      // write (a write would also mark its node back in service).
+      if (c.timing == FailureCase::Timing::kPreDrain && victim_set.count(r))
+        return;
+      area.write(r, 2, c.bytes);
+    });
+  }
+
+  // ---- losses ------------------------------------------------------------
+  // Mid-rebuild keeps one victim in reserve: it dies while serving reads.
+  const bool reserve_one =
+      c.timing == FailureCase::Timing::kMidRebuild && victims.size() > 1;
+  const size_t first_wave =
+      reserve_one ? victims.size() - 1 : victims.size();
+  m.engine().at(kill_at, [&] {
+    for (size_t i = 0; i < first_wave; ++i) area.invalidate_node(victims[i]);
+  });
+
+  // ---- invariant checks --------------------------------------------------
+  auto outstanding = std::make_shared<int>(0);
+
+  m.engine().at(check_at, [&, outstanding] {
+    const uint64_t probe_epoch =
+        c.timing == FailureCase::Timing::kPreDrain ? 1 : 2;
+    for (size_t i = 0; i < first_wave; ++i) {
+      const int v = victims[i];
+      for (uint64_t e = 1; e <= probe_epoch; ++e) {
+        const bool live =
+            area.scheme().recoverable_without_pfs(v, e, area);
+        ckpt::RestorePlan plan = area.plan_restore(v, e);
+        // Invariant 1: plan consistency with the liveness predicate.
+        if (live && (plan.source == ckpt::RestorePlan::Source::kPfs ||
+                     plan.source == ckpt::RestorePlan::Source::kNone)) {
+          run.fail("liveness=true but the plan reads the PFS or nothing (rank " +
+                   std::to_string(v) + " epoch " + std::to_string(e) + ")");
+        }
+        if (!live && (plan.source == ckpt::RestorePlan::Source::kLocal ||
+                      plan.source == ckpt::RestorePlan::Source::kRemoteCopy ||
+                      plan.source == ckpt::RestorePlan::Source::kRebuild)) {
+          run.fail("liveness=false but the plan claims a redundancy source (rank " +
+                   std::to_string(v) + " epoch " + std::to_string(e) + ")");
+        }
+        // Invariant 2 (settled cases): within the scheme's advertised
+        // distance the victim MUST be recoverable without the PFS.
+        if (c.timing == FailureCase::Timing::kSettled) {
+          std::vector<int> group = area.scheme().group_of(v);
+          group.push_back(v);
+          int in_group_dead = 0;
+          for (int g : group)
+            if (victim_set.count(g)) ++in_group_dead;
+          bool guaranteed = false;
+          switch (c.redundancy.kind) {
+            case ckpt::SchemeKind::kSingle:
+              guaranteed = false;
+              break;
+            case ckpt::SchemeKind::kPartner: {
+              const std::vector<int> buddies = area.scheme().group_of(v);
+              guaranteed =
+                  !buddies.empty() && !victim_set.count(buddies.front());
+              break;
+            }
+            case ckpt::SchemeKind::kXorGroup:
+              guaranteed = in_group_dead == 1;
+              break;
+            case ckpt::SchemeKind::kReedSolomon: {
+              // The round-robin deal can produce a group smaller than k+m
+              // (e.g. 7 nodes at k+m=6 split 4/3); each member can then
+              // place only group-1 distinct shares, and that is the
+              // group's real distance.
+              const int placeable =
+                  std::min(c.redundancy.rs_m,
+                           static_cast<int>(group.size()) - 1);
+              guaranteed = in_group_dead <= placeable;
+              break;
+            }
+          }
+          if (guaranteed && !live) {
+            run.fail("in-tolerance loss not recoverable without the PFS (rank " +
+                     std::to_string(v) + " epoch " + std::to_string(e) +
+                     ", in-group dead " + std::to_string(in_group_dead) + ")");
+          }
+          if (c.redundancy.kind == ckpt::SchemeKind::kSingle && live) {
+            run.fail("single scheme claims liveness with LOCAL dead (rank " +
+                     std::to_string(v) + ")");
+          }
+        }
+        // Invariants 3 + 4: execute the restore and audit the outcome. The
+        // PFS-restore counter is machine-global, so the "no PFS touch"
+        // audit is only meaningful when this is the sole restore in
+        // flight; concurrent victims are covered by the plan-consistency
+        // check above.
+        const bool sole_probe = first_wave == 1 && probe_epoch == 1;
+        const bool had_pfs = area.has_pfs(v, e);
+        const uint64_t pfs_before = area.stats().restores_by_level[2];
+        ++*outstanding;
+        area.execute_restore(v, e, [&, v, e, live, had_pfs, pfs_before,
+                                    sole_probe, outstanding](bool ok) {
+          --*outstanding;
+          const uint64_t pfs_after = area.stats().restores_by_level[2];
+          if (!ok && (live && c.timing != FailureCase::Timing::kMidRebuild)) {
+            run.fail("restore failed although liveness held and no later "
+                     "loss intervened (rank " +
+                     std::to_string(v) + " epoch " + std::to_string(e) + ")");
+          }
+          if (!ok && had_pfs) {
+            run.fail("restore failed with a PFS copy present (rank " +
+                     std::to_string(v) + " epoch " + std::to_string(e) + ")");
+          }
+          if (ok && live && sole_probe &&
+              c.timing != FailureCase::Timing::kMidRebuild &&
+              pfs_after != pfs_before) {
+            run.fail("restore touched the PFS although the redundancy layer "
+                     "claimed the epoch (rank " +
+                     std::to_string(v) + " epoch " + std::to_string(e) + ")");
+          }
+          // Invariant: checksum identity. Whenever the scheme still claims
+          // the epoch at completion time, the shadow codec must reproduce
+          // the exact original bytes from the surviving residency.
+          if (ok && area.scheme().recoverable_without_pfs(v, e, area) &&
+              !area.has_local(v, e)) {
+            std::vector<uint8_t> rebuilt;
+            if (!shadow.reconstruct(v, e, &rebuilt)) {
+              run.fail("shadow codec cannot decode an epoch the scheme "
+                       "claims (rank " +
+                       std::to_string(v) + " epoch " + std::to_string(e) + ")");
+            } else if (checksum(rebuilt) != shadow.original_checksum(v, e)) {
+              run.fail("restored bytes differ from the original snapshot "
+                       "(rank " +
+                       std::to_string(v) + " epoch " + std::to_string(e) + ")");
+            }
+          }
+        });
+      }
+    }
+  });
+
+  // Mid-rebuild: the reserved victim (a surviving group member, i.e. a
+  // rebuild source) dies while the reads above are on the wire.
+  if (reserve_one) {
+    m.engine().at(check_at + 0.01,
+                  [&] { area.invalidate_node(victims.back()); });
+  }
+
+  // Invariant 5 (settled, lagging PFS): owners that survived but lost a
+  // fragment host must have been re-protected back to full liveness.
+  if (c.timing == FailureCase::Timing::kSettled && !c.flush_pfs) {
+    m.engine().at(reprotect_check_at, [&] {
+      for (int r = 0; r < c.nodes; ++r) {
+        if (victim_set.count(r)) continue;
+        // Re-protection needs somewhere to put the fragments: enough
+        // in-service hosts beside the owner.
+        std::vector<int> group = area.scheme().group_of(r);
+        int alive_hosts = 0;
+        for (int g : group)
+          if (!victim_set.count(g)) ++alive_hosts;
+        int needed = 0;
+        switch (c.redundancy.kind) {
+          case ckpt::SchemeKind::kSingle:
+            needed = 0;
+            break;
+          case ckpt::SchemeKind::kPartner:
+            // The buddy mapping is fixed: a dead buddy cannot be replaced.
+            needed = (alive_hosts == static_cast<int>(group.size())) ? 1 : -1;
+            break;
+          case ckpt::SchemeKind::kXorGroup:
+            needed = 1;
+            break;
+          case ckpt::SchemeKind::kReedSolomon:
+            needed = c.redundancy.rs_m;
+            break;
+        }
+        if (needed <= 0 || alive_hosts < needed) continue;
+        for (uint64_t e = 1; e <= 2; ++e) {
+          if (!area.has_local(r, e)) continue;
+          if (!area.scheme().recoverable_without_pfs(r, e, area))
+            run.fail("survivor lost liveness despite re-protection (rank " +
+                     std::to_string(r) + " epoch " + std::to_string(e) + ")");
+          // Full protection: were the owner's node to die *now*, the scheme
+          // must still claim the epoch — probe by counting live fragments.
+          const std::vector<ckpt::Fragment>* frags = area.fragments(r, e);
+          int live_frags = 0;
+          if (frags != nullptr)
+            for (const ckpt::Fragment& f : *frags)
+              if (f.live && area.node_in_service(f.host_node)) ++live_frags;
+          if (live_frags < needed)
+            run.fail("re-protection left fragments missing (rank " +
+                     std::to_string(r) + " epoch " + std::to_string(e) +
+                     ": " + std::to_string(live_frags) + " live, need " +
+                     std::to_string(needed) + ")");
+        }
+      }
+    });
+  }
+
+  mpi::RunResult rr = m.run();
+  if (!rr.completed) run.fail("case run did not complete");
+  if (*outstanding != 0)
+    run.fail("execute_restore never completed for " +
+             std::to_string(*outstanding) + " victims");
+  return run.result;
+}
+
+}  // namespace spbc::testing

@@ -1,0 +1,92 @@
+// Driver for the randomized failure-matrix harness (failure_matrix.hpp).
+//
+// Sweeps seed-derived cases over (scheme x group shape x loss count x loss
+// timing x correlation x PFS speed) and asserts the shared invariants. The
+// sweep is reproducible: SPBC_FM_SEED picks the base seed (default 1),
+// SPBC_FM_CASES the case count (default 48; CI runs 200). Any violation
+// prints the exact failing seed — replay it alone with
+// `SPBC_FM_SEED=<seed> SPBC_FM_CASES=1 ./test_failure_matrix`.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "failure_matrix.hpp"
+
+namespace spbc {
+namespace {
+
+uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+TEST(FailureMatrix, RandomizedSweep) {
+  const uint64_t base_seed = env_u64("SPBC_FM_SEED", 1);
+  const uint64_t cases = env_u64("SPBC_FM_CASES", 48);
+  uint64_t failures = 0;
+  for (uint64_t i = 0; i < cases; ++i) {
+    const uint64_t seed = base_seed + i;
+    testing::FailureCase c = testing::sample_case(seed);
+    testing::CaseResult res = testing::run_case(c);
+    if (!res.ok) {
+      ++failures;
+      ADD_FAILURE() << "failure-matrix counterexample at seed " << seed
+                    << "\n  case: " << testing::describe_case(c)
+                    << "\n  replay: SPBC_FM_SEED=" << seed
+                    << " SPBC_FM_CASES=1 ./test_failure_matrix";
+      for (const std::string& v : res.violations)
+        ADD_FAILURE() << "  violated: " << v;
+    }
+  }
+  EXPECT_EQ(failures, 0u) << failures << "/" << cases << " cases failed";
+}
+
+// The four corners the sweep must keep covering regardless of the sampled
+// distribution: one hand-pinned case per scheme — in-tolerance losses,
+// settled timing, lagging PFS — so a sampler change can never silently
+// drop a scheme from coverage.
+TEST(FailureMatrix, PinnedSchemeCorners) {
+  auto pinned = [](ckpt::SchemeKind kind) {
+    testing::FailureCase c;
+    c.seed = 0;  // hand-built, not sampled
+    c.redundancy.kind = kind;
+    c.redundancy.group_size = 4;
+    c.redundancy.rs_k = 4;
+    c.redundancy.rs_m = 2;
+    c.nclusters = 3;
+    c.bytes = 2048;
+    c.correlated = false;
+    c.timing = testing::FailureCase::Timing::kSettled;
+    c.flush_pfs = false;
+    switch (kind) {
+      case ckpt::SchemeKind::kSingle:
+      case ckpt::SchemeKind::kPartner:
+        c.nodes = 4;
+        c.losses = 1;
+        break;
+      case ckpt::SchemeKind::kXorGroup:
+        c.nodes = 4;  // one G=4 group
+        c.losses = 1;
+        break;
+      case ckpt::SchemeKind::kReedSolomon:
+        c.nodes = 6;  // one k+m group; both tolerated losses at once
+        c.losses = 2;
+        break;
+    }
+    return c;
+  };
+  for (ckpt::SchemeKind kind :
+       {ckpt::SchemeKind::kSingle, ckpt::SchemeKind::kPartner,
+        ckpt::SchemeKind::kXorGroup, ckpt::SchemeKind::kReedSolomon}) {
+    testing::FailureCase c = pinned(kind);
+    testing::CaseResult res = testing::run_case(c);
+    EXPECT_TRUE(res.ok) << testing::describe_case(c);
+    if (!res.ok)
+      for (const std::string& v : res.violations) ADD_FAILURE() << v;
+  }
+}
+
+}  // namespace
+}  // namespace spbc

@@ -5,10 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <tuple>
 
+#include "ckpt/staging.hpp"
 #include "clustering/comm_graph.hpp"
+#include "core/spbc.hpp"
+#include "failure_matrix.hpp"
 #include "harness/scenario.hpp"
+#include "util/rng.hpp"
 
 namespace spbc {
 namespace {
@@ -132,6 +137,82 @@ TEST(LogVolume, MonotoneInClusterCount) {
     ASSERT_TRUE(res.run.completed);
     EXPECT_GE(res.profile.bytes_logged, prev) << "k=" << k;
     prev = res.profile.bytes_logged;
+  }
+}
+
+// Redundancy-liveness property: for random residency states (random write /
+// node-kill sequences) and every scheme, `recoverable_without_pfs` must
+// never exceed the brute-force oracle — an actual byte reconstruction (full
+// copy, XOR fold, or GF(256) Cauchy solve) from exactly what the residency
+// view says is readable. Conservatism (predicate false, oracle true) is
+// allowed; false liveness is not, because the protocol would then skip the
+// PFS/epoch fallback and fail the restore.
+TEST(LivenessOracle, NoFalseLivenessUnderRandomResidency) {
+  for (uint64_t seed = 1; seed <= 80; ++seed) {
+    util::Pcg32 rng(seed, 0x0bac1e);
+    ckpt::RedundancyConfig red;
+    int span = 2;
+    switch (rng.next_bounded(4)) {
+      case 0:
+        red.kind = ckpt::SchemeKind::kSingle;
+        break;
+      case 1:
+        red.kind = ckpt::SchemeKind::kPartner;
+        break;
+      case 2:
+        red.kind = ckpt::SchemeKind::kXorGroup;
+        red.group_size = 3 + static_cast<int>(rng.next_bounded(3));
+        span = red.group_size;
+        break;
+      default:
+        red.kind = ckpt::SchemeKind::kReedSolomon;
+        red.rs_k = 2 + static_cast<int>(rng.next_bounded(5));
+        red.rs_m = 1 + static_cast<int>(rng.next_bounded(3));
+        span = red.rs_k + red.rs_m;
+        break;
+    }
+    const int nodes = span + static_cast<int>(rng.next_bounded(4));
+
+    mpi::MachineConfig mc;
+    mc.nranks = nodes;
+    mc.ranks_per_node = 1;
+    auto proto = std::make_unique<core::SpbcProtocol>(core::SpbcConfig{});
+    mpi::Machine m(mc, std::move(proto));
+    std::vector<int> clusters(static_cast<size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) clusters[static_cast<size_t>(n)] = n / 2;
+    m.set_cluster_of(clusters);
+
+    ckpt::StagingConfig sc;
+    sc.level = ckpt::StorageLevel::kPartner;  // sync: fragments land with write
+    sc.async = false;
+    sc.redundancy = red;
+    ckpt::StagingArea area(sc);
+    area.attach(m);
+
+    // Random mutation sequence: writes (including rewrites after a node
+    // came back) interleaved with node kills; audit liveness vs the oracle
+    // after every step, across every (rank, epoch).
+    for (int op = 0; op < 24; ++op) {
+      const uint32_t action = rng.next_bounded(3);
+      const int subject = static_cast<int>(
+          rng.next_bounded(static_cast<uint32_t>(nodes)));
+      if (action == 0) {
+        area.invalidate_node(subject);
+      } else {
+        const uint64_t epoch = 1 + rng.next_bounded(2);
+        area.write(subject, epoch, 512);
+      }
+      for (int r = 0; r < nodes; ++r) {
+        for (uint64_t e = 1; e <= 2; ++e) {
+          const bool live = area.scheme().recoverable_without_pfs(r, e, area);
+          if (!live) continue;
+          EXPECT_TRUE(testing::oracle_recoverable(area, red, nodes, r, e))
+              << "scheme " << ckpt::scheme_name(red.kind)
+              << " claims liveness the oracle refutes: seed=" << seed
+              << " op=" << op << " rank=" << r << " epoch=" << e;
+        }
+      }
+    }
   }
 }
 
