@@ -91,6 +91,24 @@ int main(int argc, char** argv) {
   bench::BenchOpts o = bench::parse_opts(argc, argv);
   bench::print_header("Ablation: efficiency vs MTBF (containment argument)", o);
 
+  // --fracs=2.0,0.5 trims the MTBF sweep (CI smoke-runs a single large-rank
+  // row instead of the full five-row sweep).
+  std::vector<double> fracs = {2.0, 1.0, 0.5, 0.25, 0.125};
+  {
+    util::Cli cli(argc, argv);
+    std::string arg = cli.get_string("fracs", "");
+    if (!arg.empty()) {
+      fracs.clear();
+      size_t pos = 0;
+      while (pos < arg.size()) {
+        size_t comma = arg.find(',', pos);
+        if (comma == std::string::npos) comma = arg.size();
+        fracs.push_back(std::stod(arg.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    }
+  }
+
   int nodes = o.ranks / o.ppn;
   int k = std::min(8, nodes);
   const std::string app = "MiniGhost";
@@ -113,7 +131,7 @@ int main(int argc, char** argv) {
   util::Table table({"MTBF (frac)", "Failures", "SPBC eff.", "Coord eff.",
                      "SPBC restarts", "Coord restarts", "SPBC wasted rank-s",
                      "Coord wasted rank-s"});
-  for (double frac : {2.0, 1.0, 0.5, 0.25, 0.125}) {
+  for (double frac : fracs) {
     double mtbf = ff.elapsed * frac;
     Outcome spbc = run_with_failures(spbc_cfg, ff.elapsed, mtbf, o.seed);
     Outcome coord = run_with_failures(coord_cfg, ff.elapsed, mtbf, o.seed);

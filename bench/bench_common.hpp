@@ -43,6 +43,21 @@ struct BenchOpts {
   // recovery to win back.
   double compute_noise = 0.08;
   double net_jitter = 0.20;
+  // Engine sharding (--shards N, --threads N): 1 = the legacy single-queue
+  // engine; 0 = one exec shard per cluster; N = min(N, nclusters). Threads
+  // > 1 runs the conservative-lookahead parallel executor (requires
+  // node-colocated clusters). See DESIGN.md §12.
+  int shards = 1;
+  int threads = 1;
+  // --agg-rollbacks: aggregated cluster rollback announces (one message per
+  // outside rank from the cluster leader instead of the pairwise
+  // O(cluster x world) broadcast). Required for failure rows at 16k+ ranks.
+  bool agg_rollbacks = false;
+  // --tree-markers: flood checkpoint-wave markers over the binomial
+  // completion tree (O(members) per wave) instead of the all-to-all member
+  // broadcast (O(members^2)). Required past a few thousand ranks — the
+  // coordinated arm's wave spans every rank.
+  bool tree_markers = false;
 };
 
 inline BenchOpts parse_opts(int argc, char** argv) {
@@ -62,6 +77,10 @@ inline BenchOpts parse_opts(int argc, char** argv) {
   o.group_size = static_cast<int>(cli.get_int("group-size", o.group_size));
   o.rs_k = static_cast<int>(cli.get_int("rs-k", o.rs_k));
   o.rs_m = static_cast<int>(cli.get_int("rs-m", o.rs_m));
+  o.shards = static_cast<int>(cli.get_int("shards", o.shards));
+  o.threads = static_cast<int>(cli.get_int("threads", o.threads));
+  o.agg_rollbacks = cli.get_flag("agg-rollbacks");
+  o.tree_markers = cli.get_flag("tree-markers");
   if (!o.scheme.empty() && !ckpt::parse_scheme(o.scheme)) {
     std::fprintf(stderr, "unknown --scheme=%s (single|partner|xor|rs)\n",
                  o.scheme.c_str());
@@ -92,6 +111,10 @@ inline harness::ScenarioConfig make_config(const BenchOpts& o, const std::string
   cfg.machine.compute_noise_frac = o.compute_noise;
   cfg.machine.net.jitter_frac = o.net_jitter;
   cfg.machine.net.jitter_seed = o.seed;
+  cfg.machine.engine_shards = o.shards;
+  cfg.machine.engine_threads = o.threads;
+  cfg.machine.aggregate_rollbacks = o.agg_rollbacks;
+  cfg.machine.tree_ckpt_markers = o.tree_markers;
   cfg.use_clustering_tool = o.use_clustering_tool;
   return cfg;
 }

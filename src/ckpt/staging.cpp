@@ -11,11 +11,14 @@ void StagingArea::attach(mpi::Machine& machine) {
   machine_ = &machine;
   scheme_ = RedundancyScheme::make(cfg_.redundancy, machine);
   const int nodes = machine.topology().nodes();
+  const size_t nranks = static_cast<size_t>(machine.nranks());
   node_storage_gen_.assign(static_cast<size_t>(nodes), 0);
-  node_down_.assign(static_cast<size_t>(nodes), false);
+  node_down_ = std::vector<std::atomic<uint8_t>>(static_cast<size_t>(nodes));
   node_local_q_.assign(static_cast<size_t>(nodes), {});
   node_pfs_q_.assign(static_cast<size_t>(nodes), {});
-  pfs_frontier_.assign(static_cast<size_t>(machine.nranks()), 0);
+  pfs_frontier_.assign(nranks, 0);
+  entries_.assign(nranks, {});
+  stats_rows_ = std::vector<StagingStats>(nranks > 0 ? nranks : 1);
 }
 
 int StagingArea::partner_of(int rank) const {
@@ -34,12 +37,16 @@ uint64_t StagingArea::node_gen(int node) const {
 }
 
 StagingArea::Entry* StagingArea::find(int rank, uint64_t epoch) {
-  auto it = entries_.find({rank, epoch});
-  return it == entries_.end() ? nullptr : &it->second;
+  if (static_cast<size_t>(rank) >= entries_.size()) return nullptr;
+  auto& row = entries_[static_cast<size_t>(rank)];
+  auto it = row.find(epoch);
+  return it == row.end() ? nullptr : &it->second;
 }
 const StagingArea::Entry* StagingArea::find(int rank, uint64_t epoch) const {
-  auto it = entries_.find({rank, epoch});
-  return it == entries_.end() ? nullptr : &it->second;
+  if (static_cast<size_t>(rank) >= entries_.size()) return nullptr;
+  const auto& row = entries_[static_cast<size_t>(rank)];
+  auto it = row.find(epoch);
+  return it == row.end() ? nullptr : &it->second;
 }
 
 // ---- ResidencyView ---------------------------------------------------------
@@ -66,7 +73,8 @@ uint64_t StagingArea::snapshot_bytes(int rank, uint64_t epoch) const {
 }
 
 bool StagingArea::node_in_service(int node) const {
-  return !node_down_[static_cast<size_t>(node)];
+  return node_down_[static_cast<size_t>(node)].load(
+             std::memory_order_relaxed) == 0;
 }
 
 // ---- write path ------------------------------------------------------------
@@ -76,12 +84,14 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
   SPBC_ASSERT(machine_ != nullptr);
   const int node = machine_->topology().node_of(rank);
   const sim::Time now = machine_->engine().now();
-  node_down_[static_cast<size_t>(node)] = false;  // a resident is writing again
-  Entry& e = entries_[{rank, epoch}];
+  // A resident is writing again: the node is back in service.
+  node_down_[static_cast<size_t>(node)].store(0, std::memory_order_relaxed);
+  SPBC_ASSERT(static_cast<size_t>(rank) < entries_.size());
+  Entry& e = entries_[static_cast<size_t>(rank)][epoch];
   e.bytes = bytes;
   e.levels = 0;
   e.retries_left = 3;
-  e.chain_id = ++next_chain_id_;
+  e.chain_id = next_chain_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   e.fragments.clear();
 
   if (!cfg_.async) {
@@ -135,11 +145,11 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
           e.fragments.push_back(Fragment{step.host_rank, hnode, step.bytes,
                                          step.parity, true, step.share});
           if (step.parity) {
-            ++stats_.parity_fragments;
-            stats_.bytes_to_parity += step.bytes;
+            ++srow(rank).parity_fragments;
+            srow(rank).bytes_to_parity += step.bytes;
           } else {
-            ++stats_.partner_copies;
-            stats_.bytes_to_partner += step.bytes;
+            ++srow(rank).partner_copies;
+            srow(rank).bytes_to_partner += step.bytes;
           }
         }
         cost = node_local_q_[static_cast<size_t>(node)].reserve(now, w) - now;
@@ -157,7 +167,7 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
   // Async: the fiber pays only the LOCAL write; the promotion chain starts
   // when that write completes.
   e.levels = kAtLocal;
-  ++stats_.drains_started;
+  ++srow(rank).drains_started;
   sim::Time local = cfg_.model.write_time(StorageLevel::kLocal, bytes);
   sim::Time done = node_local_q_[static_cast<size_t>(node)].reserve(now, local);
   machine_->engine().at(done, [this, rank, epoch] {
@@ -169,7 +179,7 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
 void StagingArea::start_protection(int rank, uint64_t epoch, bool then_flush) {
   Entry* e = find(rank, epoch);
   if (e == nullptr || (e->levels & kAtLocal) == 0) {
-    ++stats_.drains_aborted;  // rolled back or node died before the drain ran
+    ++srow(rank).drains_aborted;  // rolled back or died before the drain ran
     return;
   }
   PlacementPlan plan = scheme_->encode(rank, epoch, e->bytes, *this);
@@ -198,13 +208,15 @@ void StagingArea::place_fragment(int rank, uint64_t epoch,
   e->fragments.push_back(Fragment{step.host_rank, hnode, step.bytes,
                                   step.parity, false, step.share});
   // The placement rides the real network, so it shares the home node's NIC
-  // with application traffic and arrives after genuine transfer time.
-  machine_->network().submit(
-      net::Transfer{rank, step.host_rank, step.bytes},
+  // with application traffic and arrives after genuine transfer time. The
+  // arrival is routed to the *home* rank's shard (not the fragment host's):
+  // the callback mutates the home rank's entry row.
+  machine_->network().submit_routed(
+      net::Transfer{rank, step.host_rank, step.bytes}, /*route_rank=*/rank,
       [this, rank, epoch, hnode, hgen, chain, frag_idx, pending, then_flush] {
         Entry* entry = find(rank, epoch);
         if (entry == nullptr) {
-          ++stats_.drains_aborted;  // rolled back while the copy was in flight
+          ++srow(rank).drains_aborted;  // rolled back while in flight
           return;
         }
         if (entry->chain_id != chain) return;  // superseded by a re-write
@@ -217,11 +229,11 @@ void StagingArea::place_fragment(int rank, uint64_t epoch,
         Fragment& f = entry->fragments[frag_idx];
         f.live = true;
         if (f.parity) {
-          ++stats_.parity_fragments;
-          stats_.bytes_to_parity += f.bytes;
+          ++srow(rank).parity_fragments;
+          srow(rank).bytes_to_parity += f.bytes;
         } else {
-          ++stats_.partner_copies;
-          stats_.bytes_to_partner += f.bytes;
+          ++srow(rank).partner_copies;
+          srow(rank).bytes_to_partner += f.bytes;
         }
         if (--*pending != 0 || !then_flush) return;
         // Promote onward: a full copy flushes from its host's node (freeing
@@ -249,7 +261,7 @@ void StagingArea::start_pfs_flush(int rank, uint64_t epoch, int from_node,
                                source_frag] {
     Entry* entry = find(rank, epoch);
     if (entry == nullptr) {
-      ++stats_.drains_aborted;  // rolled back while the flush was queued
+      ++srow(rank).drains_aborted;  // rolled back while the flush was queued
       return;
     }
     if (entry->chain_id != chain) return;  // superseded by a re-write
@@ -265,8 +277,8 @@ void StagingArea::start_pfs_flush(int rank, uint64_t epoch, int from_node,
       return;
     }
     entry->levels |= kAtPfs;
-    ++stats_.pfs_flushes;
-    stats_.bytes_to_pfs += entry->bytes;
+    ++srow(rank).pfs_flushes;
+    srow(rank).bytes_to_pfs += entry->bytes;
     finish_pfs(rank, epoch);
   });
 }
@@ -288,18 +300,18 @@ void StagingArea::retry_from_surviving(int rank, uint64_t epoch) {
     }
   }
   if (e == nullptr || ((e->levels & (kAtLocal | kAtPfs)) == 0 && !any_fragment)) {
-    ++stats_.drains_aborted;  // every copy is gone; the chain is truly lost
+    ++srow(rank).drains_aborted;  // every copy is gone; the chain is lost
     return;
   }
   if (e->levels & kAtPfs) return;  // already durable; nothing to promote
   if (e->retries_left == 0) {
     // A copy survives (the snapshot stays recoverable from it) but the
     // promotion budget is spent: the chain stalls short of PFS.
-    ++stats_.retries_exhausted;
+    ++srow(rank).retries_exhausted;
     return;
   }
   --e->retries_left;
-  ++stats_.hop_retries;
+  ++srow(rank).hop_retries;
   if (e->levels & kAtLocal) {
     // Cheapest surviving copy: the home node's LOCAL write. Restart the
     // remaining chain there (missing fragments re-placed when a viable host
@@ -315,7 +327,7 @@ void StagingArea::retry_from_surviving(int rank, uint64_t epoch) {
   // Only parity fragments survive: flushable data requires a full copy, so
   // the chain stalls short of PFS. The snapshot remains recoverable through
   // the scheme's rebuild path until the group loses a second member.
-  ++stats_.retries_exhausted;
+  ++srow(rank).retries_exhausted;
 }
 
 void StagingArea::finish_pfs(int rank, uint64_t epoch) {
@@ -348,20 +360,23 @@ RestorePlan StagingArea::plan_restore(int rank, uint64_t epoch) const {
 }
 
 void StagingArea::note_restore(const RestorePlan& plan) {
+  // Restores are orchestrated from serial (recovery) context, which runs
+  // alone: row 0 is safe for all of them.
+  StagingStats& st = stats_rows_[0];
   switch (plan.source) {
     case RestorePlan::Source::kNone:
       break;
     case RestorePlan::Source::kLocal:
-      ++stats_.restores_by_level[0];
+      ++st.restores_by_level[0];
       break;
     case RestorePlan::Source::kRemoteCopy:
-      ++stats_.restores_by_level[1];
+      ++st.restores_by_level[1];
       break;
     case RestorePlan::Source::kRebuild:
-      ++stats_.rebuild_restores;
+      ++st.rebuild_restores;
       break;
     case RestorePlan::Source::kPfs:
-      ++stats_.restores_by_level[2];
+      ++st.restores_by_level[2];
       break;
   }
 }
@@ -392,27 +407,35 @@ void StagingArea::do_restore(int rank, uint64_t epoch,
     const int snode = machine_->topology().node_of(rd.src_rank);
     const uint64_t sgen = node_gen(snode);
     // Rebuild reads are real transfers: they contend with application and
-    // drain traffic on the survivors' NICs and on the restoring node.
+    // drain traffic on the survivors' NICs and on the restoring node. All
+    // arrivals land on the restoring rank's shard, so the remaining/failed
+    // bookkeeping is race-free; the completion itself bounces to serial
+    // context — a retry submits from other clusters' channel rows and
+    // `done` resumes recovery orchestration.
     machine_->network().submit(
         net::Transfer{rd.src_rank, rank, rd.bytes},
         [this, rank, epoch, done, snode, sgen, remaining, failed, total,
          budget] {
           if (node_gen(snode) != sgen) *failed = true;
           if (--*remaining != 0) return;
-          if (*failed) {
-            // A source died mid-rebuild: re-plan from what still survives
-            // (another fragment set, or the PFS), within a bounded budget.
-            if (budget == 0) {
-              done(false);
+          const bool f = *failed;
+          machine_->engine().run_serial([this, rank, epoch, done, f, total,
+                                         budget] {
+            if (f) {
+              // A source died mid-rebuild: re-plan from what still survives
+              // (another fragment set, or the PFS), within a bounded budget.
+              if (budget == 0) {
+                done(false);
+                return;
+              }
+              ++stats_rows_[0].rebuild_retries;
+              do_restore(rank, epoch, done, budget - 1);
               return;
             }
-            ++stats_.rebuild_retries;
-            do_restore(rank, epoch, done, budget - 1);
-            return;
-          }
-          ++stats_.rebuild_restores;
-          stats_.rebuild_bytes_read += total;
-          done(true);
+            ++stats_rows_[0].rebuild_restores;
+            stats_rows_[0].rebuild_bytes_read += total;
+            done(true);
+          });
         });
   }
 }
@@ -429,27 +452,31 @@ void StagingArea::invalidate_node(int node) {
   // A cluster failure kills every rank of a node back-to-back; only the
   // first kill does the work. The flag is cleared when a respawned resident
   // writes again (the node is back in service with empty storage).
-  if (node_down_[static_cast<size_t>(node)]) return;
-  node_down_[static_cast<size_t>(node)] = true;
+  if (node_down_[static_cast<size_t>(node)].load(std::memory_order_relaxed))
+    return;
+  node_down_[static_cast<size_t>(node)].store(1, std::memory_order_relaxed);
   ++node_storage_gen_[static_cast<size_t>(node)];
   const sim::Topology& topo = machine_->topology();
   std::vector<std::pair<int, uint64_t>> reprotect;
-  for (auto& [key, e] : entries_) {
-    if (topo.node_of(key.first) == node)
-      e.levels &= static_cast<uint8_t>(~kAtLocal);
-    bool lost_fragment = false;
-    for (Fragment& f : e.fragments) {
-      if (f.live && f.host_node == node) {
-        f.live = false;
-        lost_fragment = true;
+  for (size_t r = 0; r < entries_.size(); ++r) {
+    const bool resident = topo.node_of(static_cast<int>(r)) == node;
+    for (auto& [epoch, e] : entries_[r]) {
+      if (resident) e.levels &= static_cast<uint8_t>(~kAtLocal);
+      bool lost_fragment = false;
+      for (Fragment& f : e.fragments) {
+        if (f.live && f.host_node == node) {
+          f.live = false;
+          lost_fragment = true;
+        }
       }
+      // Proactive re-protection: the snapshot's data survives at LOCAL but a
+      // landed fragment just died with its host — re-encode onto a
+      // replacement host so the scheme's coverage is restored before the
+      // next failure.
+      if (lost_fragment && (e.levels & kAtLocal) != 0 &&
+          (e.levels & kAtPfs) == 0 && e.retries_left > 0)
+        reprotect.emplace_back(static_cast<int>(r), epoch);
     }
-    // Proactive re-protection: the snapshot's data survives at LOCAL but a
-    // landed fragment just died with its host — re-encode onto a replacement
-    // host so the scheme's coverage is restored before the next failure.
-    if (lost_fragment && (e.levels & kAtLocal) != 0 &&
-        (e.levels & kAtPfs) == 0 && e.retries_left > 0)
-      reprotect.push_back(key);
   }
   if (reprotect.empty()) return;
   // Deferred one event: a cluster failure takes several nodes down in one
@@ -464,7 +491,7 @@ void StagingArea::invalidate_node(int node) {
       PlacementPlan plan = scheme_->encode(rank, epoch, e->bytes, *this);
       if (plan.steps.empty()) continue;  // no viable replacement host
       --e->retries_left;
-      ++stats_.reprotections;
+      ++srow(rank).reprotections;
       auto pending = std::make_shared<int>(static_cast<int>(plan.steps.size()));
       for (const PlacementStep& step : plan.steps)
         place_fragment(rank, epoch, step, pending, /*then_flush=*/false);
@@ -475,7 +502,8 @@ void StagingArea::invalidate_node(int node) {
 void StagingArea::charge_local_spill(int rank, uint64_t bytes) {
   if (!enabled() || machine_ == nullptr) return;
   const int node = machine_->topology().node_of(rank);
-  if (node_down_[static_cast<size_t>(node)]) return;
+  if (node_down_[static_cast<size_t>(node)].load(std::memory_order_relaxed))
+    return;
   // Background write: it occupies the node's snapshot device (future LOCAL
   // writes queue behind it) but charges no fiber.
   node_local_q_[static_cast<size_t>(node)].reserve(
@@ -484,28 +512,49 @@ void StagingArea::charge_local_spill(int rank, uint64_t bytes) {
 }
 
 void StagingArea::drop_epochs_above(int rank, uint64_t epoch) {
-  auto it = entries_.lower_bound({rank, epoch + 1});
-  while (it != entries_.end() && it->first.first == rank)
-    it = entries_.erase(it);
+  if (static_cast<size_t>(rank) >= entries_.size()) return;
+  auto& row = entries_[static_cast<size_t>(rank)];
+  row.erase(row.upper_bound(epoch), row.end());
   // The frontier must not claim dropped epochs: commit uses it as the
   // retention floor, and a stale high frontier would let a re-executed
   // commit prune the real fallback epochs. Recompute it from the surviving
   // PFS-resident entries.
   if (!pfs_frontier_.empty() && pfs_frontier_[static_cast<size_t>(rank)] > epoch) {
     uint64_t frontier = 0;
-    for (auto e = entries_.lower_bound({rank, 0});
-         e != entries_.end() && e->first.first == rank; ++e) {
-      if (e->second.levels & kAtPfs) frontier = e->first.second;
-    }
+    for (const auto& [ep, e] : row)
+      if (e.levels & kAtPfs) frontier = ep;
     pfs_frontier_[static_cast<size_t>(rank)] = frontier;
   }
 }
 
 void StagingArea::prune_epochs_below(int rank, uint64_t epoch) {
-  auto it = entries_.lower_bound({rank, 0});
-  while (it != entries_.end() && it->first.first == rank &&
-         it->first.second < epoch)
-    it = entries_.erase(it);
+  if (static_cast<size_t>(rank) >= entries_.size()) return;
+  auto& row = entries_[static_cast<size_t>(rank)];
+  row.erase(row.begin(), row.lower_bound(epoch));
+}
+
+StagingStats StagingArea::stats() const {
+  StagingStats out;
+  for (const StagingStats& s : stats_rows_) {
+    out.drains_started += s.drains_started;
+    out.partner_copies += s.partner_copies;
+    out.pfs_flushes += s.pfs_flushes;
+    out.drains_aborted += s.drains_aborted;
+    out.hop_retries += s.hop_retries;
+    out.retries_exhausted += s.retries_exhausted;
+    out.bytes_to_partner += s.bytes_to_partner;
+    out.bytes_to_pfs += s.bytes_to_pfs;
+    out.parity_fragments += s.parity_fragments;
+    out.bytes_to_parity += s.bytes_to_parity;
+    out.reprotections += s.reprotections;
+    for (size_t i = 0; i < out.restores_by_level.size(); ++i)
+      out.restores_by_level[i] += s.restores_by_level[i];
+    out.rebuild_restores += s.rebuild_restores;
+    out.rebuild_bytes_read += s.rebuild_bytes_read;
+    out.rebuild_retries += s.rebuild_retries;
+    out.epoch_fallbacks += s.epoch_fallbacks;
+  }
+  return out;
 }
 
 }  // namespace spbc::ckpt

@@ -28,6 +28,7 @@
 // on the sender's NIC, exactly the interference a real drain causes.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -156,7 +157,7 @@ class StagingArea : public ResidencyView {
   void execute_restore(int rank, uint64_t epoch,
                        std::function<void(bool)> done);
 
-  void note_epoch_fallback() { ++stats_.epoch_fallbacks; }
+  void note_epoch_fallback() { ++stats_rows_[0].epoch_fallbacks; }
 
   /// Highest epoch of `rank` flushed to PFS (0 = none). Monotonic — PFS
   /// copies survive every failure — and therefore usable as the Store's
@@ -179,7 +180,9 @@ class StagingArea : public ResidencyView {
   void drop_epochs_above(int rank, uint64_t epoch);
   void prune_epochs_below(int rank, uint64_t epoch);
 
-  const StagingStats& stats() const { return stats_; }
+  /// Merged view of the per-rank stat rows (rows keep concurrent shard
+  /// events off shared counters). Returned by value: a snapshot.
+  StagingStats stats() const;
 
   // ---- ResidencyView (consulted by the scheme) --------------------------
   bool has_local(int rank, uint64_t epoch) const override;
@@ -223,17 +226,31 @@ class StagingArea : public ResidencyView {
   void do_restore(int rank, uint64_t epoch, std::function<void(bool)> done,
                   int budget);
 
+  /// The per-rank stat row a mutation goes to: shard-event code touches only
+  /// its own rank's row; serial-context code may touch any (it runs alone).
+  StagingStats& srow(int rank) {
+    return stats_rows_[static_cast<size_t>(rank) < stats_rows_.size()
+                           ? static_cast<size_t>(rank)
+                           : 0];
+  }
+
   StagingConfig cfg_;
   mpi::Machine* machine_ = nullptr;
   std::unique_ptr<RedundancyScheme> scheme_;
-  std::map<std::pair<int, uint64_t>, Entry> entries_;
-  std::vector<uint64_t> node_storage_gen_;
-  std::vector<bool> node_down_;  // dedups the per-rank kill notifications
+  // Per-rank entry rows (epoch -> Entry): a row is mutated only from its
+  // rank's shard (writes, drain-chain callbacks routed home) or from serial
+  // recovery context, so concurrent shard threads never share one.
+  std::vector<std::map<uint64_t, Entry>> entries_;
+  std::vector<uint64_t> node_storage_gen_;  // bumped in serial context only
+  // Dedups the per-rank kill notifications; atomic because scheme encodes on
+  // any shard consult node_in_service() while a resident's write (its own
+  // shard) clears the flag.
+  std::vector<std::atomic<uint8_t>> node_down_;
   std::vector<sim::BandwidthQueue> node_local_q_;  // local snapshot device
   std::vector<sim::BandwidthQueue> node_pfs_q_;    // per-node PFS ingest share
   std::vector<uint64_t> pfs_frontier_;
-  uint64_t next_chain_id_ = 0;
-  StagingStats stats_;
+  std::atomic<uint64_t> next_chain_id_{0};
+  std::vector<StagingStats> stats_rows_ = std::vector<StagingStats>(1);
 };
 
 }  // namespace spbc::ckpt

@@ -24,114 +24,108 @@ sim::Time StorageCostModel::read_time(StorageLevel level, uint64_t bytes) const 
 }
 
 void Store::save(int rank, Snapshot snap) {
-  bytes_written_ += snap.bytes.size();
-  ++snapshots_;
-  snaps_[rank][snap.epoch] = std::move(snap);
+  Row& r = row(rank);
+  r.bytes_written += snap.bytes.size();
+  ++r.snapshots;
+  r.snaps[snap.epoch] = std::move(snap);
 }
 
 bool Store::has(int rank) const {
-  auto it = snaps_.find(rank);
-  return it != snaps_.end() && !it->second.empty();
+  const Row* r = row(rank);
+  return r && !r->snaps.empty();
 }
 
 const Snapshot& Store::latest(int rank) const {
-  auto it = snaps_.find(rank);
-  SPBC_ASSERT_MSG(it != snaps_.end() && !it->second.empty(),
-                  "no checkpoint for rank " << rank);
-  return it->second.rbegin()->second;
+  const Row* r = row(rank);
+  SPBC_ASSERT_MSG(r && !r->snaps.empty(), "no checkpoint for rank " << rank);
+  return r->snaps.rbegin()->second;
 }
 
 bool Store::has_epoch(int rank, uint64_t epoch) const {
-  auto it = snaps_.find(rank);
-  return it != snaps_.end() && it->second.count(epoch) > 0;
+  const Row* r = row(rank);
+  return r && r->snaps.count(epoch) > 0;
 }
 
 const Snapshot& Store::at_epoch(int rank, uint64_t epoch) const {
-  auto it = snaps_.find(rank);
-  SPBC_ASSERT_MSG(it != snaps_.end() && it->second.count(epoch) > 0,
+  const Row* r = row(rank);
+  SPBC_ASSERT_MSG(r && r->snaps.count(epoch) > 0,
                   "no epoch-" << epoch << " checkpoint for rank " << rank);
-  return it->second.at(epoch);
+  return r->snaps.at(epoch);
 }
 
-void Store::release_captures(int rank, uint64_t bytes) {
-  auto live = capture_live_.find(rank);
-  if (live == capture_live_.end()) return;
-  live->second -= bytes < live->second ? bytes : live->second;
+void Store::release_captures(Row& r, uint64_t bytes) {
+  r.capture_live -= bytes < r.capture_live ? bytes : r.capture_live;
 }
 
 void Store::drop_epochs_above(int rank, uint64_t epoch) {
-  auto it = snaps_.find(rank);
-  if (it != snaps_.end()) {
-    it->second.erase(it->second.upper_bound(epoch), it->second.end());
-  }
-  auto cap = in_flight_.lower_bound({rank, epoch + 1});
-  while (cap != in_flight_.end() && cap->first.first == rank) {
+  Row& r = row(rank);
+  r.snaps.erase(r.snaps.upper_bound(epoch), r.snaps.end());
+  auto cap = r.caps.upper_bound(epoch);
+  while (cap != r.caps.end()) {
     for (const CapturedMsg& cm : cap->second)
-      if (!cm.spilled) release_captures(rank, cm.env.bytes);
-    cap = in_flight_.erase(cap);
+      if (!cm.spilled) release_captures(r, cm.env.bytes);
+    cap = r.caps.erase(cap);
   }
 }
 
 void Store::prune_epochs_below(int rank, uint64_t epoch) {
-  auto it = snaps_.find(rank);
-  if (it != snaps_.end()) {
-    it->second.erase(it->second.begin(), it->second.lower_bound(epoch));
-  }
-  auto cap = in_flight_.lower_bound({rank, 0});
-  while (cap != in_flight_.end() && cap->first.first == rank &&
-         cap->first.second < epoch) {
+  Row& r = row(rank);
+  r.snaps.erase(r.snaps.begin(), r.snaps.lower_bound(epoch));
+  auto cap = r.caps.begin();
+  while (cap != r.caps.end() && cap->first < epoch) {
     for (const CapturedMsg& cm : cap->second)
-      if (!cm.spilled) release_captures(rank, cm.env.bytes);
-    cap = in_flight_.erase(cap);
+      if (!cm.spilled) release_captures(r, cm.env.bytes);
+    cap = r.caps.erase(cap);
   }
 }
 
 uint64_t Store::spill_captures(int rank, uint64_t target_bytes) {
-  auto live = capture_live_.find(rank);
-  if (live == capture_live_.end() || live->second <= target_bytes) return 0;
+  Row& r = row(rank);
+  if (r.capture_live <= target_bytes) return 0;
   uint64_t spilled = 0;
   // Oldest epochs first: they have waited longest for a commit to reclaim
   // them, so they are the least likely to leave memory any other way.
-  for (auto cap = in_flight_.lower_bound({rank, 0});
-       cap != in_flight_.end() && cap->first.first == rank &&
-       live->second > target_bytes;
-       ++cap) {
+  for (auto cap = r.caps.begin();
+       cap != r.caps.end() && r.capture_live > target_bytes; ++cap) {
     for (CapturedMsg& cm : cap->second) {
       if (cm.spilled) continue;
       cm.spilled = true;
-      const uint64_t b = cm.env.bytes < live->second ? cm.env.bytes : live->second;
-      live->second -= b;
+      const uint64_t b =
+          cm.env.bytes < r.capture_live ? cm.env.bytes : r.capture_live;
+      r.capture_live -= b;
       spilled += cm.env.bytes;
-      ++captures_spilled_;
-      if (live->second <= target_bytes) break;
+      ++r.captures_spilled;
+      if (r.capture_live <= target_bytes) break;
     }
   }
-  capture_spilled_bytes_ += spilled;
+  r.capture_spilled_bytes += spilled;
   return spilled;
 }
 
 uint64_t Store::record_in_flight(int rank, uint64_t first_epoch, uint64_t last_epoch,
                                  const mpi::Envelope& env, const mpi::Payload& payload) {
   auto shared = std::make_shared<const mpi::Payload>(payload);
-  uint64_t& live = capture_live_[rank];
+  Row& r = row(rank);
   for (uint64_t e = first_epoch; e <= last_epoch; ++e) {
-    in_flight_[{rank, e}].push_back(CapturedMsg{env, shared});
-    ++in_flight_captured_;
-    live += env.bytes;
+    r.caps[e].push_back(CapturedMsg{env, shared});
+    ++r.in_flight_captured;
+    r.capture_live += env.bytes;
   }
-  capture_hwm_ = live > capture_hwm_ ? live : capture_hwm_;
-  return live;
+  r.capture_hwm = r.capture_live > r.capture_hwm ? r.capture_live : r.capture_hwm;
+  return r.capture_live;
 }
 
 uint64_t Store::capture_live_bytes(int rank) const {
-  auto it = capture_live_.find(rank);
-  return it == capture_live_.end() ? 0 : it->second;
+  const Row* r = row(rank);
+  return r ? r->capture_live : 0;
 }
 
 const std::vector<CapturedMsg>& Store::in_flight(int rank, uint64_t epoch) const {
   static const std::vector<CapturedMsg> kEmpty;
-  auto it = in_flight_.find({rank, epoch});
-  return it == in_flight_.end() ? kEmpty : it->second;
+  const Row* r = row(rank);
+  if (!r) return kEmpty;
+  auto it = r->caps.find(epoch);
+  return it == r->caps.end() ? kEmpty : it->second;
 }
 
 }  // namespace spbc::ckpt

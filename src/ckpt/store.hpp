@@ -78,6 +78,16 @@ class Store {
                  StorageCostModel model = {})
       : level_(level), model_(model) {}
 
+  /// Pre-sizes the per-rank rows. Protocols call this at attach time; under
+  /// the threaded shard executor rows must exist before concurrent shard
+  /// events touch them (row growth is a structural mutation). Rows also grow
+  /// lazily for callers that never attach (unit tests) — single-threaded
+  /// contexts only.
+  void reserve_ranks(int nranks) {
+    if (static_cast<size_t>(nranks) > rows_.size())
+      rows_.resize(static_cast<size_t>(nranks));
+  }
+
   /// Saves `snap` under (rank, snap.epoch), replacing a same-epoch snapshot.
   void save(int rank, Snapshot snap);
   bool has(int rank) const;
@@ -108,7 +118,11 @@ class Store {
   uint64_t capture_live_bytes(int rank) const;
   /// Highest per-rank live capture footprint ever observed (the in-flight
   /// capture memory bound metric; see ROADMAP).
-  uint64_t capture_hwm_bytes() const { return capture_hwm_; }
+  uint64_t capture_hwm_bytes() const {
+    uint64_t hwm = 0;
+    for (const Row& r : rows_) hwm = r.capture_hwm > hwm ? r.capture_hwm : hwm;
+    return hwm;
+  }
 
   /// Spills the oldest retained captures of `rank` (ascending epoch) to
   /// LOCAL storage until the live footprint drops to `target_bytes`: used
@@ -117,33 +131,62 @@ class Store {
   /// captures stay redeliverable but leave capture memory. Returns the
   /// bytes spilled; the caller charges the node-local device.
   uint64_t spill_captures(int rank, uint64_t target_bytes);
-  uint64_t captures_spilled() const { return captures_spilled_; }
-  uint64_t capture_spilled_bytes() const { return capture_spilled_bytes_; }
+  uint64_t captures_spilled() const {
+    return sum_rows(&Row::captures_spilled);
+  }
+  uint64_t capture_spilled_bytes() const {
+    return sum_rows(&Row::capture_spilled_bytes);
+  }
 
   /// Virtual-time cost of writing/reading a snapshot at the configured level.
   sim::Time write_cost(uint64_t bytes) const { return model_.write_time(level_, bytes); }
   sim::Time read_cost(uint64_t bytes) const { return model_.read_time(level_, bytes); }
 
-  uint64_t total_bytes_written() const { return bytes_written_; }
-  uint64_t snapshots_taken() const { return snapshots_; }
+  uint64_t total_bytes_written() const { return sum_rows(&Row::bytes_written); }
+  uint64_t snapshots_taken() const { return sum_rows(&Row::snapshots); }
   /// Cumulative count of cut-crossing messages captured (diagnostics).
-  uint64_t in_flight_captured() const { return in_flight_captured_; }
+  uint64_t in_flight_captured() const {
+    return sum_rows(&Row::in_flight_captured);
+  }
   StorageLevel level() const { return level_; }
 
  private:
   StorageLevel level_;
   StorageCostModel model_;
-  void release_captures(int rank, uint64_t bytes);
 
-  std::map<int, std::map<uint64_t, Snapshot>> snaps_;  // rank -> epoch -> snap
-  std::map<std::pair<int, uint64_t>, std::vector<CapturedMsg>> in_flight_;
-  std::map<int, uint64_t> capture_live_;  // rank -> live capture bytes
-  uint64_t bytes_written_ = 0;
-  uint64_t snapshots_ = 0;
-  uint64_t in_flight_captured_ = 0;
-  uint64_t capture_hwm_ = 0;
-  uint64_t captures_spilled_ = 0;
-  uint64_t capture_spilled_bytes_ = 0;
+  // All storage and counters live in one row per rank: a row is only ever
+  // mutated from its rank's shard (saves, captures, per-rank prunes) or from
+  // serial recovery context, so concurrent shard threads never share one.
+  // Whole-store counters are summed over rows on read.
+  struct Row {
+    std::map<uint64_t, Snapshot> snaps;                 // epoch -> snapshot
+    std::map<uint64_t, std::vector<CapturedMsg>> caps;  // epoch -> captures
+    uint64_t capture_live = 0;
+    uint64_t bytes_written = 0;
+    uint64_t snapshots = 0;
+    uint64_t in_flight_captured = 0;
+    uint64_t capture_hwm = 0;
+    uint64_t captures_spilled = 0;
+    uint64_t capture_spilled_bytes = 0;
+  };
+  Row& row(int rank) {
+    if (static_cast<size_t>(rank) >= rows_.size()) reserve_ranks(rank + 1);
+    return rows_[static_cast<size_t>(rank)];
+  }
+  const Row* row(int rank) const {
+    return static_cast<size_t>(rank) < rows_.size()
+               ? &rows_[static_cast<size_t>(rank)]
+               : nullptr;
+  }
+  static void release_captures(Row& r, uint64_t bytes);
+
+  uint64_t sum_rows(uint64_t Row::*field) const {
+    uint64_t total = 0;
+    for (const Row& r : rows_) total += r.*field;
+    return total;
+  }
+
+  std::vector<Row> rows_;
 };
 
 }  // namespace spbc::ckpt

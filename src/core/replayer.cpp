@@ -48,6 +48,52 @@ void Replayer::enqueue_for_peer(
   if (queued > 0) pump();
 }
 
+void Replayer::enqueue_for_cluster(
+    SenderLog& log, const std::function<bool(int)>& in_cluster,
+    const std::map<int, std::map<std::pair<int, int>, mpi::SeqWindow>>&
+        windows_by_dst,
+    std::map<int, std::map<std::pair<int, uint64_t>, std::function<void()>>>
+        orphans_by_dst) {
+  SPBC_ASSERT(machine_ != nullptr);
+  static const std::map<std::pair<int, int>, mpi::SeqWindow> kNoWindows;
+  auto& send_states = machine_->rank(self_);
+  std::map<int, uint32_t> incs;  // per-destination incarnation cache
+  size_t queued = 0;
+  for (auto& e : log.entries()) {
+    const int dst = e.env.dst;
+    if (!in_cluster(dst)) continue;
+    auto [iit, fresh] = incs.try_emplace(dst, 0);
+    if (fresh) iit->second = machine_->incarnation(dst);
+    const uint32_t inc = iit->second;
+    if (e.queued_for_inc == inc) continue;  // already queued for this recovery
+    auto wdit = windows_by_dst.find(dst);
+    const auto& windows = wdit == windows_by_dst.end() ? kNoWindows : wdit->second;
+    auto odit = orphans_by_dst.find(dst);
+    auto* orphans = odit == orphans_by_dst.end() ? nullptr : &odit->second;
+    int stream = send_states.stream_of(e.env.tag);
+    auto wit = windows.find({e.env.ctx, stream});
+    if (wit != windows.end() && wit->second.contains(e.env.seqnum)) {
+      if (orphans != nullptr) {
+        auto oit = orphans->find({e.env.ctx, e.env.seqnum});
+        if (oit != orphans->end() && oit->second) oit->second();
+      }
+      continue;
+    }
+    e.queued_for_inc = inc;
+    Item item;
+    item.env = e.env;
+    item.payload = &e.payload;
+    if (orphans != nullptr) {
+      auto oit = orphans->find({e.env.ctx, e.env.seqnum});
+      if (oit != orphans->end()) item.orphan_done = std::move(oit->second);
+    }
+    ++send_states.send_state(dst, e.env.ctx, e.env.tag).replay_pending;
+    queue_.push_back(std::move(item));
+    ++queued;
+  }
+  if (queued > 0) pump();
+}
+
 void Replayer::pump() {
   while (outstanding_ < window_ && !queue_.empty()) {
     Item item = std::move(queue_.front());

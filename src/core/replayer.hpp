@@ -51,6 +51,18 @@ class Replayer {
                         std::map<std::pair<int, uint64_t>, std::function<void()>>
                             orphan_done);
 
+  /// Batched enqueue_for_peer over every destination satisfying
+  /// `in_cluster`, in ONE pass over the log (per-peer calls rescan the
+  /// whole log per member — quadratic for an aggregated cluster rollback).
+  /// `windows_by_dst` / `orphans_by_dst` carry the per-member Rollback
+  /// payloads; a missing destination key means empty windows / no orphans.
+  void enqueue_for_cluster(
+      SenderLog& log, const std::function<bool(int)>& in_cluster,
+      const std::map<int, std::map<std::pair<int, int>, mpi::SeqWindow>>&
+          windows_by_dst,
+      std::map<int, std::map<std::pair<int, uint64_t>, std::function<void()>>>
+          orphans_by_dst);
+
   int outstanding() const { return outstanding_; }
   size_t queued() const { return queue_.size(); }
   uint64_t replayed_total() const { return replayed_total_; }

@@ -46,6 +46,17 @@ int tree_subtree_size(int idx, int k) {
   return low < k - idx ? low : k - idx;
 }
 
+// Tree-adjacent member indices of idx: the binomial parent plus the
+// children i + 2^j for 2^j < lowbit(i) (the whole range when i == 0),
+// clipped to the member count.
+void tree_neighbors(int idx, int k, std::vector<int>& out) {
+  out.clear();
+  if (idx > 0) out.push_back(tree_parent(idx));
+  const int span = idx == 0 ? k : (idx & -idx);
+  for (int step = 1; step < span && idx + step < k; step <<= 1)
+    out.push_back(idx + step);
+}
+
 }  // namespace
 
 SpbcProtocol::SpbcProtocol(SpbcConfig cfg)
@@ -58,6 +69,12 @@ void SpbcProtocol::attach(mpi::Machine& machine) {
   machine_ = &machine;
   staging_.attach(machine);
   int n = machine.nranks();
+  // Pre-size per-rank and per-cluster state: under the threaded shard
+  // executor, lazy growth from concurrent shard events would be a
+  // structural race. (set_cluster_of also calls on_cluster_map, covering
+  // either wiring order.)
+  store_.reserve_ranks(n);
+  on_cluster_map(machine.nclusters());
   logs_.resize(static_cast<size_t>(n));
   replayers_.resize(static_cast<size_t>(n));
   ckpt_.resize(static_cast<size_t>(n));
@@ -82,9 +99,23 @@ bool SpbcProtocol::is_inter_cluster(const mpi::Envelope& env) const {
   return machine_->cluster_of(env.src) != machine_->cluster_of(env.dst);
 }
 
+void SpbcProtocol::on_cluster_map(int nclusters) {
+  if (static_cast<size_t>(nclusters) > waves_.size())
+    waves_.resize(static_cast<size_t>(nclusters));
+}
+
+SpbcProtocol::ClusterWave& SpbcProtocol::wave_of(int cluster) {
+  // Lazy growth only happens when no cluster map was installed (legacy
+  // single-threaded runs); sharded runs pre-size via on_cluster_map.
+  if (static_cast<size_t>(cluster) >= waves_.size())
+    waves_.resize(static_cast<size_t>(cluster) + 1);
+  return waves_[static_cast<size_t>(cluster)];
+}
+
 uint64_t SpbcProtocol::committed_epoch(int cluster) const {
-  auto it = waves_.find(cluster);
-  return it == waves_.end() ? 0 : it->second.committed;
+  return static_cast<size_t>(cluster) < waves_.size()
+             ? waves_[static_cast<size_t>(cluster)].committed
+             : 0;
 }
 
 uint64_t SpbcProtocol::snapshot_epoch(int rank) const {
@@ -195,6 +226,38 @@ void SpbcProtocol::checkpoint_now(mpi::Rank& rank) { run_coordinated_checkpoint(
 // the root broadcasts kCkptCommit when the aggregate covers every member.
 // No rank ever parks, so two clusters checkpointing concurrently cannot
 // form a cross-cluster circular wait through halo dependencies.
+// Tree-based marker dissemination (MachineConfig::tree_ckpt_markers). A
+// member floods a wave's epoch to its binomial-tree neighbors the first
+// time it learns of the wave — from its own cut (learned_from == -1) or
+// from a received marker (learned_from == the forwarding peer, skipped).
+// The marker_fwd guard caps every member at one forwarding round per epoch,
+// so a wave costs O(members) marker messages in total where the all-to-all
+// broadcast costs O(members^2).
+void SpbcProtocol::flood_wave_marker(int me, uint64_t epoch, int learned_from) {
+  auto& cs = ckpt_[static_cast<size_t>(me)];
+  if (cs.marker_fwd >= epoch) return;
+  cs.marker_fwd = epoch;
+  const int cluster = machine_->cluster_of(me);
+  const std::vector<int> members = machine_->ranks_in_cluster(cluster);
+  const int k = static_cast<int>(members.size());
+  const int idx = static_cast<int>(
+      std::lower_bound(members.begin(), members.end(), me) - members.begin());
+  SPBC_ASSERT_MSG(idx < k && members[static_cast<size_t>(idx)] == me,
+                  "rank " << me << " not a member of cluster " << cluster);
+  std::vector<int> nbrs;
+  tree_neighbors(idx, k, nbrs);
+  for (int nidx : nbrs) {
+    const int peer = members[static_cast<size_t>(nidx)];
+    if (peer == learned_from) continue;
+    mpi::ControlMsg msg;
+    msg.kind = mpi::ControlMsg::Kind::kCkptMarker;
+    msg.src = me;
+    msg.dst = peer;
+    msg.words.push_back(epoch);
+    machine_->send_control(me, peer, std::move(msg));
+  }
+}
+
 void SpbcProtocol::run_coordinated_checkpoint(mpi::Rank& rank) {
   const int me = rank.rank();
   const int cluster = machine_->cluster_of(me);
@@ -249,14 +312,18 @@ void SpbcProtocol::run_coordinated_checkpoint(mpi::Rank& rank) {
   cs.snap_epoch = epoch;
 
   // Explicit markers so idle peers learn of the wave without data traffic.
-  for (int m : members) {
-    if (m == me) continue;
-    mpi::ControlMsg msg;
-    msg.kind = mpi::ControlMsg::Kind::kCkptMarker;
-    msg.src = me;
-    msg.dst = m;
-    msg.words.push_back(epoch);
-    machine_->send_control(me, m, std::move(msg));
+  if (machine_->config().tree_ckpt_markers) {
+    flood_wave_marker(me, epoch, /*learned_from=*/-1);
+  } else {
+    for (int m : members) {
+      if (m == me) continue;
+      mpi::ControlMsg msg;
+      msg.kind = mpi::ControlMsg::Kind::kCkptMarker;
+      msg.src = me;
+      msg.dst = m;
+      msg.words.push_back(epoch);
+      machine_->send_control(me, m, std::move(msg));
+    }
   }
 
   // Storage cost is charged to the member's own fiber (the write itself is
@@ -295,7 +362,7 @@ void SpbcProtocol::try_forward_aggregate(int member, uint64_t epoch) {
   auto& cs = ckpt_[static_cast<size_t>(member)];
   auto it = cs.agg.find(epoch);
   if (it == cs.agg.end()) return;
-  if (epoch <= waves_[cluster].committed) {
+  if (epoch <= wave_of(cluster).committed) {
     cs.agg.erase(it);  // stale state from a superseded wave
     return;
   }
@@ -343,7 +410,7 @@ void SpbcProtocol::try_forward_aggregate(int member, uint64_t epoch) {
 void SpbcProtocol::commit_epoch(
     int cluster, uint64_t epoch,
     const std::map<int, std::vector<uint64_t>>& gc_windows) {
-  auto& wave = waves_[cluster];
+  auto& wave = wave_of(cluster);
   if (epoch <= wave.committed) return;  // stale commit from a superseded wave
 
   // Commit: every member snapshotted `epoch` and drained its pre-cut sends,
@@ -384,8 +451,13 @@ void SpbcProtocol::commit_epoch(
     // channel into it can drop log entries the committed epoch captured.
     // The windows each member froze at its cut arrived piggybacked on the
     // completion aggregates, so the commit consumes them here and nothing
-    // outlives the wave.
-    for (const auto& [member, blob] : gc_windows) gc_from_windows(member, blob);
+    // outlives the wave. GC mutates *other* clusters' sender logs, so it
+    // bounces to serial context in sharded runs; the windows are copied
+    // because the caller drops the wave's transient state on return.
+    auto windows = gc_windows;
+    machine_->engine().run_serial([this, windows = std::move(windows)] {
+      for (const auto& [member, blob] : windows) gc_from_windows(member, blob);
+    });
   }
 }
 
@@ -447,14 +519,14 @@ void SpbcProtocol::on_failure(int victim_rank) {
   // an inconsistent cut.
   for (int r : members) machine_->kill_rank(r);
   select_and_restore(cluster, members, failure_time, targets,
-                     waves_[cluster].committed);
+                     wave_of(cluster).committed);
 }
 
 void SpbcProtocol::select_and_restore(int cluster, std::vector<int> members,
                                       sim::Time failure_time,
                                       std::map<int, mpi::Rank::Progress> targets,
                                       uint64_t epoch_hint) {
-  auto& wave = waves_[cluster];
+  auto& wave = wave_of(cluster);
   uint64_t epoch = epoch_hint;
   // Multi-level fallback: the committed epoch may have lived only at levels
   // this failure just destroyed (e.g. LOCAL on the dead nodes while its
@@ -508,8 +580,11 @@ void SpbcProtocol::select_and_restore(int cluster, std::vector<int> members,
   // Collect, per recovering rank, the peers that must learn of the rollback:
   // every inter-cluster channel in the restored state plus every rank whose
   // log holds messages for it (a channel the checkpoint had not seen yet).
+  // The aggregated path never materializes these sets — at 16k ranks they
+  // alone are cluster x world ints.
   std::map<int, std::set<int>> peers;
-  for (int r : members) peers[r] = rollback_peers_of(r);
+  if (!machine_->config().aggregate_rollbacks)
+    for (int r : members) peers[r] = rollback_peers_of(r);
 
   // Shared, not copied per callback: the rebuild path threads this closure
   // (and its captured member/target/peer maps) through every network-read
@@ -525,7 +600,15 @@ void SpbcProtocol::select_and_restore(int cluster, std::vector<int> members,
     for (int r : members) redeliver_captured(r, epoch);
     machine_->begin_recovery_record(cluster, failure_time, ckpt_time, targets);
     // Lines 19-20: announce the rollback with the restored received-windows.
-    for (int r : members) send_rollbacks_from(r, peers.at(r));
+    if (machine_->config().aggregate_rollbacks) {
+      std::vector<int> outside;
+      outside.reserve(static_cast<size_t>(machine_->nranks()));
+      for (int s = 0; s < machine_->nranks(); ++s)
+        if (machine_->cluster_of(s) != cluster) outside.push_back(s);
+      send_cluster_rollback(cluster, members, outside);
+    } else {
+      for (int r : members) send_rollbacks_from(r, peers.at(r));
+    }
     // Overlapping recoveries: clusters that rolled back earlier re-announce
     // to the ranks we just restarted, so replays lost to this crash re-run.
     // Not gated on the recovery record being open: a cluster can be caught
@@ -535,6 +618,11 @@ void SpbcProtocol::select_and_restore(int cluster, std::vector<int> members,
     // re-announcing from every past-rollback cluster is safe.
     for (int other : recovering_clusters_) {
       if (other == cluster) continue;
+      if (machine_->config().aggregate_rollbacks) {
+        send_cluster_rollback(other, machine_->ranks_in_cluster(other),
+                              members);
+        continue;
+      }
       for (int rr : machine_->ranks_in_cluster(other)) {
         std::set<int> again;
         for (int m : members)
@@ -623,6 +711,7 @@ void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
   // incarnation. Partially collected tree aggregates died with it too.
   cs.complete_sent = epoch;
   cs.wave_seen = epoch;
+  cs.marker_fwd = epoch;
   cs.agg.clear();
   cs.calls = reader.get<uint64_t>();
   rank.restore_runtime(reader);
@@ -672,6 +761,57 @@ void SpbcProtocol::send_rollbacks_from(int r, const std::set<int>& peers) {
     m.dst = p;
     encode_windows(windows, m.words);
     machine_->send_control(r, p, std::move(m));
+  }
+}
+
+// Aggregated Algorithm 1 lines 19-20 (MachineConfig::aggregate_rollbacks).
+// The pairwise broadcast above posts one Rollback per (member, outside rank)
+// pair — O(cluster x world) control messages per failure, which is what
+// capped MTBF ablations at a few thousand ranks. A scalable implementation
+// aggregates: members gather their restored windows to the cluster leader
+// (free here — the serial recovery event already holds every member's
+// restored state; the real gather is an intra-cluster reduction subsumed in
+// restart_delay) and the leader posts ONE kClusterRollback per target,
+// carrying only the members' windows for that destination (almost always
+// none: a rank holds windows for a handful of peers). Replies shrink the
+// same way — a peer posts lastMessage only toward members it actually holds
+// received-windows for — so the members' stale LS suppression toward every
+// target is wiped up front here, where the pairwise path relies on the
+// always-sent reply's clear-then-install.
+void SpbcProtocol::send_cluster_rollback(int cluster,
+                                         const std::vector<int>& members,
+                                         const std::vector<int>& targets) {
+  SPBC_ASSERT(!members.empty());
+  const int leader = *std::min_element(members.begin(), members.end());
+  const std::set<int> target_set(targets.begin(), targets.end());
+  auto is_target = [&target_set](int peer) {
+    return target_set.count(peer) != 0;
+  };
+  // dst -> member -> that member's restored windows for streams dst -> member.
+  std::map<int, std::map<int, StreamWindows>> by_dst;
+  for (int r : members) {
+    mpi::Rank& rank = machine_->rank(r);
+    rank.clear_peer_received_if(is_target);
+    for (const auto& [key, win] : rank.all_recv_windows()) {
+      if (!is_target(key.peer)) continue;
+      by_dst[key.peer][r][{key.ctx, key.stream}] = win;
+    }
+  }
+  for (int dst : targets) {
+    mpi::ControlMsg m;
+    m.kind = mpi::ControlMsg::Kind::kClusterRollback;
+    m.src = leader;
+    m.dst = dst;
+    m.words.push_back(static_cast<uint64_t>(cluster));
+    auto it = by_dst.find(dst);
+    m.words.push_back(it == by_dst.end() ? 0 : it->second.size());
+    if (it != by_dst.end()) {
+      for (const auto& [member, windows] : it->second) {
+        m.words.push_back(static_cast<uint64_t>(member));
+        encode_windows(windows, m.words);
+      }
+    }
+    machine_->send_control(leader, dst, std::move(m));
   }
 }
 
@@ -729,6 +869,76 @@ void SpbcProtocol::handle_rollback(mpi::Rank& receiver, const mpi::ControlMsg& m
   receiver.wake();
 }
 
+// Receiver side of the aggregated announce: semantically the pairwise
+// handle_rollback above unrolled over every member of the recovering
+// cluster, but each scan over this rank's state (send states, receive
+// windows, sender log, rendezvous rows, matching queues) happens once per
+// announce instead of once per member — without that batching a 16k-rank
+// recovery would still walk each receiver's log 2048 times.
+void SpbcProtocol::handle_cluster_rollback(mpi::Rank& receiver,
+                                           const mpi::ControlMsg& msg) {
+  const int me = receiver.rank();
+  size_t pos = 0;
+  const int cluster = static_cast<int>(msg.words.at(pos++));
+  const uint64_t nmembers = msg.words.at(pos++);
+  std::map<int, StreamWindows> windows_by_member;
+  for (uint64_t i = 0; i < nmembers; ++i) {
+    const int member = static_cast<int>(msg.words.at(pos++));
+    windows_by_member[member] = decode_windows(msg.words, pos);
+  }
+  auto in_cluster = [this, cluster](int peer) {
+    return machine_->cluster_of(peer) == cluster;
+  };
+
+  // (1) Replace LS suppression learned from the members' pre-crash state
+  // with their restored windows; members absent from the announce restored
+  // no windows for us, so theirs drops to empty (same contract as the
+  // pairwise clear-then-install).
+  receiver.clear_peer_received_if(in_cluster);
+  for (const auto& [member, windows] : windows_by_member) {
+    for (const auto& [key, win] : windows) {
+      receiver.send_state(member, key.first, key.second == -1 ? 0 : key.second)
+          .peer_received = win;
+    }
+  }
+
+  // (2) Reply with what we already received — only toward members we hold
+  // any windows for. No reply means "received nothing": the members wiped
+  // their suppression toward us before announcing.
+  std::map<int, StreamWindows> mine;
+  for (const auto& [key, win] : receiver.all_recv_windows()) {
+    if (in_cluster(key.peer)) mine[key.peer][{key.ctx, key.stream}] = win;
+  }
+  for (const auto& [member, windows] : mine) {
+    mpi::ControlMsg reply;
+    reply.kind = mpi::ControlMsg::Kind::kLastMessage;
+    reply.src = me;
+    reply.dst = member;
+    encode_windows(windows, reply.words);
+    machine_->send_control(me, member, std::move(reply));
+  }
+
+  // (3) Rendezvous state tied to the members' old incarnations will never
+  // complete: purge their stale RTSs, rewind receptions matched to one, and
+  // orphan our own sends caught mid-handshake toward them.
+  receiver.match_engine().purge_pending_rts_if(in_cluster);
+  receiver.rewind_pending_if(in_cluster);
+  std::map<int, std::map<std::pair<int, uint64_t>, std::function<void()>>>
+      orphans_by_dst;
+  for (auto& [dst, list] : machine_->take_rendezvous_to_if(in_cluster, me)) {
+    for (auto& orphan : list) {
+      orphans_by_dst[dst][{orphan.env.ctx, orphan.env.seqnum}] =
+          std::move(orphan.on_complete);
+    }
+  }
+
+  // (4) Replay logged messages the members do not hold, in log order.
+  replayers_[static_cast<size_t>(me)].enqueue_for_cluster(
+      logs_[static_cast<size_t>(me)], in_cluster, windows_by_member,
+      std::move(orphans_by_dst));
+  receiver.wake();
+}
+
 void SpbcProtocol::handle_last_message(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
   // Lines 25-26: install the peer's received-windows as our suppression
   // state for streams me -> peer. The stream id doubles as the tag in
@@ -754,17 +964,22 @@ void SpbcProtocol::on_control(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
     case mpi::ControlMsg::Kind::kLastMessage:
       handle_last_message(receiver, msg);
       break;
+    case mpi::ControlMsg::Kind::kClusterRollback:
+      handle_cluster_rollback(receiver, msg);
+      break;
     case mpi::ControlMsg::Kind::kCkptMarker:
       // A cluster peer cut epoch msg.words[0]. If this member has not, it
       // joins the wave at its next maybe_checkpoint() call (nothing blocks
       // on the marker — the wave stays non-blocking).
       cs.wave_seen = std::max(cs.wave_seen, msg.words.at(0));
+      if (machine_->config().tree_ckpt_markers)
+        flood_wave_marker(receiver.rank(), msg.words.at(0), msg.src);
       break;
     case mpi::ControlMsg::Kind::kCkptComplete: {
       // A tree child's aggregate for words[0]: union its covered member set
       // into ours and forward when our own subtree is complete.
       const uint64_t epoch = msg.words.at(0);
-      if (epoch <= waves_[machine_->cluster_of(receiver.rank())].committed)
+      if (epoch <= wave_of(machine_->cluster_of(receiver.rank())).committed)
         break;  // stale report from a superseded wave
       auto& agg = cs.agg[epoch];
       const uint64_t n = msg.words.at(1);

@@ -33,6 +33,7 @@
 //     wait through application halo dependencies under failure storms (the
 //     paper does not specify the intra-cluster coordination algorithm).
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -105,6 +106,7 @@ class SpbcProtocol : public mpi::ProtocolHooks {
 
   // ---- ProtocolHooks ---------------------------------------------------
   void attach(mpi::Machine& machine) override;
+  void on_cluster_map(int nclusters) override;
   void stamp_envelope(mpi::Rank& sender, mpi::Envelope& env) override;
   sim::Time on_send(mpi::Rank& sender, const mpi::Envelope& env,
                     const mpi::Payload& payload) override;
@@ -133,7 +135,9 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   uint8_t commit_levels(int rank) const;
   /// Waves triggered by the capture-bytes bound rather than the periodic
   /// schedule or a peer marker.
-  uint64_t capture_forced_waves() const { return capture_forced_waves_; }
+  uint64_t capture_forced_waves() const {
+    return capture_forced_waves_.load(std::memory_order_relaxed);
+  }
   /// Last checkpoint epoch whose wave fully committed (every member
   /// snapshotted and drained its pre-cut intra-cluster sends). Recovery
   /// restores this epoch.
@@ -178,6 +182,12 @@ class SpbcProtocol : public mpi::ProtocolHooks {
     // app mid-iteration, but the next checkpoint opportunity is the first
     // point where an app-consistent local snapshot exists.
     uint64_t wave_seen = 0;
+    // Highest epoch whose marker this member has flooded over the binomial
+    // tree (transient; only used under MachineConfig::tree_ckpt_markers).
+    // The >= guard makes each member forward a wave's marker at most once,
+    // bounding dissemination at O(members) messages per wave instead of the
+    // all-to-all broadcast's O(members^2).
+    uint64_t marker_fwd = 0;
     // Binomial-tree commit reduction (transient, cleared on rollback): per
     // epoch, the member ranks covered by aggregates received from this
     // member's tree children. The aggregate (children + self) is forwarded
@@ -209,6 +219,7 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   };
 
   bool is_inter_cluster(const mpi::Envelope& env) const;
+  ClusterWave& wave_of(int cluster);
   void run_coordinated_checkpoint(mpi::Rank& rank);
   void arm_wave_completion(int member, uint64_t epoch);
   void try_forward_aggregate(int member, uint64_t epoch);
@@ -227,7 +238,18 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   void redeliver_captured(int r, uint64_t epoch);
   void send_rollbacks_from(int r, const std::set<int>& peers);
   std::set<int> rollback_peers_of(int r) const;
+  /// Aggregated rollback announce (MachineConfig::aggregate_rollbacks): one
+  /// kClusterRollback from the cluster leader to each rank in `targets`,
+  /// carrying every member's restored windows for that destination.
+  void send_cluster_rollback(int cluster, const std::vector<int>& members,
+                             const std::vector<int>& targets);
   void handle_rollback(mpi::Rank& receiver, const mpi::ControlMsg& msg);
+  void handle_cluster_rollback(mpi::Rank& receiver, const mpi::ControlMsg& msg);
+  /// Tree-based wave-marker dissemination (MachineConfig::tree_ckpt_markers):
+  /// forwards `epoch` to this member's binomial-tree neighbors, at most once
+  /// per epoch. `learned_from` is the peer the marker arrived from (-1 when
+  /// this member initiated the wave) and is skipped.
+  void flood_wave_marker(int me, uint64_t epoch, int learned_from);
   void handle_last_message(mpi::Rank& receiver, const mpi::ControlMsg& msg);
   void gc_from_windows(int member, const std::vector<uint64_t>& blob);
   /// Capture-bound backstop after a commit's prune: when the retention
@@ -241,11 +263,15 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   std::vector<SenderLog> logs_;
   std::vector<Replayer> replayers_;
   std::vector<CkptLocal> ckpt_;
-  std::map<int, ClusterWave> waves_;
-  std::set<int> recovering_clusters_;
-  std::set<int> restart_pending_;  // killed + restored, respawn scheduled
-  uint64_t rollbacks_ = 0;
-  uint64_t capture_forced_waves_ = 0;
+  // Pre-sized by on_cluster_map (lazy map insertion would be a structural
+  // race under the threaded shard executor). A cluster's wave cell is read
+  // from its own shard and written there or in serial recovery context.
+  std::vector<ClusterWave> waves_;
+  std::set<int> recovering_clusters_;   // serial context only
+  std::set<int> restart_pending_;       // serial context only
+  uint64_t rollbacks_ = 0;              // serial context only
+  // Bumped from on_delivered on any shard (capture-bound pressure).
+  std::atomic<uint64_t> capture_forced_waves_{0};
 };
 
 }  // namespace spbc::core

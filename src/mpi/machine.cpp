@@ -20,7 +20,12 @@ Machine::Machine(MachineConfig cfg, std::unique_ptr<ProtocolHooks> protocol)
       alive_(static_cast<size_t>(cfg.nranks), false),
       intra_outstanding_(static_cast<size_t>(cfg.nranks), 0),
       intra_drain_watchers_(static_cast<size_t>(cfg.nranks)),
-      cluster_of_(static_cast<size_t>(cfg.nranks), 0) {
+      cluster_of_(static_cast<size_t>(cfg.nranks), 0),
+      rendezvous_(static_cast<size_t>(cfg.nranks)),
+      next_rendezvous_id_(static_cast<size_t>(cfg.nranks), 0),
+      send_trace_rows_(static_cast<size_t>(cfg.nranks)),
+      active_recovery_idx_(1, -1),
+      pending_app_state_(static_cast<size_t>(cfg.nranks)) {
   SPBC_ASSERT(protocol_);
   traffic_.reset(cfg.nranks);
   engine_.set_abort_on_deadlock(cfg.abort_on_deadlock);
@@ -52,6 +57,37 @@ void Machine::set_cluster_of(std::vector<int> cluster_of) {
       }
     }
   }
+  active_recovery_idx_.assign(static_cast<size_t>(nclusters_), -1);
+
+  // Shard plan. engine_shards == 1 keeps the legacy single-queue engine
+  // (byte-identical trajectories). Anything else keys events by cluster:
+  // logical shards are always one-per-cluster so the event order depends
+  // only on the cluster map, and engine_shards merely caps how many physical
+  // queues (and so how much thread parallelism) back them.
+  if (cfg_.engine_shards != 1) {
+    int exec = cfg_.engine_shards == 0
+                   ? nclusters_
+                   : std::min(cfg_.engine_shards, nclusters_);
+    engine_.set_shard_plan(nclusters_, exec);
+    // Cross-cluster messages take at least one network latency: inter-node
+    // when clusters are node-colocated, else the intra-node floor.
+    engine_.set_lookahead(cfg_.enforce_node_colocation
+                              ? cfg_.net.inter_latency
+                              : cfg_.net.intra_latency);
+    // The shared jitter RNG stream would make jitter values depend on the
+    // global submit interleaving; sharded runs use the per-channel
+    // counter-hash draw instead (order-independent, so identical for every
+    // exec-shard/thread layout).
+    net_.set_deterministic_jitter(true);
+    if (cfg_.engine_threads > 1) {
+      SPBC_ASSERT_MSG(cfg_.enforce_node_colocation,
+                      "threaded shard executor requires node-colocated "
+                      "clusters (per-node NIC state is shard-owned)");
+      engine_.set_threads(cfg_.engine_threads);
+    }
+  }
+  net_.set_shard_of([this](int r) { return this->cluster_of(r); });
+  protocol_->on_cluster_map(nclusters_);
 }
 
 int Machine::cluster_of(int rank) const {
@@ -71,7 +107,7 @@ void Machine::launch(AppFn app) {
   for (int r = 0; r < cfg_.nranks; ++r) {
     alive_[static_cast<size_t>(r)] = true;
     Rank* rk = ranks_[static_cast<size_t>(r)].get();
-    auto id = engine_.spawn([this, rk] {
+    auto id = engine_.spawn_on(cluster_of(r), [this, rk] {
       protocol_->on_rank_start(*rk, /*restarted=*/false);
       app_(*rk);
       rk->set_task(sim::Engine::kInvalidTask);
@@ -91,7 +127,11 @@ RunResult Machine::run() {
 
 void Machine::inject_failure(sim::Time t, int victim_rank) {
   SPBC_ASSERT(victim_rank >= 0 && victim_rank < cfg_.nranks);
-  engine_.at(t, [this, victim_rank] {
+  // Serial event: the crash freezes every rank's progress and mutates
+  // machine-global state (incarnations, liveness), so it runs alone at the
+  // global barrier. In the legacy single-queue plan this degrades to a
+  // normal event with an unchanged ordering key.
+  engine_.at_serial(t, [this, victim_rank] {
     // Freeze everyone's progress at the crash instant: the victim's cluster
     // peers keep running until detection, but the lost-work window (and so
     // the rework normalization) is defined by the failure time.
@@ -111,7 +151,8 @@ void Machine::inject_failure(sim::Time t, int victim_rank) {
 void Machine::record_traffic(const Envelope& env) {
   traffic_.add(env.src, env.dst, env.bytes);
   if (cfg_.record_send_trace) {
-    auto& tr = send_trace_[ChannelKey{env.src, env.dst, env.ctx}];
+    auto& tr = send_trace_rows_[static_cast<size_t>(env.src)]
+                               [ChannelKey{env.src, env.dst, env.ctx}];
     util::Fnv1a64 h;
     h.update_u64(env.seqnum);
     h.update_u64(env.hash);
@@ -130,24 +171,31 @@ void Machine::transport_send(Rank& /*sender*/, const Envelope& env, Payload payl
     // Eager: one transfer carries header + payload; the send buffer is
     // reusable immediately (it was copied into the transport).
     if (intra) ++intra_outstanding_[static_cast<size_t>(env.src)];
-    uint32_t inc = incarnation_[static_cast<size_t>(env.dst)];
     // The in-flight count belongs to this incarnation of the sender: if the
     // sender dies before arrival, kill_rank resets the counter and this
     // event must not touch it (it would underflow and wedge the drain).
-    uint32_t src_inc = incarnation_[static_cast<size_t>(env.src)];
-    auto pl = std::make_shared<Payload>(std::move(payload));
+    MsgNode* n = msg_pool_.acquire();
+    n->env = env;
+    n->payload = std::move(payload);
+    n->inc = incarnation_[static_cast<size_t>(env.dst)];
+    n->src_inc = incarnation_[static_cast<size_t>(env.src)];
+    n->intra = intra;
     net_.submit(net::Transfer{env.src, env.dst, env.bytes + kHeaderBytes},
-                [this, env, pl, inc, src_inc, intra] {
-                  if (intra &&
-                      incarnation_[static_cast<size_t>(env.src)] == src_inc) {
+                [this, n] {
+                  const Envelope env = n->env;
+                  if (n->intra &&
+                      incarnation_[static_cast<size_t>(env.src)] == n->src_inc) {
                     note_intra_send_landed(env.src);
                   }
-                  if (incarnation_[static_cast<size_t>(env.dst)] != inc ||
+                  if (incarnation_[static_cast<size_t>(env.dst)] != n->inc ||
                       !alive_[static_cast<size_t>(env.dst)]) {
-                    ++dropped_in_flight_;
+                    dropped_in_flight_.fetch_add(1, std::memory_order_relaxed);
+                    msg_pool_.release(n);
                     return;
                   }
-                  deliver_data(env.dst, env, std::move(*pl), true, 0);
+                  Payload pl = std::move(n->payload);
+                  msg_pool_.release(n);
+                  deliver_data(env.dst, env, std::move(pl), true, 0);
                 });
     on_complete();
   } else {
@@ -157,8 +205,8 @@ void Machine::transport_send(Rank& /*sender*/, const Envelope& env, Payload payl
     // channel" from RTS until its payload lands at the destination's MPI
     // layer, and the checkpoint wave's completion must wait out that span.
     if (intra) ++intra_outstanding_[static_cast<size_t>(env.src)];
-    uint64_t id = ++next_rendezvous_id_;
-    rendezvous_[id] =
+    uint64_t id = ++next_rendezvous_id_[static_cast<size_t>(env.src)];
+    rendezvous_[static_cast<size_t>(env.src)][id] =
         PendingRendezvous{env, std::move(payload), std::move(on_complete),
                           incarnation_[static_cast<size_t>(env.dst)]};
     ControlMsg rts;
@@ -173,16 +221,20 @@ void Machine::transport_send(Rank& /*sender*/, const Envelope& env, Payload payl
 
 void Machine::send_control(int src, int dst, ControlMsg msg) {
   SPBC_ASSERT(dst >= 0 && dst < cfg_.nranks);
-  uint32_t inc = incarnation_[static_cast<size_t>(dst)];
   uint64_t bytes = kHeaderBytes + msg.words.size() * sizeof(uint64_t);
-  auto m = std::make_shared<ControlMsg>(std::move(msg));
-  net_.submit(net::Transfer{src, dst, bytes}, [this, dst, m, inc] {
-    if (incarnation_[static_cast<size_t>(dst)] != inc ||
-        !alive_[static_cast<size_t>(dst)]) {
-      ++dropped_in_flight_;
+  CtrlNode* n = ctrl_pool_.acquire();
+  n->msg = std::move(msg);
+  n->inc = incarnation_[static_cast<size_t>(dst)];
+  n->dst = dst;
+  net_.submit(net::Transfer{src, dst, bytes}, [this, n] {
+    if (incarnation_[static_cast<size_t>(n->dst)] != n->inc ||
+        !alive_[static_cast<size_t>(n->dst)]) {
+      dropped_in_flight_.fetch_add(1, std::memory_order_relaxed);
+      ctrl_pool_.release(n);
       return;
     }
-    handle_control(dst, *m);
+    handle_control(n->dst, n->msg);
+    ctrl_pool_.release(n);
   });
 }
 
@@ -192,11 +244,13 @@ void Machine::handle_control(int dst, const ControlMsg& msg) {
       deliver_data(dst, msg.env, Payload{}, false, msg.sender_req);
       break;
     case ControlMsg::Kind::kCts: {
-      // Back at the sender: stream the payload, complete the send request.
-      auto it = rendezvous_.find(msg.sender_req);
-      if (it == rendezvous_.end()) return;  // purged by a crash in between
+      // Back at the sender (dst of the CTS): stream the payload, complete
+      // the send request. The row is the sender's own.
+      auto& row = rendezvous_[static_cast<size_t>(dst)];
+      auto it = row.find(msg.sender_req);
+      if (it == row.end()) return;  // purged by a crash in between
       PendingRendezvous pr = std::move(it->second);
-      rendezvous_.erase(it);
+      row.erase(it);
       // The rendezvous entry still existing proves the sender has not been
       // killed since the RTS, so the RTS-time intra increment is still live.
       bool intra = cluster_of(pr.env.src) == cluster_of(pr.env.dst);
@@ -208,22 +262,31 @@ void Machine::handle_control(int dst, const ControlMsg& msg) {
         break;
       }
       const Envelope env = pr.env;
-      uint32_t inc = incarnation_[static_cast<size_t>(env.dst)];
-      uint32_t src_inc = incarnation_[static_cast<size_t>(env.src)];
-      auto pl = std::make_shared<Payload>(std::move(pr.payload));
-      uint64_t req_id = msg.sender_req;
+      MsgNode* n = msg_pool_.acquire();
+      n->env = env;
+      n->payload = std::move(pr.payload);
+      n->inc = incarnation_[static_cast<size_t>(env.dst)];
+      n->src_inc = incarnation_[static_cast<size_t>(env.src)];
+      n->intra = intra;
+      n->req = msg.sender_req;
       net_.submit(net::Transfer{env.src, env.dst, env.bytes + kHeaderBytes},
-                  [this, env, pl, inc, src_inc, intra, req_id] {
-                    if (intra &&
-                        incarnation_[static_cast<size_t>(env.src)] == src_inc) {
+                  [this, n] {
+                    const Envelope env = n->env;
+                    if (n->intra && incarnation_[static_cast<size_t>(
+                                        env.src)] == n->src_inc) {
                       note_intra_send_landed(env.src);
                     }
-                    if (incarnation_[static_cast<size_t>(env.dst)] != inc ||
+                    if (incarnation_[static_cast<size_t>(env.dst)] != n->inc ||
                         !alive_[static_cast<size_t>(env.dst)]) {
-                      ++dropped_in_flight_;
+                      dropped_in_flight_.fetch_add(1,
+                                                   std::memory_order_relaxed);
+                      msg_pool_.release(n);
                       return;
                     }
-                    rank(env.dst).deliver_payload(env, std::move(*pl), req_id);
+                    Payload pl = std::move(n->payload);
+                    uint64_t req_id = n->req;
+                    msg_pool_.release(n);
+                    rank(env.dst).deliver_payload(env, std::move(pl), req_id);
                   });
       if (pr.on_complete) pr.on_complete();
       break;
@@ -241,19 +304,33 @@ void Machine::deliver_data(int dst, Envelope env, Payload payload, bool payload_
 
 void Machine::replay_send(int src, const Envelope& env, const Payload& payload,
                           std::function<void()> on_complete) {
-  Envelope renv = env;
-  renv.replayed = true;
-  uint32_t inc = incarnation_[static_cast<size_t>(env.dst)];
-  auto pl = std::make_shared<Payload>(payload);
-  auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
-  net_.submit(net::Transfer{src, env.dst, env.bytes + kHeaderBytes},
-              [this, renv, pl, inc, done] {
-                if (incarnation_[static_cast<size_t>(renv.dst)] == inc &&
-                    alive_[static_cast<size_t>(renv.dst)]) {
-                  deliver_data(renv.dst, renv, std::move(*pl), true, 0);
-                }
-                if (*done) (*done)();
-              });
+  MsgNode* n = msg_pool_.acquire();
+  n->env = env;
+  n->env.replayed = true;
+  n->payload = payload;
+  n->inc = incarnation_[static_cast<size_t>(env.dst)];
+  // The completion mutates the *sender's* replayer and channel state
+  // (replay_pending, pacing window, waking the sender's fiber), while the
+  // arrival event runs on the destination's shard. Sharded plans schedule
+  // the completion back on the calling (sender's) shard at the arrival
+  // time; the legacy engine keeps the historical inline call from the
+  // arrival event (byte-identical trajectories for pinned rows).
+  const bool split_completion = engine_.sharded();
+  n->on_complete = split_completion ? nullptr : std::move(on_complete);
+  sim::Time arrival =
+      net_.submit(net::Transfer{src, env.dst, env.bytes + kHeaderBytes},
+                  [this, n] {
+                    const Envelope renv = n->env;
+                    if (incarnation_[static_cast<size_t>(renv.dst)] == n->inc &&
+                        alive_[static_cast<size_t>(renv.dst)]) {
+                      deliver_data(renv.dst, renv, std::move(n->payload), true, 0);
+                    }
+                    auto done = std::move(n->on_complete);
+                    n->on_complete = nullptr;
+                    msg_pool_.release(n);
+                    if (done) done();
+                  });
+  if (split_completion && on_complete) engine_.at(arrival, std::move(on_complete));
 }
 
 // ---------------------------------------------------------------------------
@@ -268,12 +345,7 @@ void Machine::kill_rank(int r) {
   alive_[static_cast<size_t>(r)] = false;
   ++incarnation_[static_cast<size_t>(r)];
   // Pending rendezvous sends from the dead rank die with it.
-  for (auto it = rendezvous_.begin(); it != rendezvous_.end();) {
-    if (it->second.env.src == r)
-      it = rendezvous_.erase(it);
-    else
-      ++it;
-  }
+  rendezvous_[static_cast<size_t>(r)].clear();
   intra_outstanding_[static_cast<size_t>(r)] = 0;
   // Drain watchers armed by the old incarnation are void: the checkpoint
   // wave they belonged to died with the rollback.
@@ -300,7 +372,7 @@ void Machine::respawn_rank(int r, bool restarted) {
   ++incarnation_[static_cast<size_t>(r)];
   Rank* rk = ranks_[static_cast<size_t>(r)].get();
   rk->set_restarted(restarted);
-  auto id = engine_.spawn([this, rk, restarted] {
+  auto id = engine_.spawn_on(cluster_of(r), [this, rk, restarted] {
     protocol_->on_rank_start(*rk, restarted);
     app_(*rk);
     rk->set_task(sim::Engine::kInvalidTask);
@@ -310,31 +382,58 @@ void Machine::respawn_rank(int r, bool restarted) {
 }
 
 void Machine::set_pending_app_state(int r, std::vector<unsigned char> bytes) {
-  pending_app_state_[r] = std::move(bytes);
+  SPBC_ASSERT(r >= 0 && r < cfg_.nranks);
+  pending_app_state_[static_cast<size_t>(r)] = std::move(bytes);
 }
 
 std::vector<unsigned char> Machine::take_pending_app_state(int r) {
-  auto it = pending_app_state_.find(r);
-  if (it == pending_app_state_.end()) return {};
-  auto bytes = std::move(it->second);
-  pending_app_state_.erase(it);
+  SPBC_ASSERT(r >= 0 && r < cfg_.nranks);
+  auto bytes = std::move(pending_app_state_[static_cast<size_t>(r)]);
+  pending_app_state_[static_cast<size_t>(r)].clear();
   return bytes;
 }
 
 std::vector<Envelope> Machine::pending_rendezvous_envelopes() const {
   std::vector<Envelope> out;
-  out.reserve(rendezvous_.size());
-  for (const auto& [id, pr] : rendezvous_) out.push_back(pr.env);
+  for (const auto& row : rendezvous_)
+    for (const auto& [id, pr] : row) out.push_back(pr.env);
+  return out;
+}
+
+std::map<ChannelKey, std::vector<uint64_t>> Machine::send_trace() const {
+  std::map<ChannelKey, std::vector<uint64_t>> out;
+  // ChannelKey orders by src first, so appending rows in src order keeps the
+  // hint valid and the merge linear.
+  for (const auto& row : send_trace_rows_)
+    out.insert(row.begin(), row.end());
   return out;
 }
 
 std::vector<Machine::OrphanSend> Machine::take_rendezvous_to(int dst, int src) {
   std::vector<OrphanSend> out;
-  for (auto it = rendezvous_.begin(); it != rendezvous_.end();) {
-    if (it->second.env.dst == dst && it->second.env.src == src &&
+  auto& row = rendezvous_[static_cast<size_t>(src)];
+  for (auto it = row.begin(); it != row.end();) {
+    if (it->second.env.dst == dst &&
         it->second.dst_inc != incarnation_[static_cast<size_t>(dst)]) {
       out.push_back(OrphanSend{it->second.env, std::move(it->second.on_complete)});
-      it = rendezvous_.erase(it);
+      it = row.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::map<int, std::vector<Machine::OrphanSend>> Machine::take_rendezvous_to_if(
+    const std::function<bool(int)>& pred, int src) {
+  std::map<int, std::vector<OrphanSend>> out;
+  auto& row = rendezvous_[static_cast<size_t>(src)];
+  for (auto it = row.begin(); it != row.end();) {
+    const int dst = it->second.env.dst;
+    if (pred(dst) && it->second.dst_inc != incarnation_[static_cast<size_t>(dst)]) {
+      out[dst].push_back(
+          OrphanSend{it->second.env, std::move(it->second.on_complete)});
+      it = row.erase(it);
     } else {
       ++it;
     }
@@ -366,9 +465,12 @@ void Machine::notify_when_intra_drained(int r, std::function<void()> fn) {
 // ---------------------------------------------------------------------------
 
 RecoveryRecord* Machine::active_recovery(int cluster) {
-  auto it = active_recovery_.find(cluster);
-  if (it == active_recovery_.end()) return nullptr;
-  return &recoveries_[it->second];
+  SPBC_ASSERT(cluster >= 0);
+  if (static_cast<size_t>(cluster) >= active_recovery_idx_.size())
+    return nullptr;
+  ptrdiff_t idx = active_recovery_idx_[static_cast<size_t>(cluster)];
+  if (idx < 0) return nullptr;
+  return &recoveries_[static_cast<size_t>(idx)];
 }
 
 void Machine::begin_recovery_record(int cluster, sim::Time failure_time,
@@ -381,20 +483,25 @@ void Machine::begin_recovery_record(int cluster, sim::Time failure_time,
   rec.checkpoint_time = checkpoint_time;
   rec.target_ops = std::move(target_ops);
   for (const auto& [r, ops] : rec.target_ops) rank(r).set_catch_up_target(ops);
+  // Runs in serial (recovery-orchestration) context, so the push_back never
+  // races a shard thread dereferencing an index.
+  SPBC_ASSERT(cluster >= 0 &&
+              static_cast<size_t>(cluster) < active_recovery_idx_.size());
   recoveries_.push_back(std::move(rec));
-  active_recovery_[cluster] = recoveries_.size() - 1;
+  active_recovery_idx_[static_cast<size_t>(cluster)] =
+      static_cast<ptrdiff_t>(recoveries_.size()) - 1;
 }
 
 void Machine::note_catch_up(int r) {
-  int cluster = cluster_of(r);
-  auto it = active_recovery_.find(cluster);
-  if (it == active_recovery_.end()) return;
-  RecoveryRecord& rec = recoveries_[it->second];
-  if (rec.catch_up.count(r)) return;
-  rec.catch_up[r] = engine_.now();
-  if (rec.complete()) {
-    rec.caught_up_time = engine_.now();
-    active_recovery_.erase(it);
+  // Called from r's fiber: only cluster_of(r)'s shard touches this slot and
+  // record, so the map insertions below are single-shard.
+  RecoveryRecord* rec = active_recovery(cluster_of(r));
+  if (!rec) return;
+  if (rec->catch_up.count(r)) return;
+  rec->catch_up[r] = engine_.now();
+  if (rec->complete()) {
+    rec->caught_up_time = engine_.now();
+    active_recovery_idx_[static_cast<size_t>(cluster_of(r))] = -1;
   }
 }
 

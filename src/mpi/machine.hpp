@@ -12,6 +12,7 @@
 //   * recording per-channel traffic (clustering tool input) and recovery
 //     progress (rework-time measurement for Fig. 5/6).
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -29,6 +30,7 @@
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 #include "sim/topology.hpp"
+#include "util/pool.hpp"
 
 namespace spbc::mpi {
 
@@ -62,6 +64,36 @@ struct MachineConfig {
   // Table 1's 512-cluster row (pure message logging) intentionally violates
   // the one-cluster-per-node rule; benches flip this off for that row.
   bool enforce_node_colocation = true;
+  // Scalable recovery announces. Algorithm 1 (lines 19-20) posts one
+  // Rollback per (recovering rank, outside rank) pair — O(cluster x world)
+  // control messages per failure, which is what capped MTBF ablations at a
+  // few thousand ranks. When set, the recovering cluster's leader posts one
+  // aggregated kClusterRollback per outside rank (members' windows gathered
+  // at restore; almost every destination's entry list is empty) and peers
+  // reply only toward members they actually hold received-windows for.
+  // Off by default: the pairwise path is the paper's literal algorithm and
+  // the pinned CI rows are recorded against its message timing.
+  bool aggregate_rollbacks = false;
+  // Scalable checkpoint-wave markers. The explicit "I snapshotted epoch E"
+  // markers are an all-to-all broadcast within the cluster — O(members^2)
+  // control messages per wave, the dominant traffic of the whole simulation
+  // past a few thousand ranks (a coordinated wave's "cluster" is every
+  // rank). When set, the marker floods over the same binomial tree the
+  // wave's completion reduction uses: each member forwards a wave's epoch
+  // to its tree neighbors at most once — O(members) messages, same
+  // eventual-delivery guarantee (markers are a hint; nothing blocks on
+  // them). Off by default for the same pinned-row reason as above.
+  bool tree_ckpt_markers = false;
+  // Sharded event engine (100k-rank ablations). 1 = legacy single event
+  // queue, byte-identical to the pre-shard engine. Any other value keys the
+  // engine by cluster (one logical shard per cluster, fixed by the workload)
+  // and uses this many physical queues: 0 = one per cluster, N = at most N.
+  // Event order is a function of the cluster map only — every engine_shards
+  // != 1 setting produces the same trajectory. Requires set_cluster_of().
+  int engine_shards = 1;
+  // Worker threads for the sharded executor (conservative lookahead windows).
+  // > 1 requires engine_shards != 1 and node-colocated clusters.
+  int engine_threads = 1;
 };
 
 /// Outcome of a Machine::run().
@@ -168,6 +200,12 @@ class Machine {
     std::function<void()> on_complete;
   };
   std::vector<OrphanSend> take_rendezvous_to(int dst, int src);
+  /// Batched take_rendezvous_to: one pass over `src`'s pending rendezvous
+  /// handshakes removes every one addressed to a dead incarnation of a
+  /// destination satisfying `pred`, grouped by destination (aggregated
+  /// rollbacks orphan toward a whole recovering cluster at once).
+  std::map<int, std::vector<OrphanSend>> take_rendezvous_to_if(
+      const std::function<bool(int)>& pred, int src);
 
   bool rank_alive(int rank) const { return alive_[rank]; }
 
@@ -194,10 +232,11 @@ class Machine {
     return traffic_.as_map();
   }
 
-  /// Per-channel send trace hashes (determinism checker).
-  const std::map<ChannelKey, std::vector<uint64_t>>& send_trace() const {
-    return send_trace_;
-  }
+  /// Per-channel send trace hashes (determinism checker). Stored in
+  /// per-source rows (each owned by the source rank's shard); merged into
+  /// one ordered map on demand — ChannelKey sorts by src first, so the merge
+  /// is a concatenation.
+  std::map<ChannelKey, std::vector<uint64_t>> send_trace() const;
 
   const std::vector<RecoveryRecord>& recoveries() const { return recoveries_; }
   RecoveryRecord* active_recovery(int cluster);
@@ -210,12 +249,16 @@ class Machine {
   void note_catch_up(int rank);
 
   /// Total messages dropped by the incarnation filter (in flight at crash).
-  uint64_t dropped_in_flight() const { return dropped_in_flight_; }
+  uint64_t dropped_in_flight() const {
+    return dropped_in_flight_.load(std::memory_order_relaxed);
+  }
 
   /// Diagnostics: envelopes of sends parked in the rendezvous handshake.
   std::vector<Envelope> pending_rendezvous_envelopes() const;
 
-  uint64_t fresh_uid() { return ++uid_; }
+  // Debug-only tag (never hashed into traces or used for ordering), so a
+  // relaxed counter keeps it unique across shard threads.
+  uint64_t fresh_uid() { return uid_.fetch_add(1, std::memory_order_relaxed) + 1; }
 
  private:
   void deliver_data(int dst, Envelope env, Payload payload, bool payload_ready,
@@ -241,25 +284,54 @@ class Machine {
 
   AppFn app_;
 
-  // Rendezvous bookkeeping at the sender: req id -> (env, payload, completion)
+  // Rendezvous bookkeeping at the sender: req id -> (env, payload, completion).
+  // One row per source rank: transport_send fills it from the sender's fiber
+  // and the CTS drains it at the sender again, so a row is only ever touched
+  // by its source rank's shard (kill-time purges run in serial context).
   struct PendingRendezvous {
     Envelope env;
     Payload payload;
     std::function<void()> on_complete;
     uint32_t dst_inc = 0;  // destination incarnation the RTS was addressed to
   };
-  std::map<uint64_t, PendingRendezvous> rendezvous_;
-  uint64_t next_rendezvous_id_ = 0;
+  std::vector<std::map<uint64_t, PendingRendezvous>> rendezvous_;
+  std::vector<uint64_t> next_rendezvous_id_;  // per source rank
+
+  // Pooled per-message blocks: one MsgNode per in-flight data message (eager,
+  // rendezvous payload leg, replay) and one CtrlNode per control message.
+  // Arrival lambdas capture {this, node*} — 16 bytes, inside std::function's
+  // small-buffer — so the steady-state transport performs no allocation.
+  struct MsgNode {
+    Envelope env;
+    Payload payload;
+    std::function<void()> on_complete;  // replay path only
+    uint32_t inc = 0;      // destination incarnation at submit
+    uint32_t src_inc = 0;  // sender incarnation at submit
+    bool intra = false;
+    uint64_t req = 0;  // rendezvous request id (payload leg)
+  };
+  struct CtrlNode {
+    ControlMsg msg;
+    uint32_t inc = 0;
+    int dst = 0;
+  };
+  util::ObjectPool<MsgNode> msg_pool_;
+  util::ObjectPool<CtrlNode> ctrl_pool_;
 
   TrafficMatrix traffic_;
-  std::map<ChannelKey, std::vector<uint64_t>> send_trace_;
+  // Per-source send-trace rows (see send_trace()).
+  std::vector<std::map<ChannelKey, std::vector<uint64_t>>> send_trace_rows_;
   std::vector<RecoveryRecord> recoveries_;
-  std::map<int, size_t> active_recovery_;  // cluster -> index into recoveries_
+  // cluster -> index into recoveries_, -1 = none. Sized at set_cluster_of;
+  // slot c is written from serial context or cluster c's own shard only.
+  std::vector<ptrdiff_t> active_recovery_idx_;
 
-  std::map<int, std::vector<unsigned char>> pending_app_state_;
+  // Checkpointed app state parked between restore and respawn, one slot per
+  // rank (empty = none).
+  std::vector<std::vector<unsigned char>> pending_app_state_;
 
-  uint64_t uid_ = 0;
-  uint64_t dropped_in_flight_ = 0;
+  std::atomic<uint64_t> uid_{0};
+  std::atomic<uint64_t> dropped_in_flight_{0};
 };
 
 }  // namespace spbc::mpi

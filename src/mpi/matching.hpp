@@ -81,6 +81,8 @@ class MatchEngine {
   /// messages, so at Rollback time every pending RTS from it is stale.
   /// Returns the number purged.
   size_t purge_pending_rts_from(int src);
+  /// Batched purge over every source satisfying `pred` in one queue pass.
+  size_t purge_pending_rts_if(const std::function<bool(int)>& pred);
 
   /// A rendezvous payload completed for an unexpected (still unmatched)
   /// message; marks it ready. Returns false if no such entry exists (it was

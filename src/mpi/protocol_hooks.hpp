@@ -26,6 +26,13 @@ class ProtocolHooks {
   /// Called once after the Machine wired up all ranks.
   virtual void attach(Machine& machine) = 0;
 
+  /// Called when the Machine learns the cluster decomposition
+  /// (set_cluster_of), before any traffic flows. Protocols pre-size
+  /// per-cluster state here instead of lazily inserting into shared maps —
+  /// lazy insertion from concurrent shard events is a structural race under
+  /// the threaded executor.
+  virtual void on_cluster_map(int /*nclusters*/) {}
+
   /// Sender-side stamping of protocol metadata onto the envelope, called
   /// right after seqnum assignment and before on_send. SPBC piggybacks its
   /// checkpoint-epoch marker here: intra-cluster messages carry the sender's

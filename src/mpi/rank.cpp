@@ -319,6 +319,12 @@ void Rank::clear_peer_received(int peer) {
   }
 }
 
+void Rank::clear_peer_received_if(const std::function<bool(int)>& pred) {
+  for (auto& [key, ch] : send_state_) {
+    if (pred(key.peer)) ch.peer_received = SeqWindow{};
+  }
+}
+
 SeqWindow& Rank::recv_window(int src, int ctx, int tag) {
   return recv_window_[StreamKey{src, ctx, stream_of(tag)}];
 }
@@ -438,17 +444,23 @@ void Rank::deliver_payload(const Envelope& env, Payload payload, uint64_t sender
 }
 
 void Rank::rewind_pending_from(int src) {
-  std::vector<std::shared_ptr<RequestState>> rewound;
+  rewind_pending_if([src](int s) { return s == src; });
+}
+
+void Rank::rewind_pending_if(const std::function<bool(int)>& pred) {
+  // Pair each rewound request with its entry's source: an aggregated
+  // rollback rewinds a whole cluster's worth of sources in one pass.
+  std::vector<std::pair<int, std::shared_ptr<RequestState>>> rewound;
   for (auto it = pending_payload_.begin(); it != pending_payload_.end();) {
-    if (it->first.first == src) {
+    if (pred(it->first.first)) {
       it->second->matched = false;
-      rewound.push_back(it->second);
+      rewound.emplace_back(it->first.first, it->second);
       it = pending_payload_.erase(it);
     } else {
       ++it;
     }
   }
-  for (auto& req : rewound) {
+  for (auto& [src, req] : rewound) {
     // Bind the request to the exact message it had matched: its re-delivery
     // (replayed from the peer's log, or regenerated by re-execution) is
     // guaranteed, and binding prevents a newer message on the channel from

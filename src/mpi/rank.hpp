@@ -196,6 +196,11 @@ class Rank {
   /// suppression, or re-executed sends the peer no longer holds would be
   /// skipped and lost.
   void clear_peer_received(int peer);
+  /// Batched clear_peer_received: one pass over the send-state map wipes
+  /// suppression for every peer satisfying `pred` (an aggregated rollback
+  /// clears a whole recovering cluster; per-peer calls would rescan the map
+  /// once per member).
+  void clear_peer_received_if(const std::function<bool(int)>& pred);
   /// Receiver-side received-window for stream (src -> me, ctx, stream_of(tag)).
   SeqWindow& recv_window(int src, int ctx, int tag = 0);
 
@@ -225,6 +230,8 @@ class Rank {
   /// incomplete requests are re-inserted into the posted queue (in post
   /// order) so the replayed/re-executed message matches them again.
   void rewind_pending_from(int src);
+  /// Batched rewind_pending_from over every source satisfying `pred`.
+  void rewind_pending_if(const std::function<bool(int)>& pred);
 
   /// Serializes MPI-layer state into a checkpoint section.
   void serialize_runtime(util::ByteWriter& w) const;

@@ -26,12 +26,18 @@ class TrafficMatrix {
   void reset(int nranks) {
     SPBC_ASSERT(nranks >= 0);
     rows_.assign(static_cast<size_t>(nranks), Row{});
-    total_ = 0;
   }
 
   int nranks() const { return static_cast<int>(rows_.size()); }
-  uint64_t total_bytes() const { return total_; }
-  bool empty() const { return total_ == 0; }
+  // Summed on read: the running total lives in per-source rows so concurrent
+  // shard threads (each owning a disjoint set of source ranks) never share a
+  // cache line, let alone a counter.
+  uint64_t total_bytes() const {
+    uint64_t t = 0;
+    for (const Row& r : rows_) t += r.total;
+    return t;
+  }
+  bool empty() const { return total_bytes() == 0; }
 
   /// Hot path: accumulates `bytes` on the (src, dst) channel.
   void add(int src, int dst, uint64_t bytes) {
@@ -47,7 +53,7 @@ class TrafficMatrix {
       ++row.used;
     }
     s.bytes += bytes;
-    total_ += bytes;
+    row.total += bytes;
   }
 
   uint64_t bytes(int src, int dst) const {
@@ -87,6 +93,7 @@ class TrafficMatrix {
   struct Row {
     std::vector<Slot> slots;  // power-of-two size
     size_t used = 0;
+    uint64_t total = 0;  // sum of this source's bytes
 
     static size_t hash(int dst) {
       return static_cast<size_t>(static_cast<uint32_t>(dst) * 2654435761u);
@@ -111,7 +118,6 @@ class TrafficMatrix {
   };
 
   std::vector<Row> rows_;
-  uint64_t total_ = 0;
 };
 
 }  // namespace spbc::mpi

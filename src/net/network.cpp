@@ -6,11 +6,22 @@
 
 namespace spbc::net {
 
+namespace {
+// splitmix64-style mixer for the order-independent jitter draw.
+inline uint64_t mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
 Network::Network(sim::Engine& engine, const sim::Topology& topo, NetworkParams params)
     : engine_(engine),
       topo_(topo),
       params_(params),
       jitter_rng_(params.jitter_seed, 0x6e65747764ULL),
+      chan_rows_(static_cast<size_t>(topo.nranks())),
       nic_free_at_(static_cast<size_t>(topo.nodes()), sim::kTimeZero) {}
 
 sim::Time Network::latency(int src, int dst) const {
@@ -26,18 +37,69 @@ sim::Time Network::wire_time(int src_rank, int dst_rank, uint64_t bytes) const {
          static_cast<double>(bytes) / bandwidth(src_rank, dst_rank);
 }
 
+Network::Chan& Network::channel(int src, int dst) {
+  ChanRow& row = chan_rows_[static_cast<size_t>(src)];
+  if (row.cells.empty()) row.cells.assign(8, Chan{});
+  size_t mask = row.cells.size() - 1;
+  size_t i = (static_cast<size_t>(dst) * 0x9E3779B9u) & mask;
+  while (row.cells[i].dst != dst) {
+    if (row.cells[i].dst == -1) {
+      if (row.count * 10 >= row.cells.size() * 7) {
+        // Grow and rehash; rows stay small (a rank talks to few peers).
+        std::vector<Chan> old = std::move(row.cells);
+        row.cells.assign(old.size() * 2, Chan{});
+        row.count = 0;
+        for (const Chan& c : old)
+          if (c.dst != -1) {
+            size_t m2 = row.cells.size() - 1;
+            size_t j = (static_cast<size_t>(c.dst) * 0x9E3779B9u) & m2;
+            while (row.cells[j].dst != -1) j = (j + 1) & m2;
+            row.cells[j] = c;
+            ++row.count;
+          }
+        return channel(src, dst);
+      }
+      row.cells[i].dst = dst;
+      ++row.count;
+      return row.cells[i];
+    }
+    i = (i + 1) & mask;
+  }
+  return row.cells[i];
+}
+
 sim::Time Network::submit(const Transfer& t, ArrivalFn on_arrival) {
+  return submit_routed(t, t.dst_rank, std::move(on_arrival));
+}
+
+sim::Time Network::submit_routed(const Transfer& t, int route_rank,
+                                 ArrivalFn on_arrival) {
   SPBC_ASSERT(t.src_rank >= 0 && t.src_rank < topo_.nranks());
   SPBC_ASSERT(t.dst_rank >= 0 && t.dst_rank < topo_.nranks());
 
-  ++transfers_;
-  bytes_ += t.bytes;
+  transfers_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(t.bytes, std::memory_order_relaxed);
+
+  Chan& chan = channel(t.src_rank, t.dst_rank);
 
   sim::Time now = engine_.now();
   sim::Time lat = latency(t.src_rank, t.dst_rank);
   if (params_.jitter_frac > 0.0) {
-    lat *= 1.0 + params_.jitter_frac * jitter_rng_.next_double();
+    double u;
+    if (deterministic_jitter_) {
+      // Draw from the channel's own counted stream: independent of the
+      // global submit interleaving, so identical across shard/thread layouts.
+      uint64_t h = mix64(params_.jitter_seed ^
+                         mix64((static_cast<uint64_t>(t.src_rank) << 32) ^
+                               static_cast<uint64_t>(t.dst_rank) ^
+                               (static_cast<uint64_t>(chan.submits) << 20)));
+      u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    } else {
+      u = jitter_rng_.next_double();
+    }
+    lat *= 1.0 + params_.jitter_frac * u;
   }
+  ++chan.submits;
   double serialize =
       static_cast<double>(t.bytes) / bandwidth(t.src_rank, t.dst_rank);
 
@@ -54,12 +116,11 @@ sim::Time Network::submit(const Transfer& t, ArrivalFn on_arrival) {
 
   // FIFO per channel: never deliver before an earlier message on the same
   // (src,dst) channel, even if jitter says otherwise.
-  auto key = std::make_pair(t.src_rank, t.dst_rank);
-  auto it = channel_last_arrival_.find(key);
-  if (it != channel_last_arrival_.end()) arrival = std::max(arrival, it->second);
-  channel_last_arrival_[key] = arrival;
+  arrival = std::max(arrival, chan.last_arrival);
+  chan.last_arrival = arrival;
 
-  engine_.at(arrival, std::move(on_arrival));
+  int shard = shard_of_ ? shard_of_(route_rank) : 0;
+  engine_.at_on(shard, arrival, std::move(on_arrival));
   return arrival;
 }
 

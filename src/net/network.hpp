@@ -12,10 +12,19 @@
 // cross-channel message interleavings without violating per-channel FIFO.
 // The channel-determinism checker runs the same application under different
 // jitter seeds and asserts identical per-channel send sequences.
+//
+// Sharded engine integration: arrivals are scheduled on the key shard owning
+// the *routing* rank (the destination by default), so delivery callbacks
+// mutate only that shard's state. Per-channel FIFO state lives in flat
+// per-source rows — owned by the sender's shard, so submits from concurrent
+// shard threads never share a row. With `deterministic jitter` enabled the
+// jitter draw is a counter-hash of the channel instead of a shared global
+// RNG stream, making it independent of cross-channel submit order (and so
+// identical for every shard/thread configuration).
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -62,10 +71,27 @@ class Network {
   const NetworkParams& params() const { return params_; }
   const sim::Topology& topology() const { return topo_; }
 
-  /// Submits a transfer; schedules on_arrival at the computed arrival time.
-  /// FIFO per (src,dst) is guaranteed regardless of jitter.
-  /// Returns the arrival time.
+  /// Rank -> key shard map for arrival routing (the machine wires its
+  /// cluster map here). Unset = everything on shard 0 (legacy engine).
+  void set_shard_of(std::function<int(int)> shard_of) {
+    shard_of_ = std::move(shard_of);
+  }
+
+  /// Order-independent jitter draws (counter-hash per channel instead of the
+  /// shared RNG stream). Required for sharded/threaded runs; changes jitter
+  /// values — legacy single-shard runs keep the original stream.
+  void set_deterministic_jitter(bool v) { deterministic_jitter_ = v; }
+
+  /// Submits a transfer; schedules on_arrival at the computed arrival time
+  /// on the destination rank's shard. FIFO per (src,dst) is guaranteed
+  /// regardless of jitter. Returns the arrival time.
   sim::Time submit(const Transfer& t, ArrivalFn on_arrival);
+
+  /// Like submit(), but the arrival callback runs on `route_rank`'s shard
+  /// (staging drains route arrivals to the fragment's home rank, whose entry
+  /// tables the callback mutates).
+  sim::Time submit_routed(const Transfer& t, int route_rank,
+                          ArrivalFn on_arrival);
 
   /// Pure cost query (no event scheduled): the time a `bytes`-sized message
   /// from src to dst would occupy the wire, excluding queuing.
@@ -74,10 +100,28 @@ class Network {
   /// Sender-side overhead for one message (charged by the MPI layer).
   sim::Time send_overhead() const { return params_.send_overhead; }
 
-  uint64_t transfers_submitted() const { return transfers_; }
-  uint64_t bytes_submitted() const { return bytes_; }
+  uint64_t transfers_submitted() const {
+    return transfers_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_submitted() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // Per-(src,dst) FIFO/jitter state, stored in a flat open-addressed row per
+  // source rank (same idiom as TrafficMatrix). A row is only ever touched by
+  // its source rank's shard.
+  struct Chan {
+    int dst = -1;  // -1 = empty cell
+    sim::Time last_arrival = sim::kTimeZero;
+    uint32_t submits = 0;  // per-channel jitter counter
+  };
+  struct ChanRow {
+    std::vector<Chan> cells;
+    size_t count = 0;
+  };
+  Chan& channel(int src, int dst);
+
   sim::Time latency(int src, int dst) const;
   double bandwidth(int src, int dst) const;
 
@@ -85,14 +129,17 @@ class Network {
   sim::Topology topo_;
   NetworkParams params_;
   util::Pcg32 jitter_rng_;
+  bool deterministic_jitter_ = false;
+  std::function<int(int)> shard_of_;
 
-  // Per-channel last-arrival time, to enforce FIFO under jitter.
-  std::map<std::pair<int, int>, sim::Time> channel_last_arrival_;
-  // Per-node NIC next-free time (inter-node injection serialization).
+  std::vector<ChanRow> chan_rows_;  // indexed by src rank
+  // Per-node NIC next-free time (inter-node injection serialization). With
+  // node-colocated clusters a node belongs to one shard; threaded runs
+  // require colocation (enforced by the machine).
   std::vector<sim::Time> nic_free_at_;
 
-  uint64_t transfers_ = 0;
-  uint64_t bytes_ = 0;
+  std::atomic<uint64_t> transfers_{0};
+  std::atomic<uint64_t> bytes_{0};
 };
 
 }  // namespace spbc::net

@@ -1,60 +1,270 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <barrier>
+#include <cmath>
 #include <cstdio>
+#include <limits>
+#include <thread>
 
 namespace spbc::sim {
 
-Engine::Engine(size_t default_stack_size) : default_stack_size_(default_stack_size) {}
+namespace {
 
-EventQueue::EventId Engine::at(Time t, std::function<void()> fn) {
-  SPBC_ASSERT_MSG(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
-  return queue_.schedule(t, std::move(fn));
+// Per-thread execution context: which engine/shard the current event belongs
+// to. Fibers run inside their resume event, so fiber-side calls (at, park,
+// wait) see the owning shard's context. Saved/restored around each event.
+struct ThreadCtx {
+  Engine* eng = nullptr;
+  int exec = -1;                // exec shard executing, -1 = serial/none
+  int key = 0;                  // owner key shard of the current event
+  bool parallel = false;        // inside a threaded window
+  bool serial = false;          // inside a serial (barrier) event
+  Engine::TaskId running_task = Engine::kInvalidTask;
+};
+thread_local ThreadCtx tl;
+
+}  // namespace
+
+Engine::Engine(size_t default_stack_size)
+    : default_stack_size_(default_stack_size) {
+  set_shard_plan(1, 1);
 }
 
+Engine::~Engine() = default;
+
+void Engine::set_shard_plan(int key_shards, int exec_shards) {
+  SPBC_ASSERT_MSG(key_shards >= 1, "bad key shard count " << key_shards);
+  SPBC_ASSERT_MSG(tasks_.empty(), "set_shard_plan after spawn");
+  for (auto& sh : shards_)
+    SPBC_ASSERT_MSG(sh->queue.empty(), "set_shard_plan after schedule");
+  SPBC_ASSERT_MSG(serial_q_.empty(), "set_shard_plan after schedule");
+  if (exec_shards <= 0 || exec_shards > key_shards) exec_shards = key_shards;
+  shards_.clear();
+  shards_.reserve(static_cast<size_t>(exec_shards));
+  for (int i = 0; i < exec_shards; ++i) {
+    auto sh = std::make_unique<ExecShard>();
+    sh->pool = std::make_unique<StackPool>(default_stack_size_);
+    shards_.push_back(std::move(sh));
+  }
+  key_seq_.assign(static_cast<size_t>(key_shards), 0);
+}
+
+bool Engine::in_shard_event() const {
+  return tl.eng == this && !tl.serial && tl.exec >= 0;
+}
+
+bool Engine::in_parallel_context() const {
+  return tl.eng == this && tl.parallel;
+}
+
+bool Engine::in_serial_context() const {
+  return tl.eng == this && tl.serial;
+}
+
+Time Engine::now() const {
+  if (tl.eng == this && !tl.serial && tl.exec >= 0)
+    return shards_[static_cast<size_t>(tl.exec)]->now;
+  return global_now_;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+EventQueue::EventId Engine::schedule_event(int target_key, Time t,
+                                           std::function<void()> fn) {
+  SPBC_ASSERT(target_key >= 0 && target_key < key_shards());
+  // The ordering key is stamped by the *scheduling* context's key shard (the
+  // origin): its sequence counter is only ever advanced by the one thread
+  // executing that shard, so keys are race-free and — because they never
+  // mention exec shards or threads — identical for every execution layout.
+  // Outside a run the world is stopped and a single thread schedules: stamp
+  // origin 0 with its shared counter, so same-time events keep their global
+  // scheduling order — exactly the legacy single-queue tie-break (a wake
+  // queued on one shard and a kill on another resolve as they always did).
+  uint32_t origin;
+  if (tl.eng == this && (tl.serial || tl.exec >= 0))
+    origin = static_cast<uint32_t>(tl.key);
+  else
+    origin = 0u;
+  EventKey key{t, origin, key_seq_[origin]++};
+
+  if (sharded() && in_shard_event() && target_key != tl.key) {
+    // Conservative-lookahead invariant, asserted in every mode so cheap
+    // single-threaded runs validate what threaded windows rely on.
+    Time tau = shards_[static_cast<size_t>(tl.exec)]->now;
+    SPBC_ASSERT_MSG(t - tau >= lookahead_ - 1e-12 * (1.0 + std::abs(tau)),
+                    "cross-shard schedule inside lookahead window: t="
+                        << t << " now=" << tau << " lookahead=" << lookahead_);
+  }
+
+  size_t qidx = static_cast<size_t>(exec_of(target_key));
+  ExecShard& sh = *shards_[qidx];
+  if (tl.eng == this && tl.parallel && static_cast<int>(qidx) != tl.exec) {
+    // Another worker owns that queue right now: hand over via mailbox; the
+    // coordinator applies it between windows (t >= window end, see above).
+    EventQueue::EventId local = sh.queue.reserve_id();
+    {
+      std::lock_guard<std::mutex> g(sh.mbox_mu);
+      sh.mbox.push_back(Mail{false, local, key,
+                             static_cast<uint32_t>(target_key),
+                             std::move(fn)});
+    }
+    return make_gid(qidx, local);
+  }
+  SPBC_ASSERT_MSG(t >= sh.now,
+                  "scheduling into the past: t=" << t << " now=" << sh.now);
+  return make_gid(qidx, sh.queue.schedule_keyed(
+                            key, static_cast<uint32_t>(target_key),
+                            std::move(fn)));
+}
+
+EventQueue::EventId Engine::schedule_serial(Time t, std::function<void()> fn) {
+  uint32_t origin = (tl.eng == this && (tl.serial || tl.exec >= 0))
+                        ? static_cast<uint32_t>(tl.key)
+                        : 0u;
+  EventKey key{t, origin, key_seq_[origin]++};
+  if (sharded() && in_shard_event()) {
+    Time tau = shards_[static_cast<size_t>(tl.exec)]->now;
+    SPBC_ASSERT_MSG(t - tau >= lookahead_ - 1e-12 * (1.0 + std::abs(tau)),
+                    "serial schedule inside lookahead window: t="
+                        << t << " now=" << tau << " lookahead=" << lookahead_);
+  }
+  if (tl.eng == this && tl.parallel) {
+    EventQueue::EventId local = serial_q_.reserve_id();
+    {
+      std::lock_guard<std::mutex> g(serial_mbox_mu_);
+      serial_mbox_.push_back(Mail{false, local, key, origin, std::move(fn)});
+    }
+    return make_gid(shards_.size(), local);
+  }
+  SPBC_ASSERT_MSG(t >= global_now_,
+                  "serial event in the past: t=" << t << " now=" << global_now_);
+  return make_gid(shards_.size(),
+                  serial_q_.schedule_keyed(key, origin, std::move(fn)));
+}
+
+EventQueue::EventId Engine::at(Time t, std::function<void()> fn) {
+  if (in_shard_event()) return schedule_event(tl.key, t, std::move(fn));
+  if (!sharded()) return schedule_event(0, t, std::move(fn));
+  // Serial context or outside a run: events scheduled while the world is
+  // stopped usually orchestrate global actions (failure injection, recovery
+  // continuations) — keep them at the barrier.
+  return schedule_serial(t, std::move(fn));
+}
+
+EventQueue::EventId Engine::at_on(int key_shard, Time t,
+                                  std::function<void()> fn) {
+  if (!sharded()) return schedule_event(0, t, std::move(fn));
+  return schedule_event(key_shard, t, std::move(fn));
+}
+
+EventQueue::EventId Engine::at_serial(Time t, std::function<void()> fn) {
+  if (!sharded()) return schedule_event(0, t, std::move(fn));
+  return schedule_serial(t, std::move(fn));
+}
+
+void Engine::run_serial(std::function<void()> fn) {
+  if (!sharded() || !in_shard_event()) {
+    // Unsharded, already serial, or outside a run: the caller is alone.
+    fn();
+    return;
+  }
+  schedule_serial(now() + lookahead_, std::move(fn));
+}
+
+void Engine::cancel(EventQueue::EventId id) {
+  size_t qidx = static_cast<size_t>(id >> kLocalIdBits) - 1;
+  EventQueue::EventId local = id & ((1ull << kLocalIdBits) - 1);
+  SPBC_ASSERT(qidx <= shards_.size());
+  if (qidx == shards_.size()) {
+    SPBC_ASSERT_MSG(!(tl.eng == this && tl.parallel),
+                    "serial-event cancel from a threaded window");
+    serial_q_.cancel(local);
+    return;
+  }
+  ExecShard& sh = *shards_[qidx];
+  if (tl.eng == this && tl.parallel && static_cast<int>(qidx) != tl.exec) {
+    std::lock_guard<std::mutex> g(sh.mbox_mu);
+    sh.mbox.push_back(Mail{true, local, EventKey{}, 0, nullptr});
+    return;
+  }
+  sh.queue.cancel(local);
+}
+
+// ---------------------------------------------------------------------------
+// Tasks
+// ---------------------------------------------------------------------------
+
 Engine::TaskId Engine::spawn(std::function<void()> body) {
+  int k = (tl.eng == this && (tl.serial || tl.exec >= 0)) ? tl.key : 0;
+  return spawn_on(k, std::move(body));
+}
+
+Engine::TaskId Engine::spawn_on(int key_shard, std::function<void()> body) {
+  SPBC_ASSERT_MSG(!(tl.eng == this && tl.parallel),
+                  "spawn from a threaded window");
+  if (!sharded()) key_shard = 0;
+  SPBC_ASSERT(key_shard >= 0 && key_shard < key_shards());
   TaskId id = static_cast<TaskId>(tasks_.size());
-  tasks_.push_back(Task{});
-  tasks_[id].fiber = std::make_unique<Fiber>(std::move(body), default_stack_size_);
+  tasks_.emplace_back();
+  Task& t = tasks_.back();
+  t.key_shard = key_shard;
+  t.fiber = std::make_unique<Fiber>(
+      std::move(body), *shards_[static_cast<size_t>(exec_of(key_shard))]->pool);
   schedule_resume(id);
   return id;
 }
 
 void Engine::schedule_resume(TaskId id) {
-  Task& task = tasks_[id];
+  Task& task = tasks_[static_cast<size_t>(id)];
   if (task.scheduled) return;
   task.scheduled = true;
-  queue_.schedule(now_, [this, id] {
-    Task& t = tasks_[id];
-    t.scheduled = false;
-    if (!t.fiber || t.fiber->finished()) return;
-    TaskId prev = running_task_;
-    running_task_ = id;
-    t.fiber->resume();
-    running_task_ = prev;
-  });
+  schedule_event(task.key_shard, now(), [this, id] { resume_task(id); });
+}
+
+void Engine::resume_task(TaskId id) {
+  Task& t = tasks_[static_cast<size_t>(id)];
+  t.scheduled = false;
+  if (!t.fiber || t.fiber->finished()) return;
+  TaskId prev = tl.running_task;
+  tl.running_task = id;
+  t.fiber->resume();
+  tl.running_task = prev;
+  // Finished fibers release their stack back to the shard's pool right away
+  // (this event runs on the owning shard, so the pool access is thread-safe).
+  if (t.fiber->finished()) t.fiber.reset();
 }
 
 void Engine::wait(Time dt) {
-  SPBC_ASSERT_MSG(running_task_ != kInvalidTask, "wait outside fiber");
+  SPBC_ASSERT_MSG(tl.eng == this && tl.running_task != kInvalidTask,
+                  "wait outside fiber");
   SPBC_ASSERT_MSG(dt >= 0.0, "negative wait " << dt);
-  TaskId id = running_task_;
-  Time deadline = now_ + dt;
-  queue_.schedule(deadline, [this, id] { unpark(id); });
+  TaskId id = tl.running_task;
+  Time deadline = now() + dt;
+  at(deadline, [this, id] { unpark(id); });
   // Spurious wakes happen (message deliveries wake their rank's fiber);
   // sleep again until the deadline actually passed.
-  while (now_ < deadline) park();
+  while (now() < deadline) park();
 }
 
 void Engine::park() {
-  SPBC_ASSERT_MSG(running_task_ != kInvalidTask, "park outside fiber");
-  Task& task = tasks_[running_task_];
-  task.fiber->yield();  // throws FiberKilled on kill
+  SPBC_ASSERT_MSG(tl.eng == this && tl.running_task != kInvalidTask,
+                  "park outside fiber");
+  tasks_[static_cast<size_t>(tl.running_task)].fiber->yield();
 }
 
 void Engine::unpark(TaskId id) {
   SPBC_ASSERT(id >= 0 && static_cast<size_t>(id) < tasks_.size());
-  Task& task = tasks_[id];
+  Task& task = tasks_[static_cast<size_t>(id)];
   if (!task.fiber || task.fiber->finished()) return;
+  if (sharded() && in_shard_event())
+    SPBC_ASSERT_MSG(task.key_shard == tl.key,
+                    "cross-shard unpark from shard context (route the event "
+                    "to the task's shard or use a serial event): task "
+                    << id << " '" << task.label << "' on shard "
+                    << task.key_shard << ", context shard " << tl.key);
   if (task.fiber->state() != Fiber::State::kParked &&
       task.fiber->state() != Fiber::State::kReady)
     return;
@@ -63,21 +273,31 @@ void Engine::unpark(TaskId id) {
 
 void Engine::kill(TaskId id) {
   SPBC_ASSERT(id >= 0 && static_cast<size_t>(id) < tasks_.size());
-  Task& task = tasks_[id];
+  Task& task = tasks_[static_cast<size_t>(id)];
   if (!task.fiber || task.fiber->finished()) return;
+  if (sharded() && in_shard_event())
+    SPBC_ASSERT_MSG(task.key_shard == tl.key,
+                    "cross-shard kill from shard context (failure injection "
+                    "must run in a serial event)");
   task.fiber->kill();
   schedule_resume(id);  // wake it so the FiberKilled unwind runs promptly
 }
 
 bool Engine::task_finished(TaskId id) const {
   SPBC_ASSERT(id >= 0 && static_cast<size_t>(id) < tasks_.size());
-  const Task& task = tasks_[id];
+  const Task& task = tasks_[static_cast<size_t>(id)];
   return !task.fiber || task.fiber->finished();
 }
 
 Engine::TaskId Engine::current_task() const {
-  SPBC_ASSERT_MSG(running_task_ != kInvalidTask, "current_task outside fiber");
-  return running_task_;
+  SPBC_ASSERT_MSG(tl.eng == this && tl.running_task != kInvalidTask,
+                  "current_task outside fiber");
+  return tl.running_task;
+}
+
+int Engine::task_shard(TaskId id) const {
+  SPBC_ASSERT(id >= 0 && static_cast<size_t>(id) < tasks_.size());
+  return tasks_[static_cast<size_t>(id)].key_shard;
 }
 
 size_t Engine::live_task_count() const {
@@ -89,50 +309,221 @@ size_t Engine::live_task_count() const {
 
 void Engine::set_task_label(TaskId id, std::string label) {
   SPBC_ASSERT(id >= 0 && static_cast<size_t>(id) < tasks_.size());
-  tasks_[id].label = std::move(label);
+  tasks_[static_cast<size_t>(id)].label = std::move(label);
+}
+
+// ---------------------------------------------------------------------------
+// Run loops
+// ---------------------------------------------------------------------------
+
+void Engine::exec_shard_one(int s, bool parallel) {
+  ExecShard& sh = *shards_[static_cast<size_t>(s)];
+  EventQueue::Popped p = sh.queue.pop_keyed();
+  SPBC_ASSERT(p.key.t >= sh.now);
+  sh.now = p.key.t;
+  if (!parallel) global_now_ = std::max(global_now_, p.key.t);
+  ThreadCtx prev = tl;
+  tl = ThreadCtx{this, s, static_cast<int>(p.owner), parallel, false,
+                 kInvalidTask};
+  p.fn();
+  tl = prev;
+  ++sh.events;
+}
+
+void Engine::exec_serial_one() {
+  EventQueue::Popped p = serial_q_.pop_keyed();
+  // A serial event is a global barrier: every shard clock advances to its
+  // time (it only executes when it is the globally smallest key, so no shard
+  // holds an earlier event).
+  global_now_ = std::max(global_now_, p.key.t);
+  for (auto& sh : shards_) sh->now = std::max(sh->now, p.key.t);
+  ThreadCtx prev = tl;
+  tl = ThreadCtx{this, -1, static_cast<int>(p.owner), false, true,
+                 kInvalidTask};
+  p.fn();
+  tl = prev;
+  ++serial_events_;
+}
+
+Time Engine::run_merge(Time deadline, bool bounded) {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_relaxed)) break;
+    // N-way merge: pop the globally smallest (time, shard, seq) key — the
+    // exact single-queue order, for any shard count.
+    bool have = false;
+    EventKey bk{};
+    int best = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      EventQueue& q = shards_[s]->queue;
+      if (q.empty()) continue;
+      const EventKey& k = q.next_key();
+      if (!have || k < bk) {
+        have = true;
+        bk = k;
+        best = static_cast<int>(s);
+      }
+    }
+    bool serial_best = false;
+    if (!serial_q_.empty()) {
+      const EventKey& k = serial_q_.next_key();
+      if (!have || k < bk) {
+        have = true;
+        bk = k;
+        serial_best = true;
+      }
+    }
+    if (!have) break;
+    if (bounded && bk.t > deadline) break;
+    if (serial_best)
+      exec_serial_one();
+    else
+      exec_shard_one(best, false);
+  }
+  if (bounded) {
+    if (global_now_ < deadline) global_now_ = deadline;
+    for (auto& sh : shards_) sh->now = std::max(sh->now, deadline);
+  } else if (!stop_requested_.load(std::memory_order_relaxed)) {
+    deadlock_check();
+  }
+  return global_now_;
+}
+
+void Engine::drain_mailboxes() {
+  std::vector<Mail> tmp;
+  for (auto& shp : shards_) {
+    {
+      std::lock_guard<std::mutex> g(shp->mbox_mu);
+      tmp.swap(shp->mbox);
+    }
+    for (Mail& m : tmp) {
+      if (m.cancel)
+        shp->queue.cancel(m.local_id);
+      else
+        shp->queue.schedule_reserved(m.local_id, m.key, m.owner,
+                                     std::move(m.fn));
+    }
+    tmp.clear();
+  }
+  {
+    std::lock_guard<std::mutex> g(serial_mbox_mu_);
+    tmp.swap(serial_mbox_);
+  }
+  for (Mail& m : tmp)
+    serial_q_.schedule_reserved(m.local_id, m.key, m.owner, std::move(m.fn));
+}
+
+Time Engine::run_threaded() {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  const int nexec = exec_shards();
+  const int nw = std::min(threads_, nexec);
+  workers_exit_ = false;
+
+  std::barrier<> start_b(nw + 1), end_b(nw + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(nw));
+  for (int w = 0; w < nw; ++w) {
+    workers.emplace_back([this, w, nw, nexec, &start_b, &end_b] {
+      for (;;) {
+        start_b.arrive_and_wait();
+        if (workers_exit_) break;
+        const Time W = window_end_;
+        for (int s = w; s < nexec; s += nw) {
+          ExecShard& sh = *shards_[static_cast<size_t>(s)];
+          while (!sh.queue.empty() && sh.queue.next_key().t < W)
+            exec_shard_one(s, true);
+        }
+        end_b.arrive_and_wait();
+      }
+    });
+  }
+
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_relaxed)) break;
+    drain_mailboxes();
+    bool have = false;
+    EventKey kmin{};
+    int smin = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      EventQueue& q = shards_[s]->queue;
+      if (q.empty()) continue;
+      const EventKey& k = q.next_key();
+      if (!have || k < kmin) {
+        have = true;
+        kmin = k;
+        smin = static_cast<int>(s);
+      }
+    }
+    bool have_serial = !serial_q_.empty();
+    if (have_serial && (!have || serial_q_.next_key() < kmin)) {
+      exec_serial_one();
+      continue;
+    }
+    if (!have) break;
+    Time W = kmin.t + lookahead_;
+    if (have_serial) W = std::min(W, serial_q_.next_time());
+    if (!(W > kmin.t)) {
+      // No parallel room (zero lookahead or a serial event at the same
+      // time): fall back to one deterministic sequential step.
+      exec_shard_one(smin, false);
+      ++seq_steps_;
+      continue;
+    }
+    global_now_ = std::max(global_now_, kmin.t);
+    window_end_ = W;
+    ++windows_;
+    start_b.arrive_and_wait();  // workers process their shards' t < W
+    end_b.arrive_and_wait();
+  }
+
+  workers_exit_ = true;
+  start_b.arrive_and_wait();
+  for (auto& th : workers) th.join();
+  drain_mailboxes();  // apply leftovers from a stopped window
+  // Parallel-window events advance only their shard's clock; fold them in so
+  // the final time matches the merge loop's (it tracks every event).
+  for (auto& sh : shards_) global_now_ = std::max(global_now_, sh->now);
+  if (!stop_requested_.load(std::memory_order_relaxed)) deadlock_check();
+  return global_now_;
 }
 
 Time Engine::run() {
-  stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    auto [t, fn] = queue_.pop();
-    SPBC_ASSERT(t >= now_);
-    now_ = t;
-    fn();
-  }
-  if (!stop_requested_) {
-    // Deadlock detection: events drained but fibers still alive.
-    size_t live = live_task_count();
-    if (live > 0) {
-      deadlocked_ = true;
-      if (abort_on_deadlock_) {
-        std::fprintf(stderr,
-                     "Engine::run: DEADLOCK at t=%.9f — %zu task(s) parked "
-                     "with no pending events:\n",
-                     now_, live);
-        for (size_t i = 0; i < tasks_.size(); ++i) {
-          const Task& t = tasks_[i];
-          if (t.fiber && !t.fiber->finished())
-            std::fprintf(stderr, "  task %zu (%s)\n", i,
-                         t.label.empty() ? "unnamed" : t.label.c_str());
-        }
-        SPBC_ASSERT_MSG(false, "simulation deadlock");
-      }
-    }
-  }
-  return now_;
+  if (sharded() && threads_ > 1 && exec_shards() > 1) return run_threaded();
+  return run_merge(0.0, false);
 }
 
-Time Engine::run_until(Time deadline) {
-  stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    if (queue_.next_time() > deadline) break;
-    auto [t, fn] = queue_.pop();
-    now_ = t;
-    fn();
+Time Engine::run_until(Time deadline) { return run_merge(deadline, true); }
+
+void Engine::deadlock_check() {
+  size_t live = live_task_count();
+  if (live == 0) return;
+  deadlocked_ = true;
+  if (!abort_on_deadlock_) return;
+  std::fprintf(stderr,
+               "Engine::run: DEADLOCK at t=%.9f — %zu task(s) parked "
+               "with no pending events:\n",
+               global_now_, live);
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    const Task& t = tasks_[i];
+    if (t.fiber && !t.fiber->finished())
+      std::fprintf(stderr, "  task %zu (%s)\n", i,
+                   t.label.empty() ? "unnamed" : t.label.c_str());
   }
-  if (now_ < deadline) now_ = deadline;
-  return now_;
+  SPBC_ASSERT_MSG(false, "simulation deadlock");
+}
+
+Engine::Stats Engine::stats() const {
+  Stats s;
+  for (const auto& sh : shards_) {
+    s.events += sh->events;
+    s.live_stacks += sh->pool->live();
+    s.peak_live_stacks += sh->pool->peak_live();  // sum of per-shard peaks
+    s.stacks_allocated += sh->pool->allocated();
+  }
+  s.serial_events = serial_events_;
+  s.windows = windows_;
+  s.seq_steps = seq_steps_;
+  return s;
 }
 
 }  // namespace spbc::sim

@@ -2,6 +2,10 @@
 
 #include "util/assert.hpp"
 
+#if SPBC_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace spbc::sim {
 
 namespace {
@@ -10,13 +14,56 @@ thread_local Fiber* g_current_fiber = nullptr;
 
 Fiber* Fiber::current() { return g_current_fiber; }
 
-Fiber::Fiber(std::function<void()> body, size_t stack_size)
-    : body_(std::move(body)), stack_(stack_size) {
+// ---------------------------------------------------------------------------
+// StackPool
+// ---------------------------------------------------------------------------
+
+StackPool::StackPool(size_t stack_size) : stack_size_(stack_size) {
   SPBC_ASSERT(stack_size >= 16 * 1024);
+}
+
+unsigned char* StackPool::acquire() {
+  unsigned char* s;
+  if (!free_.empty()) {
+    s = free_.back().release();
+    free_.pop_back();
+  } else {
+    // Default-initialized: pages stay untouched until the fiber's call chain
+    // actually reaches them.
+    s = new unsigned char[stack_size_];
+    ++allocated_;
+  }
+  ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
+  return s;
+}
+
+void StackPool::release(unsigned char* stack) {
+  SPBC_ASSERT(live_ > 0);
+  --live_;
+  free_.emplace_back(stack);
+}
+
+// ---------------------------------------------------------------------------
+// Fiber
+// ---------------------------------------------------------------------------
+
+Fiber::Fiber(std::function<void()> body, StackPool& pool)
+    : body_(std::move(body)), pool_(&pool), stack_(pool.acquire()) {
+  init_context(pool.stack_size());
+}
+
+Fiber::Fiber(std::function<void()> body, size_t stack_size)
+    : body_(std::move(body)), stack_(new unsigned char[stack_size]) {
+  SPBC_ASSERT(stack_size >= 16 * 1024);
+  init_context(stack_size);
+}
+
+void Fiber::init_context(size_t stack_size) {
   int rc = getcontext(&ctx_);
   SPBC_ASSERT_MSG(rc == 0, "getcontext failed");
-  ctx_.uc_stack.ss_sp = stack_.data();
-  ctx_.uc_stack.ss_size = stack_.size();
+  ctx_.uc_stack.ss_sp = stack_;
+  ctx_.uc_stack.ss_size = stack_size;
   ctx_.uc_link = nullptr;  // trampoline never falls through; it yields forever
   // makecontext only passes ints; split the this-pointer into two 32-bit
   // halves (the portable idiom for 64-bit pointers).
@@ -24,6 +71,9 @@ Fiber::Fiber(std::function<void()> body, size_t stack_size)
   makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
               static_cast<unsigned>(self >> 32),
               static_cast<unsigned>(self & 0xffffffffu));
+#if SPBC_TSAN
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber() {
@@ -31,6 +81,13 @@ Fiber::~Fiber() {
   // only after a kill+resume cycle or at engine teardown (their stacks just
   // go away; destructors of parked frames do not run, which engine teardown
   // accepts for simulation-owned fibers that hold no external resources).
+#if SPBC_TSAN
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+  if (pool_ != nullptr)
+    pool_->release(stack_);
+  else
+    delete[] stack_;
 }
 
 void Fiber::trampoline(unsigned hi, unsigned lo) {
@@ -41,6 +98,9 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
   self->state_ = State::kFinished;
   for (;;) {
     g_current_fiber = nullptr;
+#if SPBC_TSAN
+    __tsan_switch_to_fiber(self->tsan_sched_fiber_, 0);
+#endif
     swapcontext(&self->ctx_, &self->sched_ctx_);
     // A finished fiber should never be resumed, but tolerate it.
   }
@@ -59,6 +119,10 @@ void Fiber::resume() {
   SPBC_ASSERT_MSG(g_current_fiber == nullptr, "nested fiber resume");
   state_ = State::kRunning;
   g_current_fiber = this;
+#if SPBC_TSAN
+  tsan_sched_fiber_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   int rc = swapcontext(&sched_ctx_, &ctx_);
   SPBC_ASSERT(rc == 0);
   g_current_fiber = nullptr;
@@ -68,6 +132,9 @@ void Fiber::yield() {
   SPBC_ASSERT_MSG(g_current_fiber == this, "yield from non-current fiber");
   state_ = State::kParked;
   g_current_fiber = nullptr;
+#if SPBC_TSAN
+  __tsan_switch_to_fiber(tsan_sched_fiber_, 0);
+#endif
   int rc = swapcontext(&ctx_, &sched_ctx_);
   SPBC_ASSERT(rc == 0);
   g_current_fiber = this;

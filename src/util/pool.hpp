@@ -1,0 +1,61 @@
+#pragma once
+// Recycling object pool for per-message heap blocks.
+//
+// The transport allocates one block per in-flight message (envelope + payload
+// + incarnation stamps) and frees it at arrival — at 100k ranks that is the
+// dominant allocator traffic after fiber stacks. The pool keeps released
+// objects *constructed*, so a recycled node's Payload vector retains its
+// capacity and a steady-state run stops allocating entirely.
+//
+// Thread-safe (mutex-guarded free list): nodes are acquired on the sending
+// shard and released on the receiving shard, which are different threads
+// under the threaded shard executor. The critical section is a pointer swap.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace spbc::util {
+
+template <typename T>
+class ObjectPool {
+ public:
+  ObjectPool() = default;
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+  ~ObjectPool() {
+    for (T* p : free_) delete p;
+  }
+
+  /// Returns a constructed object — recycled (with whatever field values it
+  /// was released with; the caller overwrites them) or fresh.
+  T* acquire() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (!free_.empty()) {
+        T* p = free_.back();
+        free_.pop_back();
+        return p;
+      }
+    }
+    allocated_.fetch_add(1, std::memory_order_relaxed);
+    return new T();
+  }
+
+  /// Returns the object to the pool without destroying it.
+  void release(T* p) {
+    std::lock_guard<std::mutex> g(mu_);
+    free_.push_back(p);
+  }
+
+  /// Distinct objects ever allocated (pool effectiveness diagnostic).
+  size_t allocated() const { return allocated_.load(std::memory_order_relaxed); }
+
+ private:
+  std::mutex mu_;
+  std::vector<T*> free_;
+  std::atomic<size_t> allocated_{0};
+};
+
+}  // namespace spbc::util

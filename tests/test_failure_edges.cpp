@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 
@@ -63,12 +64,23 @@ struct Rig {
   core::SpbcProtocol* protocol = nullptr;
 };
 
+// SPBC_TEST_SCALABLE_CTRL=1 reruns this suite with the scalable control
+// plane (leader-aggregated rollbacks + tree wave markers) forced on; every
+// edge case here must survive either plane.
+void apply_ctrl_plane_env(MachineConfig& cfg) {
+  if (std::getenv("SPBC_TEST_SCALABLE_CTRL") != nullptr) {
+    cfg.aggregate_rollbacks = true;
+    cfg.tree_ckpt_markers = true;
+  }
+}
+
 Rig make_rig(std::vector<int> clusters, int ckpt_every, bool colocate = true) {
   MachineConfig cfg;
   cfg.nranks = static_cast<int>(clusters.size());
   cfg.ranks_per_node = 2;
   cfg.abort_on_deadlock = false;
   cfg.enforce_node_colocation = colocate;
+  apply_ctrl_plane_env(cfg);
   core::SpbcConfig scfg;
   scfg.checkpoint_every = static_cast<uint64_t>(ckpt_every);
   auto proto = std::make_unique<core::SpbcProtocol>(scfg);
@@ -188,6 +200,7 @@ TEST(FailureEdge, RepeatedFailuresWithRendezvousTraffic) {
   const int n = 8, iters = 14;
   MachineConfig base;
   base.eager_threshold = 256;  // everything is rendezvous
+  apply_ctrl_plane_env(base);
   auto make = [&](std::vector<int> clusters, int every) {
     MachineConfig cfg = base;
     cfg.nranks = n;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 
@@ -79,6 +80,14 @@ Rig make_rig(int nranks, int rpn, std::vector<int> clusters, int ckpt_every,
   cfg.ranks_per_node = rpn;
   cfg.eager_threshold = eager_threshold;
   cfg.abort_on_deadlock = false;
+  // SPBC_TEST_SCALABLE_CTRL=1 reruns this suite with the scalable control
+  // plane (leader-aggregated rollbacks + tree wave markers) forced on. The
+  // checksum oracles below must hold regardless of which plane delivered
+  // the recovery announces.
+  if (std::getenv("SPBC_TEST_SCALABLE_CTRL") != nullptr) {
+    cfg.aggregate_rollbacks = true;
+    cfg.tree_ckpt_markers = true;
+  }
   core::SpbcConfig scfg;
   scfg.checkpoint_every = static_cast<uint64_t>(ckpt_every);
   auto proto = std::make_unique<core::SpbcProtocol>(scfg);
