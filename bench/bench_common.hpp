@@ -58,6 +58,16 @@ struct BenchOpts {
   // broadcast (O(members^2)). Required past a few thousand ranks — the
   // coordinated arm's wave spans every rank.
   bool tree_markers = false;
+  // Control-plane ablation knobs (ablation_control):
+  // --mtbf-drift: calm-phase MTBF / storm-phase MTBF ratio of the drifting
+  // failure process the self-tuning controller must track.
+  double mtbf_drift = 40.0;
+  // --scrub-period: background audit-wave cadence in virtual seconds for the
+  // controller arm (< 0 = auto-scale to the workload, 0 = scrubbing off).
+  double scrub_period = -1.0;
+  // --escalate: arm scheme escalation (XOR -> RS on correlated double
+  // losses) and include same-group double losses in the storm.
+  bool escalate = false;
 };
 
 inline BenchOpts parse_opts(int argc, char** argv) {
@@ -81,6 +91,9 @@ inline BenchOpts parse_opts(int argc, char** argv) {
   o.threads = static_cast<int>(cli.get_int("threads", o.threads));
   o.agg_rollbacks = cli.get_flag("agg-rollbacks");
   o.tree_markers = cli.get_flag("tree-markers");
+  o.mtbf_drift = cli.get_double("mtbf-drift", o.mtbf_drift);
+  o.scrub_period = cli.get_double("scrub-period", o.scrub_period);
+  o.escalate = cli.get_flag("escalate");
   if (!o.scheme.empty() && !ckpt::parse_scheme(o.scheme)) {
     std::fprintf(stderr, "unknown --scheme=%s (single|partner|xor|rs)\n",
                  o.scheme.c_str());

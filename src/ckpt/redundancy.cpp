@@ -430,6 +430,10 @@ class ReedSolomonScheme : public GroupedScheme {
       }
       for (const auto& [share, f] : latest) {
         if (!missing.count(share)) continue;  // a live copy already covers it
+        // An audit-confirmed silent loss (corrupt bit on a dead fragment) is
+        // NOT in flight — its host is in service yet the bytes are gone, and
+        // the share must be re-placed.
+        if (f->corrupt) continue;
         if (view.node_in_service(f->host_node)) {
           missing.erase(share);  // in flight: will land or retry
           hosts_taken.insert(f->host_rank);

@@ -78,6 +78,15 @@ struct Fragment {
   /// XOR; 0..m-1 under RS, where it selects the Cauchy parity row — a
   /// re-protection re-places the same share id on a new host).
   int share = 0;
+  /// Silently lost: the host still believes it holds the fragment (live
+  /// stays set, residency queries keep counting it) but the bytes are gone.
+  /// An audit — a background scrub probe or the restore path's checksum of
+  /// its source — discovers the loss and flips the fragment dead, KEEPING
+  /// this bit set as "confirmed lost". While live, schemes never consult
+  /// the bit (belief and truth diverging is the point); once dead, it tells
+  /// the RS encode the share is genuinely gone rather than still in flight
+  /// to its in-service host, so a repair re-places it.
+  bool corrupt = false;
 };
 
 /// One placement the write path must execute: `bytes` from the snapshot

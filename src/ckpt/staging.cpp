@@ -1,6 +1,7 @@
 #include "ckpt/staging.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "mpi/machine.hpp"
 #include "util/assert.hpp"
@@ -10,6 +11,8 @@ namespace spbc::ckpt {
 void StagingArea::attach(mpi::Machine& machine) {
   machine_ = &machine;
   scheme_ = RedundancyScheme::make(cfg_.redundancy, machine);
+  if (cfg_.prepare_escalated)
+    escalated_scheme_ = RedundancyScheme::make(cfg_.escalated, machine);
   const int nodes = machine.topology().nodes();
   const size_t nranks = static_cast<size_t>(machine.nranks());
   node_storage_gen_.assign(static_cast<size_t>(nodes), 0);
@@ -19,6 +22,22 @@ void StagingArea::attach(mpi::Machine& machine) {
   pfs_frontier_.assign(nranks, 0);
   entries_.assign(nranks, {});
   stats_rows_ = std::vector<StagingStats>(nranks > 0 ? nranks : 1);
+}
+
+const RedundancyScheme& StagingArea::active_scheme() const {
+  return active_scheme_ == 1 && escalated_scheme_ != nullptr
+             ? *escalated_scheme_
+             : *scheme_;
+}
+
+void StagingArea::set_scheme_escalated(bool escalated) {
+  if (escalated_scheme_ == nullptr) return;
+  active_scheme_ = escalated ? 1 : 0;
+}
+
+const RedundancyScheme& StagingArea::scheme_of(const Entry& e) const {
+  return e.scheme_idx == 1 && escalated_scheme_ != nullptr ? *escalated_scheme_
+                                                           : *scheme_;
 }
 
 int StagingArea::partner_of(int rank) const {
@@ -79,11 +98,19 @@ bool StagingArea::node_in_service(int node) const {
 
 // ---- write path ------------------------------------------------------------
 
-sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
+sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes,
+                             LevelPlan plan) {
   if (!enabled()) return 0.0;
   SPBC_ASSERT(machine_ != nullptr);
   const int node = machine_->topology().node_of(rank);
   const sim::Time now = machine_->engine().now();
+  // The scrub cadence starts at the first staged write: before that there is
+  // nothing to audit, and the machine's engine shard plan may not be final
+  // yet at attach time (set_cluster_of reshapes the queues). Before the app
+  // runs, writes cannot race; afterwards the atomic exchange keeps the
+  // kick-off single-shot across shard events.
+  if (cfg_.scrub_period > 0 && !scrub_started_.exchange(true))
+    schedule_scrub();
   // A resident is writing again: the node is back in service.
   node_down_[static_cast<size_t>(node)].store(0, std::memory_order_relaxed);
   SPBC_ASSERT(static_cast<size_t>(rank) < entries_.size());
@@ -91,6 +118,11 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes) {
   e.bytes = bytes;
   e.levels = 0;
   e.retries_left = 3;
+  // The plan (and the active scheme) are honored by the async chain; the
+  // sync path keeps the pre-control-plane behavior bit-for-bit.
+  e.scheme_idx = cfg_.async ? active_scheme_ : 0;
+  e.want_redundancy = !cfg_.async || plan.redundancy;
+  e.want_pfs = !cfg_.async || plan.pfs;
   e.chain_id = next_chain_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   e.fragments.clear();
 
@@ -182,7 +214,11 @@ void StagingArea::start_protection(int rank, uint64_t epoch, bool then_flush) {
     ++srow(rank).drains_aborted;  // rolled back or died before the drain ran
     return;
   }
-  PlacementPlan plan = scheme_->encode(rank, epoch, e->bytes, *this);
+  // A LOCAL-only plan ends the chain here (or skips straight to the PFS
+  // flush when the plan keeps that level).
+  PlacementPlan plan = e->want_redundancy
+                           ? scheme_of(*e).encode(rank, epoch, e->bytes, *this)
+                           : PlacementPlan{};
   if (plan.steps.empty()) {
     // Nothing placeable (kSingle, single-node topology, or every viable
     // host is out of service): promote straight from the LOCAL copy.
@@ -251,6 +287,7 @@ void StagingArea::start_pfs_flush(int rank, uint64_t epoch, int from_node,
   if (cfg_.level != StorageLevel::kPfs) return;  // chain ends at redundancy
   Entry* e = find(rank, epoch);
   if (e == nullptr) return;
+  if (!e->want_pfs) return;  // the epoch's plan ends the chain before PFS
   const sim::Time now = machine_->engine().now();
   const sim::Time cost = cfg_.model.write_time(StorageLevel::kPfs, e->bytes);
   const sim::Time done =
@@ -351,12 +388,14 @@ bool StagingArea::recoverable(int rank, uint64_t epoch) const {
   const Entry* e = find(rank, epoch);
   if (e == nullptr) return false;
   if (e->levels & kAtPfs) return true;
-  return scheme_->recoverable_without_pfs(rank, epoch, *this);
+  return scheme_of(*e).recoverable_without_pfs(rank, epoch, *this);
 }
 
 RestorePlan StagingArea::plan_restore(int rank, uint64_t epoch) const {
-  if (!enabled() || find(rank, epoch) == nullptr) return {};
-  return scheme_->restore_plan(rank, epoch, *this, cfg_.model);
+  if (!enabled()) return {};
+  const Entry* e = find(rank, epoch);
+  if (e == nullptr) return {};
+  return scheme_of(*e).restore_plan(rank, epoch, *this, cfg_.model);
 }
 
 void StagingArea::note_restore(const RestorePlan& plan) {
@@ -388,6 +427,10 @@ void StagingArea::execute_restore(int rank, uint64_t epoch,
 
 void StagingArea::do_restore(int rank, uint64_t epoch,
                              std::function<void(bool)> done, int budget) {
+  // Audit on read: the restore checksums its sources before trusting them,
+  // so silently-lost fragments are discovered here at the latest — the plan
+  // below only ever reads genuinely live copies.
+  audit_for_restore(rank, epoch);
   RestorePlan plan = plan_restore(rank, epoch);
   if (plan.source == RestorePlan::Source::kNone) {
     done(false);
@@ -488,7 +531,7 @@ void StagingArea::invalidate_node(int node) {
       if (e == nullptr || (e->levels & kAtLocal) == 0 ||
           (e->levels & kAtPfs) != 0 || e->retries_left == 0)
         continue;
-      PlacementPlan plan = scheme_->encode(rank, epoch, e->bytes, *this);
+      PlacementPlan plan = scheme_of(*e).encode(rank, epoch, e->bytes, *this);
       if (plan.steps.empty()) continue;  // no viable replacement host
       --e->retries_left;
       ++srow(rank).reprotections;
@@ -496,6 +539,134 @@ void StagingArea::invalidate_node(int node) {
       for (const PlacementStep& step : plan.steps)
         place_fragment(rank, epoch, step, pending, /*then_flush=*/false);
     }
+  });
+}
+
+// ---- silent loss / background scrubbing ------------------------------------
+
+void StagingArea::audit_for_restore(int rank, uint64_t epoch) {
+  if (!enabled()) return;
+  Entry* e = find(rank, epoch);
+  if (e == nullptr) return;
+  for (Fragment& f : e->fragments) {
+    if (f.live && f.corrupt) {
+      // The corrupt bit stays set: on a dead fragment it means "confirmed
+      // lost", which keeps the RS encode from treating the share as still
+      // in flight to its (alive) host.
+      f.live = false;
+      ++srow(rank).corrupt_read_drops;
+    }
+  }
+}
+
+bool StagingArea::corrupt_fragment(int rank, uint64_t epoch, size_t frag_idx) {
+  Entry* e = find(rank, epoch);
+  if (e == nullptr || frag_idx >= e->fragments.size()) return false;
+  Fragment& f = e->fragments[frag_idx];
+  if (!f.live || f.corrupt || !node_in_service(f.host_node)) return false;
+  f.corrupt = true;
+  ++srow(rank).silent_losses_injected;
+  return true;
+}
+
+bool StagingArea::corrupt_one_fragment(uint64_t salt) {
+  // Deterministic pick over the row-ordered live candidates; the caller's
+  // serial context makes the scan itself layout-independent.
+  std::vector<std::tuple<int, uint64_t, size_t>> cands;
+  for (size_t r = 0; r < entries_.size(); ++r) {
+    for (const auto& [epoch, e] : entries_[r]) {
+      for (size_t i = 0; i < e.fragments.size(); ++i) {
+        const Fragment& f = e.fragments[i];
+        if (f.live && !f.corrupt && node_in_service(f.host_node))
+          cands.emplace_back(static_cast<int>(r), epoch, i);
+      }
+    }
+  }
+  if (cands.empty()) return false;
+  const auto& [rank, epoch, idx] = cands[salt % cands.size()];
+  return corrupt_fragment(rank, epoch, idx);
+}
+
+uint64_t StagingArea::corrupt_live_fragments() const {
+  uint64_t n = 0;
+  for (const auto& row : entries_)
+    for (const auto& [epoch, e] : row)
+      for (const Fragment& f : e.fragments)
+        if (f.live && f.corrupt) ++n;
+  return n;
+}
+
+namespace {
+/// Wire size of one scrub digest probe: a content hash plus metadata, not
+/// the fragment itself — the audit is cheap but it still rides the network.
+constexpr uint64_t kScrubDigestBytes = 256;
+}  // namespace
+
+void StagingArea::run_scrub_wave() {
+  if (!enabled()) return;
+  ++stats_rows_[0].scrub_waves;
+  for (size_t r = 0; r < entries_.size(); ++r) {
+    for (const auto& [epoch, e] : entries_[r]) {
+      for (size_t i = 0; i < e.fragments.size(); ++i) {
+        const Fragment& f = e.fragments[i];
+        if (!f.live || !node_in_service(f.host_node)) continue;
+        scrub_probe(static_cast<int>(r), epoch, i);
+      }
+    }
+  }
+}
+
+void StagingArea::scrub_probe(int rank, uint64_t epoch, size_t frag_idx) {
+  Entry* e = find(rank, epoch);
+  SPBC_ASSERT(e != nullptr);
+  const Fragment& f = e->fragments[frag_idx];
+  const uint64_t chain = e->chain_id;
+  const int hnode = f.host_node;
+  const uint64_t hgen = node_gen(hnode);
+  ++srow(rank).scrub_probes;
+  // The digest streams from the fragment's host to the owner over the real
+  // network, so scrub traffic contends honestly with the application. The
+  // arrival is routed to the owner's shard (the callback mutates the
+  // owner's entry row).
+  machine_->network().submit_routed(
+      net::Transfer{f.host_rank, rank, kScrubDigestBytes}, /*route_rank=*/rank,
+      [this, rank, epoch, chain, frag_idx, hnode, hgen] {
+        Entry* entry = find(rank, epoch);
+        if (entry == nullptr || entry->chain_id != chain) return;
+        if (frag_idx >= entry->fragments.size()) return;
+        Fragment& fr = entry->fragments[frag_idx];
+        if (!fr.live || node_gen(hnode) != hgen) return;  // died meanwhile
+        if (!fr.corrupt) return;  // digest matched: the copy is healthy
+        // Silent loss found: drop the belief and re-encode through the
+        // re-protection path while the LOCAL data still exists — before a
+        // real failure turns the silent loss into an unrecoverable one. The
+        // corrupt bit stays set on the dead fragment ("confirmed lost"), so
+        // the RS encode re-places the share instead of assuming it is still
+        // in flight to its in-service host.
+        fr.live = false;
+        ++srow(rank).scrubs_detected;
+        if ((entry->levels & kAtLocal) == 0 || (entry->levels & kAtPfs) != 0)
+          return;  // nothing to re-encode from, or already durable anyway
+        PlacementPlan plan =
+            scheme_of(*entry).encode(rank, epoch, entry->bytes, *this);
+        if (plan.steps.empty()) return;  // no viable replacement host
+        ++srow(rank).scrubs_repaired;
+        auto pending =
+            std::make_shared<int>(static_cast<int>(plan.steps.size()));
+        for (const PlacementStep& step : plan.steps)
+          place_fragment(rank, epoch, step, pending, /*then_flush=*/false);
+      });
+}
+
+void StagingArea::schedule_scrub() {
+  if (cfg_.scrub_period <= 0 || !async()) return;
+  machine_->engine().after_serial(cfg_.scrub_period, [this] {
+    // Stop when the machine wound down: run() ends only once the event
+    // queues drain, so an unconditional self-reschedule would never let it.
+    if (machine_->engine().live_task_count() == 0) return;
+    if (scrub_tick_) scrub_tick_(machine_->engine().now());
+    run_scrub_wave();
+    schedule_scrub();
   });
 }
 
@@ -553,6 +724,12 @@ StagingStats StagingArea::stats() const {
     out.rebuild_bytes_read += s.rebuild_bytes_read;
     out.rebuild_retries += s.rebuild_retries;
     out.epoch_fallbacks += s.epoch_fallbacks;
+    out.scrub_waves += s.scrub_waves;
+    out.scrub_probes += s.scrub_probes;
+    out.scrubs_detected += s.scrubs_detected;
+    out.scrubs_repaired += s.scrubs_repaired;
+    out.silent_losses_injected += s.silent_losses_injected;
+    out.corrupt_read_drops += s.corrupt_read_drops;
   }
   return out;
 }

@@ -57,6 +57,16 @@ enum ResidencyBit : uint8_t {
   kAtPfs = 1u << 2,
 };
 
+/// How deep one epoch's write should reach. The control plane (see
+/// core/control_plane.hpp) plans cheap LOCAL-only epochs frequently,
+/// redundancy epochs at the node-loss cadence and PFS epochs rarely
+/// (generalized Young/Daly per level); the default reaches everything the
+/// configured chain covers. Honored by the async promotion chain.
+struct LevelPlan {
+  bool redundancy = true;
+  bool pfs = true;
+};
+
 struct StagingConfig {
   /// kNone disables staging entirely (the store is free and reliable — the
   /// paper's measurement mode). Otherwise the deepest level of the chain:
@@ -70,6 +80,15 @@ struct StagingConfig {
   StorageCostModel model{};
   /// What the remote-redundancy hop places (see redundancy.hpp).
   RedundancyConfig redundancy{};
+  /// Background scrub: period of the audit wave that probes every live
+  /// fragment's digest for silent loss (0 disables). Requires async staging;
+  /// attach() schedules the first wave.
+  sim::Time scrub_period = 0;
+  /// Pre-build a second, stronger scheme the control plane can escalate to
+  /// (e.g. XOR -> RS) without reconfiguring the machine. Epochs written
+  /// while escalated pin the escalated scheme for their whole lifetime.
+  bool prepare_escalated = false;
+  RedundancyConfig escalated{SchemeKind::kReedSolomon, 4, 4, 2};
 };
 
 struct StagingStats {
@@ -105,6 +124,19 @@ struct StagingStats {
   /// Recoveries that had to fall below the committed epoch because every
   /// copy of it was destroyed.
   uint64_t epoch_fallbacks = 0;
+  /// Background scrub: audit waves run, fragment digests probed, corrupt
+  /// fragments detected (dropped dead), and repairs issued through the
+  /// re-protection encode path.
+  uint64_t scrub_waves = 0;
+  uint64_t scrub_probes = 0;
+  uint64_t scrubs_detected = 0;
+  uint64_t scrubs_repaired = 0;
+  /// Silent fragment losses injected (corrupt_fragment / corrupt_one_fragment).
+  uint64_t silent_losses_injected = 0;
+  /// Corrupt fragments the restore path's source checksum caught before any
+  /// scrub probe reached them — dropped dead so a restore never serves
+  /// silently-lost data.
+  uint64_t corrupt_read_drops = 0;
 };
 
 class StagingArea : public ResidencyView {
@@ -118,6 +150,14 @@ class StagingArea : public ResidencyView {
   const StagingConfig& config() const { return cfg_; }
   const RedundancyScheme& scheme() const { return *scheme_; }
 
+  /// The scheme that encodes NEW epochs (escalation switches it; epochs
+  /// already written keep the scheme that encoded them).
+  const RedundancyScheme& active_scheme() const;
+  bool scheme_escalated() const { return active_scheme_ != 0; }
+  /// Serial context only: route future epochs through the escalated (or
+  /// base) scheme. No-op unless `prepare_escalated` built one at attach.
+  void set_scheme_escalated(bool escalated);
+
   /// The buddy rank whose node hosts this rank's PARTNER copies: the same
   /// node-local slot on the nearest node of a *different cluster* (failure
   /// domain), falling back to the nearest distinct node when the machine is
@@ -128,8 +168,13 @@ class StagingArea : public ResidencyView {
   /// Registers the snapshot of (rank, epoch) with the staging pipeline and
   /// returns the virtual-time cost to charge the writing fiber: the full
   /// cost of `level` in sync mode, only the LOCAL write in async mode (the
-  /// promotion chain then runs in the background). 0 when disabled.
-  sim::Time write(int rank, uint64_t epoch, uint64_t bytes);
+  /// promotion chain then runs in the background). 0 when disabled. The
+  /// plan overload lets the control plane end this epoch's chain early
+  /// (LOCAL-only / no-PFS epochs).
+  sim::Time write(int rank, uint64_t epoch, uint64_t bytes) {
+    return write(rank, epoch, bytes, LevelPlan{});
+  }
+  sim::Time write(int rank, uint64_t epoch, uint64_t bytes, LevelPlan plan);
 
   /// Residency mask (ResidencyBit) of a snapshot; 0 = unknown or all copies
   /// lost. Always 0 when staging is disabled.
@@ -158,6 +203,34 @@ class StagingArea : public ResidencyView {
                        std::function<void(bool)> done);
 
   void note_epoch_fallback() { ++stats_rows_[0].epoch_fallbacks; }
+
+  /// Drops corrupt-but-believed-live fragments of (rank, epoch) before a
+  /// restore trusts them ("audit on read": the restore path checksums its
+  /// source, so silent loss is discovered now at the latest and a restore
+  /// never falsely succeeds from it). Recovery orchestration calls it before
+  /// the belief-side recoverable()/plan_restore() queries.
+  void audit_for_restore(int rank, uint64_t epoch);
+
+  /// Silent-loss injection (tests/benches): mark a live fragment of
+  /// (rank, epoch) corrupt — residency keeps believing it until an audit
+  /// (scrub probe or restore-path read) discovers the loss. False when no
+  /// such live, healthy fragment exists.
+  bool corrupt_fragment(int rank, uint64_t epoch, size_t frag_idx);
+  /// Deterministically corrupts one live fragment picked by `salt` over the
+  /// row-ordered candidate list (serial context). False when none are live.
+  bool corrupt_one_fragment(uint64_t salt);
+  /// Fragments currently corrupt yet still believed live (undetected silent
+  /// losses) — benches gate on this reaching 0.
+  uint64_t corrupt_live_fragments() const;
+
+  /// One background audit wave: every live fragment's digest streams from
+  /// its host to the owner over the real network (it contends like any
+  /// other transfer); a digest mismatch drops the fragment dead and
+  /// re-encodes it through the re-protection path while the LOCAL data
+  /// still exists. attach() self-schedules a wave every
+  /// `StagingConfig::scrub_period` while the machine has live fibers; tests
+  /// may also drive waves manually.
+  void run_scrub_wave();
 
   /// Highest epoch of `rank` flushed to PFS (0 = none). Monotonic — PFS
   /// copies survive every failure — and therefore usable as the Store's
@@ -197,6 +270,14 @@ class StagingArea : public ResidencyView {
     uint64_t bytes = 0;
     uint8_t levels = 0;        // kAtLocal / kAtPfs (kAtPartner synthesized)
     uint8_t retries_left = 3;  // per-snapshot budget for re-issued hops
+    /// Index into {base, escalated} of the scheme that encoded this epoch;
+    /// pinned at write() so liveness/restore/re-protection keep using it
+    /// even after the control plane switches the active scheme.
+    uint8_t scheme_idx = 0;
+    /// The epoch's level plan (see LevelPlan): false ends the async chain
+    /// before the redundancy hop / the PFS flush.
+    bool want_redundancy = true;
+    bool want_pfs = true;
     uint64_t chain_id = 0;     // stale-callback guard across rollback+rewrite
     std::vector<Fragment> fragments;
   };
@@ -225,6 +306,13 @@ class StagingArea : public ResidencyView {
   void retry_from_surviving(int rank, uint64_t epoch);
   void do_restore(int rank, uint64_t epoch, std::function<void(bool)> done,
                   int budget);
+  /// The scheme an entry was encoded under (Entry::scheme_idx).
+  const RedundancyScheme& scheme_of(const Entry& e) const;
+  /// One scrub digest probe of (rank, epoch)'s fragment `frag_idx`.
+  void scrub_probe(int rank, uint64_t epoch, size_t frag_idx);
+  /// Self-rescheduling wave driver; stops when the machine wound down (a
+  /// forever-self-rescheduling event would keep Engine::run from ending).
+  void schedule_scrub();
 
   /// The per-rank stat row a mutation goes to: shard-event code touches only
   /// its own rank's row; serial-context code may touch any (it runs alone).
@@ -237,6 +325,23 @@ class StagingArea : public ResidencyView {
   StagingConfig cfg_;
   mpi::Machine* machine_ = nullptr;
   std::unique_ptr<RedundancyScheme> scheme_;
+  /// The stronger scheme escalation switches to (prepare_escalated).
+  std::unique_ptr<RedundancyScheme> escalated_scheme_;
+  /// 0 = base, 1 = escalated; written in serial context only, read by the
+  /// write path after the serial barrier (the node_storage_gen_ idiom).
+  uint8_t active_scheme_ = 0;
+  /// Optional serial-context callback run at each scheduled scrub wave —
+  /// the control plane's periodic (time-based, not failure-driven) hook.
+  std::function<void(sim::Time)> scrub_tick_;
+  /// Single-shot kick-off of the scrub cadence (first staged write).
+  std::atomic<bool> scrub_started_{false};
+
+ public:
+  void set_scrub_tick(std::function<void(sim::Time)> tick) {
+    scrub_tick_ = std::move(tick);
+  }
+
+ private:
   // Per-rank entry rows (epoch -> Entry): a row is mutated only from its
   // rank's shard (writes, drain-chain callbacks routed home) or from serial
   // recovery context, so concurrent shard threads never share one.

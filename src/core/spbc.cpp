@@ -59,15 +59,34 @@ void tree_neighbors(int idx, int k, std::vector<int>& out) {
 
 }  // namespace
 
+namespace {
+// The control plane needs to know whether staging levels are app-visible
+// stalls (sync) or background traffic (async) when costing its strides.
+core::ControlPlaneConfig with_staging_mode(core::ControlPlaneConfig c,
+                                           bool async_staging) {
+  c.async_staging = async_staging;
+  return c;
+}
+}  // namespace
+
 SpbcProtocol::SpbcProtocol(SpbcConfig cfg)
     : cfg_(cfg),
       store_(cfg.storage, cfg.storage_model),
       staging_(ckpt::StagingConfig{cfg.storage, cfg.async_staging,
-                                   cfg.storage_model, cfg.redundancy}) {}
+                                   cfg.storage_model, cfg.redundancy,
+                                   cfg.control.scrub_period,
+                                   /*prepare_escalated=*/cfg.control.escalation,
+                                   cfg.control.escalated}),
+      control_(with_staging_mode(cfg.control, cfg.async_staging),
+               cfg.storage_model) {}
 
 void SpbcProtocol::attach(mpi::Machine& machine) {
   machine_ = &machine;
   staging_.attach(machine);
+  control_.attach(&staging_);
+  // The scrub cadence doubles as the control plane's time-based policy tick
+  // (de-escalation on calm must not wait for the next failure).
+  staging_.set_scrub_tick([this](sim::Time now) { control_.on_tick(now); });
   int n = machine.nranks();
   // Pre-size per-rank and per-cluster state: under the threaded shard
   // executor, lazy growth from concurrent shard events would be a
@@ -100,8 +119,11 @@ bool SpbcProtocol::is_inter_cluster(const mpi::Envelope& env) const {
 }
 
 void SpbcProtocol::on_cluster_map(int nclusters) {
+  control_.set_domains(nclusters);
   if (static_cast<size_t>(nclusters) > waves_.size())
     waves_.resize(static_cast<size_t>(nclusters));
+  if (static_cast<size_t>(nclusters) > storage_survives_.size())
+    storage_survives_.resize(static_cast<size_t>(nclusters), 0);
 }
 
 SpbcProtocol::ClusterWave& SpbcProtocol::wave_of(int cluster) {
@@ -193,10 +215,22 @@ void SpbcProtocol::on_delivered(mpi::Rank& receiver, const mpi::Envelope& env,
 bool SpbcProtocol::maybe_checkpoint(mpi::Rank& rank) {
   auto& cs = ckpt_[static_cast<size_t>(rank.rank())];
   ++cs.calls;
-  // Periodic trigger: a pure function of the call index, so every member of
-  // a cluster reaches the same decision at the same logical spot (SPMD).
-  const bool boundary =
-      cfg_.checkpoint_every != 0 && cs.calls % cfg_.checkpoint_every == 0;
+  bool boundary;
+  if (control_.enabled()) {
+    // Adaptive trigger: cut when the observed-MTBF Young/Daly interval has
+    // elapsed since this member's last cut. Members may reach the threshold
+    // at different call indices; the marker mechanism below makes the rest
+    // of the cluster join the wave at their next opportunity — exactly the
+    // path checkpoint_now already exercises.
+    boundary =
+        machine_->engine().now() - cs.last_cut >= control_.local_interval();
+  } else {
+    // Periodic trigger: a pure function of the call index, so every member
+    // of a cluster reaches the same decision at the same logical spot
+    // (SPMD).
+    boundary =
+        cfg_.checkpoint_every != 0 && cs.calls % cfg_.checkpoint_every == 0;
+  }
   // Marker trigger: a cluster peer already cut an epoch we have not (it
   // called checkpoint_now, or cadences drifted). This is our first
   // app-consistent point since its marker arrived — join the wave here. The
@@ -279,13 +313,18 @@ void SpbcProtocol::run_coordinated_checkpoint(mpi::Rank& rank) {
   snap.taken_at = machine_->engine().now();
   snap.epoch = epoch;
   snap.bytes = w.take();
-  const uint64_t snap_bytes = snap.bytes.size();
+  const uint64_t snap_bytes = snap.bytes.size() + cfg_.snapshot_pad_bytes;
   store_.save(me, std::move(snap));
+  cs.last_cut = machine_->engine().now();
+  control_.note_snapshot_bytes(snap_bytes);
   // Staging write: the fiber stall is the full configured-level cost in sync
   // mode but only the fast LOCAL write under async staging — the drainer
   // promotes LOCAL -> PARTNER -> PFS in the background while the
-  // application computes.
-  sim::Time cost = staging_.write(me, epoch, snap_bytes);
+  // application computes. Under the control plane the epoch carries a level
+  // plan: cheap LOCAL epochs fire at the Young/Daly cadence while the
+  // redundancy hop and the PFS flush run at their own (longer) strides.
+  sim::Time cost =
+      staging_.write(me, epoch, snap_bytes, control_.plan_for_epoch(epoch));
 
   if (cfg_.gc_logs) {
     // Freeze the inter-cluster received-windows the epoch captured (GC at
@@ -420,6 +459,7 @@ void SpbcProtocol::commit_epoch(
   // epoch may still live only at LOCAL/PARTNER, and a node failure that
   // destroys those copies needs an older, flushed epoch to fall back to.
   wave.committed = epoch;
+  control_.on_commit();  // a re-plan point for the interval controller
   const std::vector<int> members = machine_->ranks_in_cluster(cluster);
   uint64_t floor = epoch;
   if (staging_.async()) {
@@ -489,6 +529,20 @@ void SpbcProtocol::maybe_spill_captures(int rank) {
 // Failure handling and recovery (lines 16-26)
 // ---------------------------------------------------------------------------
 
+void SpbcProtocol::on_failure_injected(int victim_rank, mpi::FailureKind kind) {
+  // The crash instant (serial, before any kill): record the failure's
+  // severity for the kill path below and feed the control plane's
+  // estimators. Exactly one call per injected failure, so the estimators
+  // never double-count the victim's kill and its peers' detection-time
+  // kills as separate events.
+  const bool storage_lost = kind == mpi::FailureKind::kNodeLoss;
+  const int cluster = machine_->cluster_of(victim_rank);
+  if (static_cast<size_t>(cluster) < storage_survives_.size())
+    storage_survives_[static_cast<size_t>(cluster)] = storage_lost ? 0 : 1;
+  control_.note_failure(machine_->engine().now(), storage_lost,
+                        machine_->topology().node_of(victim_rank));
+}
+
 void SpbcProtocol::on_failure(int victim_rank) {
   const int cluster = machine_->cluster_of(victim_rank);
   // Coalesce: a second crash in a cluster whose restart is already scheduled
@@ -538,6 +592,10 @@ void SpbcProtocol::select_and_restore(int cluster, std::vector<int> members,
   while (epoch > 0) {
     bool ok = true;
     for (int r : members) {
+      // Audit before trusting residency: fragments the host silently lost
+      // must not count as live sources (no false restore success), exactly
+      // as the read path itself audits.
+      staging_.audit_for_restore(r, epoch);
       if (!store_.has_epoch(r, epoch) || !staging_.recoverable(r, epoch)) {
         ok = false;
         break;
@@ -676,6 +734,16 @@ void SpbcProtocol::select_and_restore(int cluster, std::vector<int> members,
 }
 
 void SpbcProtocol::on_rank_killed(int victim) {
+  // Process-only failures (FailureKind::kProcessOnly) kill the cluster's
+  // processes but leave node-local storage intact: restart re-reads LOCAL
+  // copies instead of rebuilding from partners. The severity was recorded
+  // per cluster at the crash instant (on_failure_injected), so both the
+  // victim's kill and the peers' detection-time kills consult it here.
+  const int cluster = machine_->cluster_of(victim);
+  if (static_cast<size_t>(cluster) < storage_survives_.size() &&
+      storage_survives_[static_cast<size_t>(cluster)] != 0) {
+    return;
+  }
   // The process died with its node (cluster failures take whole nodes down —
   // node colocation is enforced): LOCAL snapshot copies of the node's
   // residents and PARTNER copies hosted there are gone, and drains reading
@@ -698,6 +766,7 @@ void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
     // No committed checkpoint yet: roll back to the initial state sigma_0.
     logs_[static_cast<size_t>(r)].clear();
     cs = CkptLocal{};
+    cs.last_cut = machine_->engine().now();
     return;
   }
   const ckpt::Snapshot& snap = store_.at_epoch(r, epoch);
@@ -713,6 +782,9 @@ void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
   cs.wave_seen = epoch;
   cs.marker_fwd = epoch;
   cs.agg.clear();
+  // The adaptive trigger restarts its clock at the restore: the restored
+  // snapshot's cut is in the rolled-back past, not this incarnation's.
+  cs.last_cut = machine_->engine().now();
   cs.calls = reader.get<uint64_t>();
   rank.restore_runtime(reader);
   logs_[static_cast<size_t>(r)].restore(reader);

@@ -42,6 +42,7 @@
 
 #include "ckpt/staging.hpp"
 #include "ckpt/store.hpp"
+#include "core/control_plane.hpp"
 #include "core/replayer.hpp"
 #include "core/sender_log.hpp"
 #include "mpi/machine.hpp"
@@ -87,6 +88,15 @@ struct SpbcConfig {
   /// tolerating any m concurrent in-group node losses).
   ckpt::RedundancyConfig redundancy{};
 
+  /// Virtual app-state bytes added to every snapshot's STAGED (and costed)
+  /// size — the synthetic workloads carry token state vectors, while real
+  /// HPC checkpoints run megabytes per process, and staging-level tradeoffs
+  /// (LOCAL stall, redundancy bytes, PFS drain rate) only appear at real
+  /// sizes. The pad inflates what the storage pipeline and the control
+  /// plane's Daly terms see; the stored/replayed snapshot bytes are
+  /// unchanged (nothing is materialized).
+  uint64_t snapshot_pad_bytes = 0;
+
   /// Bound on a rank's live in-flight-capture bytes: when exceeded, the rank
   /// cuts a new epoch at its next checkpoint opportunity so the resulting
   /// commit can prune the retained captures (a cluster that never reaches
@@ -98,6 +108,16 @@ struct SpbcConfig {
   /// Extension: reclaim log entries once the destination cluster checkpoints
   /// (requires one notification per channel after each checkpoint wave).
   bool gc_logs = false;
+
+  /// Self-tuning reliability control plane (core/control_plane.hpp): when
+  /// enabled, the checkpoint trigger becomes time-based at the observed-MTBF
+  /// Young/Daly interval, per-epoch level plans pace the redundancy hop and
+  /// the PFS flush, a background scrub wave audits staged fragments for
+  /// silent loss (control.scrub_period), and the redundancy scheme can
+  /// escalate to control.escalated under correlated double losses. When
+  /// disabled (the default), the static checkpoint_every schedule and
+  /// full-depth writes are bit-for-bit unchanged.
+  ControlPlaneConfig control{};
 };
 
 class SpbcProtocol : public mpi::ProtocolHooks {
@@ -115,6 +135,7 @@ class SpbcProtocol : public mpi::ProtocolHooks {
                     const mpi::Payload& payload) override;
   bool pattern_matching_enabled() const override { return cfg_.pattern_ids; }
   bool maybe_checkpoint(mpi::Rank& rank) override;
+  void on_failure_injected(int victim_rank, mpi::FailureKind kind) override;
   void on_failure(int victim_rank) override;
   void on_rank_killed(int rank) override;
   void on_control(mpi::Rank& receiver, const mpi::ControlMsg& msg) override;
@@ -126,6 +147,10 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   const Replayer& replayer_of(int rank) const;
   const ckpt::Store& store() const { return store_; }
   const ckpt::StagingArea& staging() const { return staging_; }
+  /// Mutable staging access for fault injection (silent-loss benches/tests
+  /// corrupt fragments from serial events) and manual scrub waves.
+  ckpt::StagingArea& staging_mut() { return staging_; }
+  const ControlPlane& control_plane() const { return control_; }
   const SpbcConfig& config() const { return cfg_; }
   uint64_t checkpoints_taken() const { return store_.snapshots_taken(); }
   uint64_t rollbacks() const { return rollbacks_; }
@@ -211,6 +236,10 @@ class SpbcProtocol : public mpi::ProtocolHooks {
     std::map<uint64_t, TreeAgg> agg;
     // Staging residency of this rank's snapshot when its epoch committed.
     uint8_t commit_levels = 0;
+    // When this member last cut an epoch (virtual time) — the control
+    // plane's time-based trigger compares against it. Reset to the restore
+    // time on rollback so the next cut comes one interval after restart.
+    sim::Time last_cut = 0;
   };
 
   /// Per-cluster marker-wave state (event-context authoritative view).
@@ -260,6 +289,12 @@ class SpbcProtocol : public mpi::ProtocolHooks {
 
   ckpt::Store store_;
   ckpt::StagingArea staging_;
+  ControlPlane control_;
+  // Per-cluster: the last injected failure's storage survived (process-only
+  // crash). Written at the crash instant (serial context), consulted by
+  // on_rank_killed for the victim's kill (same serial event) and the
+  // detection-time peer kills (a serial event too). Default: node loss.
+  std::vector<uint8_t> storage_survives_;
   std::vector<SenderLog> logs_;
   std::vector<Replayer> replayers_;
   std::vector<CkptLocal> ckpt_;

@@ -129,6 +129,21 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     SPBC_ASSERT_MSG(at > 0, "extra failures require a positive time");
     machine.inject_failure(at, victim);
   }
+  for (const auto& [at, victim] : cfg.process_only_failures) {
+    SPBC_ASSERT_MSG(at > 0, "process-only failures require a positive time");
+    machine.inject_failure(at, victim, mpi::FailureKind::kProcessOnly);
+  }
+  if (!cfg.silent_losses.empty()) {
+    auto* spbc = dynamic_cast<core::SpbcProtocol*>(&machine.protocol());
+    SPBC_ASSERT_MSG(spbc != nullptr,
+                    "silent losses require an SPBC-family protocol");
+    for (const auto& [at, salt] : cfg.silent_losses) {
+      SPBC_ASSERT_MSG(at > 0, "silent losses require a positive time");
+      const uint64_t s = salt;
+      machine.engine().at_serial(
+          at, [spbc, s] { spbc->staging_mut().corrupt_one_fragment(s); });
+    }
+  }
 
   ScenarioResult res;
   res.cluster_of = cluster_of;
@@ -157,6 +172,13 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.captures_spilled = spbc->store().captures_spilled();
     res.capture_spilled_bytes = spbc->store().capture_spilled_bytes();
     res.staging = spbc->staging().stats();
+    res.reprotections = res.staging.reprotections;
+    res.rebuild_retries = res.staging.rebuild_retries;
+    res.scrubs_detected = res.staging.scrubs_detected;
+    res.scrubs_repaired = res.staging.scrubs_repaired;
+    res.silent_losses_injected = res.staging.silent_losses_injected;
+    res.corrupt_live_fragments = spbc->staging().corrupt_live_fragments();
+    res.control = spbc->control_plane().stats();
     for (int r = 0; r < cfg.nranks; ++r) {
       res.log_bytes_reclaimed += spbc->log_of(r).bytes_reclaimed();
       res.log_retained_hwm =

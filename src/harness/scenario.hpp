@@ -64,6 +64,16 @@ struct ScenarioConfig {
   /// top of the primary one — multi-loss redundancy probes kill a second
   /// in-group node while the first recovery is still in flight.
   std::vector<std::pair<sim::Time, int>> extra_failures;
+  /// Process-only failures (mpi::FailureKind::kProcessOnly): the cluster's
+  /// processes die and restart, but node-local storage survives — the
+  /// benign failure class the control plane's estimator must separate from
+  /// storage-destroying node losses.
+  std::vector<std::pair<sim::Time, int>> process_only_failures;
+  /// Silent fragment losses (absolute virtual time, selection salt): at each
+  /// time one live staged fragment — picked deterministically by the salt —
+  /// is corrupted without killing anything. Only background scrubbing or a
+  /// restore-path audit discovers it. Requires an SPBC-family protocol.
+  std::vector<std::pair<sim::Time, uint64_t>> silent_losses;
 };
 
 struct ScenarioResult {
@@ -97,6 +107,21 @@ struct ScenarioResult {
 
   // Multi-level staging pipeline counters (zeros when staging is off).
   ckpt::StagingStats staging;
+
+  // Headline reliability counters, lifted out of `staging` so benches and
+  // tests can gate on them without digging through the full stats struct
+  // (several of these previously never reached harness summaries).
+  uint64_t reprotections = 0;
+  uint64_t rebuild_retries = 0;
+  uint64_t scrubs_detected = 0;
+  uint64_t scrubs_repaired = 0;
+  uint64_t silent_losses_injected = 0;
+  /// Corrupt fragments still believed live when the run ended (undetected
+  /// silent losses; scrub-coverage gates require 0).
+  uint64_t corrupt_live_fragments = 0;
+
+  // Control-plane telemetry (zeros when the control plane is disabled).
+  core::ControlPlaneStats control;
 
   /// Normalized rework time of the first recovery (Fig. 5 / Fig. 6): time to
   /// re-execute the lost work divided by the failure-free time that work

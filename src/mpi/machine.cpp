@@ -126,16 +126,25 @@ RunResult Machine::run() {
 }
 
 void Machine::inject_failure(sim::Time t, int victim_rank) {
+  inject_failure(t, victim_rank, FailureKind::kNodeLoss);
+}
+
+void Machine::inject_failure(sim::Time t, int victim_rank, FailureKind kind) {
   SPBC_ASSERT(victim_rank >= 0 && victim_rank < cfg_.nranks);
   // Serial event: the crash freezes every rank's progress and mutates
   // machine-global state (incarnations, liveness), so it runs alone at the
   // global barrier. In the legacy single-queue plan this degrades to a
   // normal event with an unchanged ordering key.
-  engine_.at_serial(t, [this, victim_rank] {
+  engine_.at_serial(t, [this, victim_rank, kind] {
     // Freeze everyone's progress at the crash instant: the victim's cluster
     // peers keep running until detection, but the lost-work window (and so
     // the rework normalization) is defined by the failure time.
     for (auto& rk : ranks_) rk->freeze_progress();
+    // The crash instant is the one point where a failure event exists
+    // exactly once (detection-time kills fan out per rank, and overlapping
+    // same-cluster failures coalesce): storage-aware and self-tuning
+    // protocols learn the event — and its severity — here, before any kill.
+    protocol_->on_failure_injected(victim_rank, kind);
     // The process crashes now; the protocol learns about it after the
     // failure-detection delay.
     kill_rank(victim_rank);

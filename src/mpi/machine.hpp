@@ -150,8 +150,12 @@ class Machine {
   /// Runs the simulation to completion. Returns timing + deadlock status.
   RunResult run();
 
-  /// Schedules a crash of `victim_rank`'s cluster at virtual time t.
+  /// Schedules a crash of `victim_rank`'s cluster at virtual time t. The
+  /// two-argument form is a node loss (processes and node-local storage);
+  /// the kind overload can inject process-only failures whose node storage
+  /// survives the restart.
   void inject_failure(sim::Time t, int victim_rank);
+  void inject_failure(sim::Time t, int victim_rank, FailureKind kind);
 
   // ---- transport (called by Rank) --------------------------------------
   /// Data send; chooses eager or rendezvous by payload size. `on_complete`

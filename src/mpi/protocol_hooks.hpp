@@ -19,6 +19,12 @@ namespace spbc::mpi {
 class Rank;
 class Machine;
 
+/// What a failure injection destroys besides the victim cluster's processes.
+enum class FailureKind : uint8_t {
+  kNodeLoss,     // the node dies: processes AND node-local storage are lost
+  kProcessOnly,  // the processes die; node-local storage survives restart
+};
+
 class ProtocolHooks {
  public:
   virtual ~ProtocolHooks() = default;
@@ -71,6 +77,14 @@ class ProtocolHooks {
   /// Blocking; called from the rank's fiber. Returns true if a checkpoint
   /// was taken.
   virtual bool maybe_checkpoint(Rank& rank) = 0;
+
+  /// A failure was injected into the machine: the crash instant (serial
+  /// context), before any process is killed and before the detection delay
+  /// runs. Exactly one call per injected failure event — the feed for
+  /// online failure-rate estimators. `kind` says whether the victim's node
+  /// storage died with the processes.
+  virtual void on_failure_injected(int /*victim_rank*/, FailureKind /*kind*/) {
+  }
 
   /// A failure was detected; `victim` identifies the crashed rank. Called in
   /// event context once per failure event, on the Machine's behalf.

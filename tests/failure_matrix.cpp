@@ -41,6 +41,8 @@ const char* timing_name(FailureCase::Timing t) {
       return "mid-drain";
     case FailureCase::Timing::kMidRebuild:
       return "mid-rebuild";
+    case FailureCase::Timing::kMidScrub:
+      return "mid-scrub";
   }
   return "?";
 }
@@ -80,7 +82,7 @@ FailureCase sample_case(uint64_t seed) {
   c.nclusters = 2 + static_cast<int>(
                         rng.next_bounded(static_cast<uint32_t>(c.nodes - 1)));
 
-  const uint32_t timing = rng.next_bounded(4);
+  const uint32_t timing = rng.next_bounded(5);
   c.timing = static_cast<FailureCase::Timing>(timing);
   c.bytes = (c.timing == FailureCase::Timing::kMidDrain ||
              c.timing == FailureCase::Timing::kMidRebuild)
@@ -159,7 +161,8 @@ class ShadowCodec {
             area_.fragments(rank, epoch);
         if (frags == nullptr) return false;
         for (const ckpt::Fragment& f : *frags) {
-          if (f.live && !f.parity && area_.node_in_service(f.host_node)) {
+          if (f.live && !f.corrupt && !f.parity &&
+              area_.node_in_service(f.host_node)) {
             *out = originals_.at({rank, epoch});  // the copy is the data
             return true;
           }
@@ -194,7 +197,8 @@ class ShadowCodec {
     if (frags == nullptr) return false;
     bool parity_live = false;
     for (const ckpt::Fragment& f : *frags)
-      if (f.live && f.parity && area_.node_in_service(f.host_node))
+      if (f.live && !f.corrupt && f.parity &&
+          area_.node_in_service(f.host_node))
         parity_live = true;
     if (!parity_live) return false;
     const std::vector<int> members = group_ranks(rank);
@@ -243,7 +247,8 @@ class ShadowCodec {
           area_.fragments(members[static_cast<size_t>(p)], epoch);
       if (frags == nullptr) continue;
       for (const ckpt::Fragment& f : *frags) {
-        if (!f.live || !f.parity || !area_.node_in_service(f.host_node))
+        if (!f.live || f.corrupt || !f.parity ||
+            !area_.node_in_service(f.host_node))
           continue;
         const int row = p * m + f.share;
         if (!rows_seen.insert(row).second) continue;
@@ -376,6 +381,7 @@ CaseResult run_case(const FailureCase& c) {
       break;
     case FailureCase::Timing::kSettled:
     case FailureCase::Timing::kMidRebuild:
+    case FailureCase::Timing::kMidScrub:
       kill_at = kEpoch2At + local_write + 1.5;
       break;
     case FailureCase::Timing::kMidDrain:
@@ -405,13 +411,64 @@ CaseResult run_case(const FailureCase& c) {
       c.timing == FailureCase::Timing::kMidRebuild && victims.size() > 1;
   const size_t first_wave =
       reserve_one ? victims.size() - 1 : victims.size();
-  m.engine().at(kill_at, [&] {
-    for (size_t i = 0; i < first_wave; ++i) area.invalidate_node(victims[i]);
-  });
+  if (c.timing != FailureCase::Timing::kMidScrub) {
+    m.engine().at(kill_at, [&] {
+      for (size_t i = 0; i < first_wave; ++i) area.invalidate_node(victims[i]);
+    });
+  }
+
+  // ---- silent losses (mid-scrub timing) ----------------------------------
+  // No node dies; `losses` staged fragments silently rot in place. A scrub
+  // wave then runs, and the checks assert it found every one, repaired it
+  // while the PFS lagged, and that the scheme's liveness claims match the
+  // oracle's actual derivability afterwards.
+  if (c.timing == FailureCase::Timing::kMidScrub) {
+    std::vector<uint64_t> salts;
+    for (int i = 0; i < c.losses; ++i) salts.push_back(rng.next_u64());
+    auto injected = std::make_shared<uint64_t>(0);
+    m.engine().at(kill_at, [&, salts, injected] {
+      // Fewer candidates than losses (e.g. the SINGLE scheme places no
+      // fragments at all) just shrinks the injection; `injected` carries the
+      // real count into the assertions.
+      for (uint64_t s : salts)
+        if (area.corrupt_one_fragment(s)) ++*injected;
+    });
+    m.engine().at(kill_at + 0.2, [&] { area.run_scrub_wave(); });
+    m.engine().at(kill_at + 1.0, [&, injected] {
+      const ckpt::StagingStats st = area.stats();
+      if (st.silent_losses_injected != *injected)
+        run.fail("silent-loss injection count mismatch");
+      if (st.scrubs_detected != *injected)
+        run.fail("scrub wave missed silent losses (" +
+                 std::to_string(st.scrubs_detected) + " detected of " +
+                 std::to_string(*injected) + ")");
+      if (area.corrupt_live_fragments() != 0)
+        run.fail("corrupt fragments still believed live after the scrub");
+      if (!c.flush_pfs && st.scrubs_repaired != *injected)
+        run.fail("scrub left detected losses unrepaired while the PFS "
+                 "lagged (" +
+                 std::to_string(st.scrubs_repaired) + " repaired of " +
+                 std::to_string(*injected) + ")");
+      // Oracle as arbiter: after detection + repair, every liveness claim
+      // must be backed by an actual reconstruction of the payload bytes.
+      for (int r = 0; r < c.nodes; ++r) {
+        for (uint64_t e = 1; e <= 2; ++e) {
+          if (area.scheme().recoverable_without_pfs(r, e, area) &&
+              !oracle_recoverable(area, c.redundancy, c.nodes, r, e)) {
+            run.fail("post-scrub liveness claim the oracle refutes (rank " +
+                     std::to_string(r) + " epoch " + std::to_string(e) + ")");
+          }
+        }
+      }
+    });
+  }
 
   // ---- invariant checks --------------------------------------------------
+  // (Mid-scrub cases run their own checks above: no node ever died, so the
+  // victim-loss invariants below would be vacuous.)
   auto outstanding = std::make_shared<int>(0);
 
+  if (c.timing != FailureCase::Timing::kMidScrub)
   m.engine().at(check_at, [&, outstanding] {
     const uint64_t probe_epoch =
         c.timing == FailureCase::Timing::kPreDrain ? 1 : 2;

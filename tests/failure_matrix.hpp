@@ -58,6 +58,11 @@ struct FailureCase {
     kSettled,     // after every placement of both epochs landed
     kMidDrain,    // while epoch 2's fragment placements are on the wire
     kMidRebuild,  // one extra source death while a rebuild read is in flight
+    /// Silent-fragment-loss bucket: no node dies; `losses` staged fragments
+    /// are corrupted in place (the host keeps believing it holds them) and a
+    /// scrub wave runs. Asserts detection, repair back to full liveness
+    /// while the PFS lags, and oracle agreement afterwards.
+    kMidScrub,
   };
   Timing timing = Timing::kSettled;
   bool flush_pfs = false;  // fast PFS: the frontier covers every epoch
