@@ -68,6 +68,14 @@ struct BenchOpts {
   // --escalate: arm scheme escalation (XOR -> RS on correlated double
   // losses) and include same-group double losses in the storm.
   bool escalate = false;
+  // Elastic-recovery knobs (ablation_elastic):
+  // --spares: hot-spare nodes appended after the compute nodes; permanent
+  // node losses hot-swap onto them until the pool drains, then degrade to
+  // shrunk restarts.
+  int spares = 0;
+  // --repart-period: streaming-repartitioner cadence in virtual seconds
+  // (0 = the pinned Section 6.1 map for the whole run).
+  double repart_period = 0;
 };
 
 inline BenchOpts parse_opts(int argc, char** argv) {
@@ -94,6 +102,8 @@ inline BenchOpts parse_opts(int argc, char** argv) {
   o.mtbf_drift = cli.get_double("mtbf-drift", o.mtbf_drift);
   o.scrub_period = cli.get_double("scrub-period", o.scrub_period);
   o.escalate = cli.get_flag("escalate");
+  o.spares = static_cast<int>(cli.get_int("spares", o.spares));
+  o.repart_period = cli.get_double("repart-period", o.repart_period);
   if (!o.scheme.empty() && !ckpt::parse_scheme(o.scheme)) {
     std::fprintf(stderr, "unknown --scheme=%s (single|partner|xor|rs)\n",
                  o.scheme.c_str());
@@ -128,6 +138,8 @@ inline harness::ScenarioConfig make_config(const BenchOpts& o, const std::string
   cfg.machine.engine_threads = o.threads;
   cfg.machine.aggregate_rollbacks = o.agg_rollbacks;
   cfg.machine.tree_ckpt_markers = o.tree_markers;
+  cfg.machine.spare_nodes = o.spares;
+  cfg.spbc.control.repartition_period = o.repart_period;
   cfg.use_clustering_tool = o.use_clustering_tool;
   return cfg;
 }

@@ -42,6 +42,10 @@ int cross_domain_partner(const mpi::Machine& machine, int rank) {
   int pick = -1;
   for (int off = 1; off < nodes; ++off) {
     const int cand = ((home + off) % nodes) * ppn + slot;
+    // Physical distinctness: after a shrunk restart two logical nodes can
+    // share one physical node, and a buddy copy there would die with the
+    // owner's copy — no protection at all.
+    if (machine.node_of(cand) == machine.node_of(rank)) continue;
     if (machine.cluster_of(cand) != machine.cluster_of(rank)) {
       return cand;  // different failure domain: the preferred buddy
     }
@@ -111,7 +115,7 @@ class PartnerScheme : public RedundancyScheme {
       for (const Fragment& f : *frags)
         if (f.live && !f.parity) return plan;  // already protected
     }
-    if (!view.node_in_service(machine_.topology().node_of(partner)))
+    if (!view.node_in_service(machine_.node_of(partner)))
       return plan;  // copies must not land on a dead store
     plan.steps.push_back(PlacementStep{partner, bytes, /*parity=*/false});
     return plan;
@@ -151,6 +155,13 @@ class PartnerScheme : public RedundancyScheme {
       plan.direct_cost = model.read_time(StorageLevel::kPfs, bytes);
     }
     return plan;
+  }
+
+  void on_topology_change() override {
+    // The buddy map is a memoized function of the physical binding; a
+    // hot-swap or shrink re-derives it (fresh epochs then avoid partners
+    // co-located with their owner).
+    cache_.clear();
   }
 
  private:
@@ -282,7 +293,7 @@ class XorGroupScheme : public GroupedScheme {
         (epoch + static_cast<uint64_t>(rank)) % members.size());
     for (size_t k = 0; k < members.size(); ++k) {
       const int host = members[(start + k) % members.size()];
-      if (!view.node_in_service(machine_.topology().node_of(host))) continue;
+      if (!view.node_in_service(machine_.node_of(host))) continue;
       plan.steps.push_back(PlacementStep{host, chunk, /*parity=*/true});
       break;
     }
@@ -452,7 +463,7 @@ class ReedSolomonScheme : public GroupedScheme {
       for (; probe < others.size(); ++probe) {
         const int cand = others[(start + probe) % others.size()];
         if (hosts_taken.count(cand)) continue;
-        if (!view.node_in_service(machine_.topology().node_of(cand))) continue;
+        if (!view.node_in_service(machine_.node_of(cand))) continue;
         host = cand;
         break;
       }
@@ -506,7 +517,6 @@ class ReedSolomonScheme : public GroupedScheme {
     const std::vector<int> members = group_ranks(rank);
     const int g = static_cast<int>(members.size());
     if (g < 2) return false;
-    const sim::Topology& topo = machine_.topology();
 
     struct Share {
       int row = 0;
@@ -519,7 +529,7 @@ class ReedSolomonScheme : public GroupedScheme {
     for (int p = 0; p < g; ++p) {
       const int member = members[static_cast<size_t>(p)];
       const bool data_ok = member != rank && view.has_local(member, epoch) &&
-                           view.node_in_service(topo.node_of(member));
+                           view.node_in_service(machine_.node_of(member));
       if (!data_ok) unknowns.push_back(p);
       const std::vector<Fragment>* frags = view.fragments(member, epoch);
       if (frags == nullptr) continue;

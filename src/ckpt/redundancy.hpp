@@ -165,6 +165,13 @@ class RedundancyScheme {
                                    const ResidencyView& view,
                                    const StorageCostModel& model) const = 0;
 
+  /// The machine's PHYSICAL rank->node binding changed (spare hot-swap,
+  /// shrunk restart). Schemes that memoize host choices re-derive them;
+  /// group/slot structure is LOGICAL and stays pinned — fragments already
+  /// placed are keyed to it (RS Cauchy rows, XOR group membership), and
+  /// reshuffling groups mid-run would orphan every landed share.
+  virtual void on_topology_change() {}
+
   static std::unique_ptr<RedundancyScheme> make(const RedundancyConfig& cfg,
                                                 const mpi::Machine& machine);
 };

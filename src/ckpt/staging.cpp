@@ -13,7 +13,9 @@ void StagingArea::attach(mpi::Machine& machine) {
   scheme_ = RedundancyScheme::make(cfg_.redundancy, machine);
   if (cfg_.prepare_escalated)
     escalated_scheme_ = RedundancyScheme::make(cfg_.escalated, machine);
-  const int nodes = machine.topology().nodes();
+  // Node-indexed state covers the spare pool too: a spare that swaps in
+  // hosts fragments and queues like any compute node.
+  const int nodes = machine.topology().total_nodes();
   const size_t nranks = static_cast<size_t>(machine.nranks());
   node_storage_gen_.assign(static_cast<size_t>(nodes), 0);
   node_down_ = std::vector<std::atomic<uint8_t>>(static_cast<size_t>(nodes));
@@ -102,7 +104,7 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes,
                              LevelPlan plan) {
   if (!enabled()) return 0.0;
   SPBC_ASSERT(machine_ != nullptr);
-  const int node = machine_->topology().node_of(rank);
+  const int node = machine_->node_of(rank);
   const sim::Time now = machine_->engine().now();
   // The scrub cadence starts at the first staged write: before that there is
   // nothing to audit, and the machine's engine shard plan may not be final
@@ -173,7 +175,7 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes,
             break;
         }
         for (const PlacementStep& step : plan.steps) {
-          const int hnode = machine_->topology().node_of(step.host_rank);
+          const int hnode = machine_->node_of(step.host_rank);
           e.fragments.push_back(Fragment{step.host_rank, hnode, step.bytes,
                                          step.parity, true, step.share});
           if (step.parity) {
@@ -223,7 +225,7 @@ void StagingArea::start_protection(int rank, uint64_t epoch, bool then_flush) {
     // Nothing placeable (kSingle, single-node topology, or every viable
     // host is out of service): promote straight from the LOCAL copy.
     if (then_flush)
-      start_pfs_flush(rank, epoch, machine_->topology().node_of(rank), -1);
+      start_pfs_flush(rank, epoch, machine_->node_of(rank), -1);
     return;
   }
   auto pending = std::make_shared<int>(static_cast<int>(plan.steps.size()));
@@ -237,7 +239,7 @@ void StagingArea::place_fragment(int rank, uint64_t epoch,
                                  bool then_flush) {
   Entry* e = find(rank, epoch);
   SPBC_ASSERT(e != nullptr);
-  const int hnode = machine_->topology().node_of(step.host_rank);
+  const int hnode = machine_->node_of(step.host_rank);
   const uint64_t hgen = node_gen(hnode);
   const uint64_t chain = e->chain_id;
   const size_t frag_idx = e->fragments.size();
@@ -278,7 +280,7 @@ void StagingArea::place_fragment(int rank, uint64_t epoch,
         if (!f.parity)
           start_pfs_flush(rank, epoch, f.host_node, static_cast<int>(frag_idx));
         else
-          start_pfs_flush(rank, epoch, machine_->topology().node_of(rank), -1);
+          start_pfs_flush(rank, epoch, machine_->node_of(rank), -1);
       });
 }
 
@@ -447,7 +449,7 @@ void StagingArea::do_restore(int rank, uint64_t epoch,
   auto remaining = std::make_shared<int>(static_cast<int>(plan.reads.size()));
   auto failed = std::make_shared<bool>(false);
   for (const RestorePlan::Read& rd : plan.reads) {
-    const int snode = machine_->topology().node_of(rd.src_rank);
+    const int snode = machine_->node_of(rd.src_rank);
     const uint64_t sgen = node_gen(snode);
     // Rebuild reads are real transfers: they contend with application and
     // drain traffic on the survivors' NICs and on the restoring node. All
@@ -499,10 +501,11 @@ void StagingArea::invalidate_node(int node) {
     return;
   node_down_[static_cast<size_t>(node)].store(1, std::memory_order_relaxed);
   ++node_storage_gen_[static_cast<size_t>(node)];
-  const sim::Topology& topo = machine_->topology();
   std::vector<std::pair<int, uint64_t>> reprotect;
   for (size_t r = 0; r < entries_.size(); ++r) {
-    const bool resident = topo.node_of(static_cast<int>(r)) == node;
+    // Residency follows the PHYSICAL binding: after a hot-swap the logical
+    // layout still maps the rank to its dead birth node.
+    const bool resident = machine_->node_of(static_cast<int>(r)) == node;
     for (auto& [epoch, e] : entries_[r]) {
       if (resident) e.levels &= static_cast<uint8_t>(~kAtLocal);
       bool lost_fragment = false;
@@ -672,7 +675,7 @@ void StagingArea::schedule_scrub() {
 
 void StagingArea::charge_local_spill(int rank, uint64_t bytes) {
   if (!enabled() || machine_ == nullptr) return;
-  const int node = machine_->topology().node_of(rank);
+  const int node = machine_->node_of(rank);
   if (node_down_[static_cast<size_t>(node)].load(std::memory_order_relaxed))
     return;
   // Background write: it occupies the node's snapshot device (future LOCAL
@@ -696,6 +699,31 @@ void StagingArea::drop_epochs_above(int rank, uint64_t epoch) {
       if (e.levels & kAtPfs) frontier = ep;
     pfs_frontier_[static_cast<size_t>(rank)] = frontier;
   }
+}
+
+void StagingArea::rename_epoch(int rank, uint64_t from, uint64_t to) {
+  if (!enabled()) return;
+  if (static_cast<size_t>(rank) >= entries_.size() || from == to) return;
+  auto& row = entries_[static_cast<size_t>(rank)];
+  auto it = row.find(from);
+  if (it == row.end()) return;
+  Entry moved = std::move(it->second);
+  row.erase(it);
+  row[to] = std::move(moved);
+  // Keep the retention floor keyed to the surviving epoch numbers. Stale
+  // chain callbacks keyed to `from` now find no entry and abort harmlessly
+  // (the flip preconditions already saw the chain reach PFS).
+  if (!pfs_frontier_.empty()) {
+    uint64_t frontier = 0;
+    for (const auto& [ep, e] : row)
+      if (e.levels & kAtPfs) frontier = std::max(frontier, ep);
+    pfs_frontier_[static_cast<size_t>(rank)] = frontier;
+  }
+}
+
+void StagingArea::on_topology_change() {
+  if (scheme_ != nullptr) scheme_->on_topology_change();
+  if (escalated_scheme_ != nullptr) escalated_scheme_->on_topology_change();
 }
 
 void StagingArea::prune_epochs_below(int rank, uint64_t epoch) {

@@ -253,6 +253,17 @@ class StagingArea : public ResidencyView {
   void drop_epochs_above(int rank, uint64_t epoch);
   void prune_epochs_below(int rank, uint64_t epoch);
 
+  /// Migration flip (serial context): re-keys the rank's entry `from` to
+  /// epoch number `to` so the snapshot carried across clusters lines up with
+  /// the destination's epoch sequence. The PFS frontier follows the rename.
+  void rename_epoch(int rank, uint64_t from, uint64_t to);
+
+  /// The machine's PHYSICAL rank->node binding changed (spare hot-swap,
+  /// shrunk restart, cluster migration): memoized scheme host choices
+  /// re-derive; logical group structure stays pinned (see
+  /// RedundancyScheme::on_topology_change).
+  void on_topology_change();
+
   /// Merged view of the per-rank stat rows (rows keep concurrent shard
   /// events off shared counters). Returned by value: a snapshot.
   StagingStats stats() const;

@@ -79,6 +79,24 @@ void Store::prune_epochs_below(int rank, uint64_t epoch) {
   }
 }
 
+void Store::rename_epoch(int rank, uint64_t from, uint64_t to) {
+  if (from == to) return;
+  Row& r = row(rank);
+  auto snap = r.snaps.find(from);
+  if (snap != r.snaps.end()) {
+    Snapshot moved = std::move(snap->second);
+    moved.epoch = to;
+    r.snaps.erase(snap);
+    r.snaps[to] = std::move(moved);
+  }
+  auto cap = r.caps.find(from);
+  if (cap != r.caps.end()) {
+    std::vector<CapturedMsg> moved = std::move(cap->second);
+    r.caps.erase(cap);
+    r.caps[to] = std::move(moved);
+  }
+}
+
 uint64_t Store::spill_captures(int rank, uint64_t target_bytes) {
   Row& r = row(rank);
   if (r.capture_live <= target_bytes) return 0;

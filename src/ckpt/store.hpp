@@ -102,6 +102,12 @@ class Store {
   void drop_epochs_above(int rank, uint64_t epoch);
   void prune_epochs_below(int rank, uint64_t epoch);
 
+  /// Migration flip (serial context): re-keys the rank's epoch-`from`
+  /// snapshot and captures to epoch number `to`, so state carried across a
+  /// cluster migration lines up with the destination cluster's epoch
+  /// sequence. No-op when no epoch-`from` state exists.
+  void rename_epoch(int rank, uint64_t from, uint64_t to);
+
   /// In-flight capture for the marker-based wave: records a message that
   /// crossed the cuts of epochs [first_epoch, last_epoch] at `rank`, in
   /// arrival order (per-channel FIFO makes arrival order seqnum order on

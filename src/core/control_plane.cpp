@@ -142,6 +142,8 @@ ControlPlaneStats ControlPlane::stats() const {
   st.redundancy_stride = cfg_.enabled ? redundancy_stride() : 0;
   st.pfs_stride = cfg_.enabled ? pfs_stride() : 0;
   st.escalated = escalated_;
+  st.repartitions = repartitions_;
+  st.ranks_migrated = ranks_migrated_;
   return st;
 }
 

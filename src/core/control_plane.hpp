@@ -127,6 +127,15 @@ struct ControlPlaneConfig {
   int escalate_after = 2;       // double-loss events before promoting
   sim::Time calm_period = 5.0;  // no double loss for this long -> demote
   ckpt::RedundancyConfig escalated{ckpt::SchemeKind::kReedSolomon, 4, 4, 2};
+
+  // ---- online repartitioning ----
+  /// Cadence of the streaming repartitioner's drift check (0 = never): every
+  /// period the protocol asks clustering::StreamingRepartitioner for
+  /// cut-reducing node moves against the live traffic matrix and migrates
+  /// them through the quiescence bridge (DESIGN.md §14).
+  sim::Time repartition_period = 0;
+  /// Most colocation units migrated per cadence tick.
+  int repartition_max_moves = 1;
 };
 
 struct ControlPlaneStats {
@@ -143,6 +152,8 @@ struct ControlPlaneStats {
   uint64_t redundancy_stride = 0;
   uint64_t pfs_stride = 0;
   bool escalated = false;
+  uint64_t repartitions = 0;    // completed online repartition flips
+  uint64_t ranks_migrated = 0;  // ranks moved across clusters by them
 };
 
 class ControlPlane {
@@ -175,6 +186,13 @@ class ControlPlane {
   /// Serial context (scrub cadence): time-based policy checks that must not
   /// wait for the next failure — currently de-escalation on calm.
   void on_tick(sim::Time now);
+
+  /// Serial context (migration flip): one online repartition completed,
+  /// moving `moved` ranks across clusters.
+  void note_repartition(int moved) {
+    ++repartitions_;
+    ranks_migrated_ += static_cast<uint64_t>(moved < 0 ? 0 : moved);
+  }
 
   /// Any shard: observe a real snapshot size. Two-phase for bit-identity
   /// across shard/thread layouts: the observation lands in a pending atomic
@@ -226,6 +244,8 @@ class ControlPlane {
   uint64_t double_losses_ = 0;
   uint64_t escalations_ = 0;
   uint64_t deescalations_ = 0;
+  uint64_t repartitions_ = 0;
+  uint64_t ranks_migrated_ = 0;
 
   /// Pending (any-shard atomic max) and published (serial-written, read by
   /// any shard after the barrier) snapshot-size observations.

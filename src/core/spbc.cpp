@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "clustering/comm_graph.hpp"
+#include "clustering/streaming.hpp"
 #include "util/assert.hpp"
 
 namespace spbc::core {
@@ -115,7 +117,30 @@ const Replayer& SpbcProtocol::replayer_of(int rank) const {
 }
 
 bool SpbcProtocol::is_inter_cluster(const mpi::Envelope& env) const {
-  return machine_->cluster_of(env.src) != machine_->cluster_of(env.dst);
+  const bool inter =
+      machine_->cluster_of(env.src) != machine_->cluster_of(env.dst);
+  if (!migration_.active) return inter;
+  // Bridge pre-classification (DESIGN.md §14): once a mover cut the boundary
+  // epoch, its traffic with its OLD cluster is logged as if the flip already
+  // happened — those sends must be in the sender log when the flip turns the
+  // channel into a real inter-cluster one. The envelope's epoch stamp is the
+  // sender's cut at send time, so the classification is a pure function of
+  // the message, identical on the send and delivery paths. Pairs migrating
+  // together stay intra (they remain colocated after the flip); the extra
+  // pre-flip logging is safe — intra-classified logs are simply never
+  // replayed.
+  const bool src_moving = is_migrating(env.src);
+  const bool dst_moving = is_migrating(env.dst);
+  if (src_moving == dst_moving) return inter;
+  const int other = src_moving ? env.dst : env.src;
+  if (machine_->cluster_of(other) != migration_.from) return inter;
+  return inter || env.ckpt_epoch >= migration_.boundary_a;
+}
+
+bool SpbcProtocol::is_migrating(int rank) const {
+  for (int m : migration_.ranks)
+    if (m == rank) return true;
+  return false;
 }
 
 void SpbcProtocol::on_cluster_map(int nclusters) {
@@ -124,6 +149,16 @@ void SpbcProtocol::on_cluster_map(int nclusters) {
     waves_.resize(static_cast<size_t>(nclusters));
   if (static_cast<size_t>(nclusters) > storage_survives_.size())
     storage_survives_.resize(static_cast<size_t>(nclusters), 0);
+  // Arm the streaming repartitioner's cadence (once): shard events read the
+  // serial-written migration state, so the bridge needs the single-threaded
+  // executor — the same discipline the elastic machine hooks assert.
+  if (cfg_.control.repartition_period > 0 && !repartition_armed_ &&
+      machine_ != nullptr && nclusters > 1) {
+    SPBC_ASSERT_MSG(machine_->config().engine_threads <= 1,
+                    "online repartitioning requires engine_threads <= 1");
+    repartition_armed_ = true;
+    schedule_repartition();
+  }
 }
 
 SpbcProtocol::ClusterWave& SpbcProtocol::wave_of(int cluster) {
@@ -323,8 +358,17 @@ void SpbcProtocol::run_coordinated_checkpoint(mpi::Rank& rank) {
   // application computes. Under the control plane the epoch carries a level
   // plan: cheap LOCAL epochs fire at the Young/Daly cadence while the
   // redundancy hop and the PFS flush run at their own (longer) strides.
-  sim::Time cost =
-      staging_.write(me, epoch, snap_bytes, control_.plan_for_epoch(epoch));
+  ckpt::LevelPlan plan = control_.plan_for_epoch(epoch);
+  if (!forced_pfs_epoch_.empty()) {
+    // Migration bridge: the boundary/pin epochs must land at full depth —
+    // the flip's fallback guarantees are anchored on their PFS copies.
+    auto fp = forced_pfs_epoch_.find(cluster);
+    if (fp != forced_pfs_epoch_.end() && fp->second == epoch) {
+      plan.redundancy = true;
+      plan.pfs = true;
+    }
+  }
+  sim::Time cost = staging_.write(me, epoch, snap_bytes, plan);
 
   if (cfg_.gc_logs) {
     // Freeze the inter-cluster received-windows the epoch captured (GC at
@@ -465,6 +509,13 @@ void SpbcProtocol::commit_epoch(
   if (staging_.async()) {
     for (int m : members) floor = std::min(floor, staging_.pfs_frontier(m));
   }
+  if (!forced_pfs_epoch_.empty()) {
+    // An in-flight migration pins this cluster's boundary/pin epoch against
+    // pruning: the flip renames the movers' snapshots into it and the
+    // post-flip fallback floor rests on every member still holding it.
+    auto fp = forced_pfs_epoch_.find(cluster);
+    if (fp != forced_pfs_epoch_.end()) floor = std::min(floor, fp->second);
+  }
   const int root = members.front();
   for (int m : members) {
     // The residency the commit is backed by, for introspection and benches.
@@ -535,12 +586,44 @@ void SpbcProtocol::on_failure_injected(int victim_rank, mpi::FailureKind kind) {
   // estimators. Exactly one call per injected failure, so the estimators
   // never double-count the victim's kill and its peers' detection-time
   // kills as separate events.
-  const bool storage_lost = kind == mpi::FailureKind::kNodeLoss;
+  const bool storage_lost = kind != mpi::FailureKind::kProcessOnly;
+  // storage_survives_ drives the detection-time kills of the victim's
+  // cluster peers. kNodeLoss takes the whole cluster's nodes down; a
+  // permanent loss takes exactly the victim's node out of service — the
+  // peers' nodes (and the redundancy fragments they host, which the spare
+  // rebuild reads) survive.
   const int cluster = machine_->cluster_of(victim_rank);
   if (static_cast<size_t>(cluster) < storage_survives_.size())
-    storage_survives_[static_cast<size_t>(cluster)] = storage_lost ? 0 : 1;
-  control_.note_failure(machine_->engine().now(), storage_lost,
-                        machine_->topology().node_of(victim_rank));
+    storage_survives_[static_cast<size_t>(cluster)] =
+        kind == mpi::FailureKind::kNodeLoss ? 0 : 1;
+  const int node = machine_->node_of(victim_rank);
+  control_.note_failure(machine_->engine().now(), storage_lost, node);
+  if (kind == mpi::FailureKind::kNodePermanent) {
+    // The node never returns: invalidate its staged copies against the OLD
+    // physical binding first — retire_node rebinds the residents to a spare
+    // (or packs them onto survivors), after which residency is computed
+    // against the NEW node and the dead copies would be missed.
+    staging_.invalidate_node(node);
+    // A shrunk restart can pack ranks from another cluster onto this node;
+    // when the node dies they die with it. Collect the tenants before
+    // retire_node rebinds residency, then run the standard failure path for
+    // each collateral cluster: kill its residents at the crash instant and
+    // let detection trigger its cluster-wide rollback (coalescing with any
+    // restart already pending there).
+    std::map<int, std::vector<int>> collateral;
+    for (int r = 0; r < machine_->nranks(); ++r)
+      if (machine_->node_of(r) == node && machine_->cluster_of(r) != cluster)
+        collateral[machine_->cluster_of(r)].push_back(r);
+    machine_->retire_node(node);
+    for (const auto& entry : collateral) {
+      if (static_cast<size_t>(entry.first) < storage_survives_.size())
+        storage_survives_[static_cast<size_t>(entry.first)] = 1;
+      for (int r : entry.second) machine_->kill_rank(r);
+      const int rep = entry.second.front();
+      machine_->engine().after(machine_->config().failure_detection_delay,
+                               [this, rep] { on_failure(rep); });
+    }
+  }
 }
 
 void SpbcProtocol::on_failure(int victim_rank) {
@@ -635,21 +718,12 @@ void SpbcProtocol::select_and_restore(int cluster, std::vector<int> members,
     restore_rank(r, epoch);
   }
 
-  // Collect, per recovering rank, the peers that must learn of the rollback:
-  // every inter-cluster channel in the restored state plus every rank whose
-  // log holds messages for it (a channel the checkpoint had not seen yet).
-  // The aggregated path never materializes these sets — at 16k ranks they
-  // alone are cluster x world ints.
-  std::map<int, std::set<int>> peers;
-  if (!machine_->config().aggregate_rollbacks)
-    for (int r : members) peers[r] = rollback_peers_of(r);
-
   // Shared, not copied per callback: the rebuild path threads this closure
-  // (and its captured member/target/peer maps) through every network-read
+  // (and its captured member/target maps) through every network-read
   // completion.
   auto finish = std::make_shared<std::function<void()>>(
       [this, cluster, members, epoch, failure_time, ckpt_time,
-       targets, peers] {
+       targets] {
     restart_pending_.erase(cluster);
     for (int r : members) machine_->respawn_rank(r, epoch > 0);
     // Re-deliver the intra-cluster messages the restored epoch captured as
@@ -662,10 +736,16 @@ void SpbcProtocol::select_and_restore(int cluster, std::vector<int> members,
       std::vector<int> outside;
       outside.reserve(static_cast<size_t>(machine_->nranks()));
       for (int s = 0; s < machine_->nranks(); ++s)
-        if (machine_->cluster_of(s) != cluster) outside.push_back(s);
+        if (machine_->cluster_of(s) != cluster && !machine_->tombstoned(s))
+          outside.push_back(s);
       send_cluster_rollback(cluster, members, outside);
     } else {
-      for (int r : members) send_rollbacks_from(r, peers.at(r));
+      // Peer sets are computed here, at announce time, not when the restore
+      // was planned: a peer tombstoned by an overlapping permanent failure at
+      // plan time may have respawned on a spare since and must still hear the
+      // rollback. Peers still tombstoned now are covered by their own
+      // cluster's overlapping-recovery re-announce below when they restart.
+      for (int r : members) send_rollbacks_from(r, rollback_peers_of(r));
     }
     // Overlapping recoveries: clusters that rolled back earlier re-announce
     // to the ranks we just restarted, so replays lost to this crash re-run.
@@ -744,11 +824,15 @@ void SpbcProtocol::on_rank_killed(int victim) {
       storage_survives_[static_cast<size_t>(cluster)] != 0) {
     return;
   }
+  // A permanently-dead rank's OLD node was already invalidated at the crash
+  // instant (on_failure_injected), before the elastic rebind: its current
+  // node_of is the replacement, whose storage is intact.
+  if (machine_->tombstoned(victim)) return;
   // The process died with its node (cluster failures take whole nodes down —
   // node colocation is enforced): LOCAL snapshot copies of the node's
   // residents and PARTNER copies hosted there are gone, and drains reading
-  // from them will abort.
-  staging_.invalidate_node(machine_->topology().node_of(victim));
+  // from them will abort. Residency is keyed by the PHYSICAL binding.
+  staging_.invalidate_node(machine_->node_of(victim));
 }
 
 void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
@@ -814,7 +898,13 @@ std::set<int> SpbcProtocol::rollback_peers_of(int r) const {
   std::set<int> peers;
   const int my_cluster = machine_->cluster_of(r);
   for (int s = 0; s < machine_->nranks(); ++s) {
-    if (machine_->cluster_of(s) != my_cluster) peers.insert(s);
+    if (machine_->cluster_of(s) == my_cluster) continue;
+    // Dead-rank tombstone: a permanently-failed rank awaiting its elastic
+    // rebind has no rendezvous to announce to — re-announcing Rollback at
+    // it forever is the retry storm this filter removes. Its own recovery
+    // re-announces in the other direction once it respawns.
+    if (machine_->tombstoned(s)) continue;
+    peers.insert(s);
   }
   return peers;
 }
@@ -1087,6 +1177,156 @@ void SpbcProtocol::on_control(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
     default:
       SPBC_UNREACHABLE("unhandled control message kind in SpbcProtocol");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Online repartitioning: the quiescence bridge (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+void SpbcProtocol::schedule_repartition() {
+  machine_->engine().after_serial(cfg_.control.repartition_period, [this] {
+    // Stop when the machine wound down (same discipline as the scrub wave):
+    // run() ends only once the event queues drain.
+    if (machine_->engine().live_task_count() == 0) return;
+    repartition_tick();
+    schedule_repartition();
+  });
+}
+
+void SpbcProtocol::repartition_tick() {
+  if (migration_.active) {
+    try_flip_migration();
+  } else {
+    try_announce_migration();
+  }
+}
+
+bool SpbcProtocol::cluster_quiescent(int cluster) const {
+  const uint64_t committed = committed_epoch(cluster);
+  for (int r : machine_->ranks_in_cluster(cluster)) {
+    const auto& cs = ckpt_[static_cast<size_t>(r)];
+    if (cs.snap_epoch != committed || cs.epoch != committed) return false;
+  }
+  return true;
+}
+
+void SpbcProtocol::try_announce_migration() {
+  if (!restart_pending_.empty()) return;
+  // Without a durable anchor the flip's fallback floor cannot be guaranteed:
+  // under sync LOCAL/PARTNER storage migrations never run (documented
+  // degradation); kNone (in-memory store) waives durability entirely.
+  if (cfg_.storage != ckpt::StorageLevel::kNone &&
+      cfg_.storage != ckpt::StorageLevel::kPfs) {
+    return;
+  }
+  const int n = machine_->nranks();
+  const int nclusters = machine_->nclusters();
+  if (nclusters <= 1) return;
+  std::vector<int> cluster_of(static_cast<size_t>(n));
+  std::vector<int> unit_of(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    if (machine_->tombstoned(r)) return;  // elastic recovery in progress
+    cluster_of[static_cast<size_t>(r)] = machine_->cluster_of(r);
+    unit_of[static_cast<size_t>(r)] = machine_->node_of(r);
+  }
+  // After a shrunk restart two clusters can share a physical node; unit-
+  // granular moves are ill-defined there, so the repartitioner stands down.
+  std::vector<int> owner(
+      static_cast<size_t>(machine_->topology().total_nodes()), -1);
+  for (int r = 0; r < n; ++r) {
+    int& o = owner[static_cast<size_t>(unit_of[static_cast<size_t>(r)])];
+    if (o == -1) {
+      o = cluster_of[static_cast<size_t>(r)];
+    } else if (o != cluster_of[static_cast<size_t>(r)]) {
+      return;
+    }
+  }
+  clustering::CommGraph graph =
+      clustering::CommGraph::from_traffic(n, machine_->traffic());
+  clustering::RepartitionConfig rc;
+  rc.max_moves = cfg_.control.repartition_max_moves < 1
+                     ? 1
+                     : cfg_.control.repartition_max_moves;
+  const std::vector<clustering::NodeMove> moves =
+      clustering::StreamingRepartitioner(rc).plan(graph, cluster_of, unit_of,
+                                                  nclusters);
+  if (moves.empty()) return;
+  // The bridge carries ONE unit at a time; later planned moves are recomputed
+  // by the next announce against the post-flip map (their gains assumed the
+  // earlier moves already applied).
+  const clustering::NodeMove& mv = moves.front();
+  if (!cluster_quiescent(mv.from) || !cluster_quiescent(mv.to)) return;
+  migration_.active = true;
+  migration_.ranks = mv.ranks;
+  migration_.unit = mv.unit;
+  migration_.from = mv.from;
+  migration_.to = mv.to;
+  migration_.boundary_a = wave_of(mv.from).committed + 1;
+  migration_.pin_b = wave_of(mv.to).committed + 1;
+  // Force the anchor epochs to full staging depth and pin them against
+  // pruning until the flip consumes them.
+  forced_pfs_epoch_[mv.from] = migration_.boundary_a;
+  forced_pfs_epoch_[mv.to] = migration_.pin_b;
+}
+
+void SpbcProtocol::try_flip_migration() {
+  const int a = migration_.from;
+  const int b = migration_.to;
+  for (int r : migration_.ranks)
+    if (machine_->tombstoned(r)) return;  // mid elastic rebind; retry later
+  if (restart_pending_.count(a) || restart_pending_.count(b)) return;
+  const uint64_t boundary = migration_.boundary_a;
+  const uint64_t pin = migration_.pin_b;
+  if (wave_of(a).committed < boundary || wave_of(b).committed < pin) return;
+  if (!cluster_quiescent(a) || !cluster_quiescent(b)) return;
+  const std::vector<int> a_members = machine_->ranks_in_cluster(a);
+  const std::vector<int> b_members = machine_->ranks_in_cluster(b);
+  if (staging_.enabled()) {
+    // The flip's fallback guarantees rest on durable anchors: boundary_a for
+    // the shrinking cluster (post-flip it can never be forced below it),
+    // pin_b for everyone the movers join in B.
+    for (int r : a_members)
+      if ((staging_.levels(r, boundary) & ckpt::kAtPfs) == 0) return;
+    for (int r : b_members)
+      if ((staging_.levels(r, pin) & ckpt::kAtPfs) == 0) return;
+  }
+  // Every pre-cut intra send must have landed: the flip reclassifies the
+  // movers' channels, and an intra-accounted send completing after it would
+  // corrupt the drain bookkeeping the wave commit rests on.
+  for (int r : a_members)
+    if (machine_->outstanding_intra_sends(r) != 0) return;
+
+  const uint64_t committed_b = wave_of(b).committed;
+  const sim::Time now = machine_->engine().now();
+  for (int r : migration_.ranks) {
+    // Keep exactly the boundary epoch, renumbered into B's epoch space; the
+    // rest of the mover's checkpoint history belongs to A and leaves with
+    // the membership. B's fallback can then never pick an epoch the mover
+    // lacks: the walk lands on pin_b, durable for every member by the
+    // precondition above.
+    store_.drop_epochs_above(r, boundary);
+    store_.prune_epochs_below(r, boundary);
+    store_.rename_epoch(r, boundary, pin);
+    staging_.drop_epochs_above(r, boundary);
+    staging_.prune_epochs_below(r, boundary);
+    staging_.rename_epoch(r, boundary, pin);
+    auto& cs = ckpt_[static_cast<size_t>(r)];
+    cs.epoch = committed_b;
+    cs.snap_epoch = committed_b;
+    cs.complete_sent = committed_b;
+    cs.wave_seen = committed_b;
+    cs.marker_fwd = committed_b;
+    cs.agg.clear();
+    cs.last_cut = now;
+    machine_->migrate_rank(r, b);
+  }
+  // Partner placement memos are keyed by the cluster layout; grouped schemes
+  // pin their groups (logical topology) and stay valid.
+  staging_.on_topology_change();
+  forced_pfs_epoch_.erase(a);
+  forced_pfs_epoch_.erase(b);
+  control_.note_repartition(static_cast<int>(migration_.ranks.size()));
+  migration_ = Migration{};
 }
 
 void SpbcProtocol::on_rank_start(mpi::Rank& rank, bool restarted) {

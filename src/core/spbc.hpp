@@ -152,6 +152,9 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   ckpt::StagingArea& staging_mut() { return staging_; }
   const ControlPlane& control_plane() const { return control_; }
   const SpbcConfig& config() const { return cfg_; }
+  /// An online repartition bridge is between announce and flip (DESIGN.md
+  /// §14): one colocation unit is being walked to a new cluster.
+  bool migration_active() const { return migration_.active; }
   uint64_t checkpoints_taken() const { return store_.snapshots_taken(); }
   uint64_t rollbacks() const { return rollbacks_; }
   /// Staging residency mask (ckpt::ResidencyBit) of this rank's snapshot at
@@ -247,7 +250,31 @@ class SpbcProtocol : public mpi::ProtocolHooks {
     uint64_t committed = 0;  // last epoch whose completion reduction finished
   };
 
+  /// One online-repartition bridge (DESIGN.md §14), at most one in flight
+  /// globally: the ranks of one colocation unit walking from cluster `from`
+  /// to cluster `to`. Announced on a cadence tick once both clusters are
+  /// quiescent; flipped on a later tick once the boundary epochs committed
+  /// at full depth. Serial-context-written; shard events only read it.
+  struct Migration {
+    bool active = false;
+    std::vector<int> ranks;   // the moving colocation unit's residents
+    int unit = -1;            // physical node id (mpi::Machine::node_of)
+    int from = -1;            // cluster A (source)
+    int to = -1;              // cluster B (destination)
+    uint64_t boundary_a = 0;  // first A epoch logged as if already flipped
+    uint64_t pin_b = 0;       // B epoch the movers' snapshots renumber into
+  };
+
   bool is_inter_cluster(const mpi::Envelope& env) const;
+  bool is_migrating(int rank) const;
+  /// No wave in flight and no member ahead of / behind the committed epoch.
+  bool cluster_quiescent(int cluster) const;
+  /// Self-rescheduling serial cadence tick for the streaming repartitioner
+  /// (armed once from on_cluster_map when control.repartition_period > 0).
+  void schedule_repartition();
+  void repartition_tick();
+  void try_announce_migration();
+  void try_flip_migration();
   ClusterWave& wave_of(int cluster);
   void run_coordinated_checkpoint(mpi::Rank& rank);
   void arm_wave_completion(int member, uint64_t epoch);
@@ -305,6 +332,13 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   std::set<int> recovering_clusters_;   // serial context only
   std::set<int> restart_pending_;       // serial context only
   uint64_t rollbacks_ = 0;              // serial context only
+  // The (at most one) in-flight cluster migration and the per-cluster epochs
+  // its bridge forces to full staging depth (and pins against pruning until
+  // the flip). Written on serial cadence ticks; read by shard events — the
+  // repartitioner therefore requires engine_threads <= 1.
+  Migration migration_;
+  std::map<int, uint64_t> forced_pfs_epoch_;
+  bool repartition_armed_ = false;
   // Bumped from on_delivered on any shard (capture-bound pressure).
   std::atomic<uint64_t> capture_forced_waves_{0};
 };

@@ -133,6 +133,10 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     SPBC_ASSERT_MSG(at > 0, "process-only failures require a positive time");
     machine.inject_failure(at, victim, mpi::FailureKind::kProcessOnly);
   }
+  for (const auto& [at, victim] : cfg.permanent_failures) {
+    SPBC_ASSERT_MSG(at > 0, "permanent failures require a positive time");
+    machine.inject_failure(at, victim, mpi::FailureKind::kNodePermanent);
+  }
   if (!cfg.silent_losses.empty()) {
     auto* spbc = dynamic_cast<core::SpbcProtocol*>(&machine.protocol());
     SPBC_ASSERT_MSG(spbc != nullptr,
@@ -165,6 +169,9 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.max_log_rate_mb_s = std::max(res.max_log_rate_mb_s, rate);
   }
   res.avg_log_rate_mb_s = sum / cfg.nranks;
+  res.spare_swaps = machine.spare_swaps();
+  res.shrink_restarts = machine.shrink_restarts();
+  res.tombstone_drops = machine.tombstone_drops();
   if (auto* spbc = dynamic_cast<core::SpbcProtocol*>(&machine.protocol())) {
     res.checkpoints = spbc->checkpoints_taken();
     res.capture_hwm_bytes = spbc->store().capture_hwm_bytes();

@@ -69,6 +69,12 @@ struct ScenarioConfig {
   /// benign failure class the control plane's estimator must separate from
   /// storage-destroying node losses.
   std::vector<std::pair<sim::Time, int>> process_only_failures;
+  /// Permanent node losses (mpi::FailureKind::kNodePermanent): the victim's
+  /// node never returns. Its residents are rebound onto a pooled spare
+  /// (hot-swap; machine.spare_nodes) or, with the pool exhausted, packed
+  /// onto surviving nodes (shrunk restart), and their state is rebuilt from
+  /// redundancy shares.
+  std::vector<std::pair<sim::Time, int>> permanent_failures;
   /// Silent fragment losses (absolute virtual time, selection salt): at each
   /// time one live staged fragment — picked deterministically by the salt —
   /// is corrupted without killing anything. Only background scrubbing or a
@@ -120,7 +126,17 @@ struct ScenarioResult {
   /// silent losses; scrub-coverage gates require 0).
   uint64_t corrupt_live_fragments = 0;
 
+  // Elastic-recovery counters (permanent node losses; zeros otherwise):
+  // retired nodes whose residents were rebound onto a pooled spare, retired
+  // nodes absorbed by packing survivors (pool exhausted), and sends dropped
+  // at dead-rank tombstones instead of spinning at a silent rendezvous.
+  uint64_t spare_swaps = 0;
+  uint64_t shrink_restarts = 0;
+  uint64_t tombstone_drops = 0;
+
   // Control-plane telemetry (zeros when the control plane is disabled).
+  // Includes the online repartitioner's flip counters (control.repartitions,
+  // control.ranks_migrated).
   core::ControlPlaneStats control;
 
   /// Normalized rework time of the first recovery (Fig. 5 / Fig. 6): time to

@@ -12,7 +12,8 @@ constexpr uint64_t kHeaderBytes = 64;
 Machine::Machine(MachineConfig cfg, std::unique_ptr<ProtocolHooks> protocol)
     : cfg_(cfg),
       engine_(cfg.fiber_stack_bytes),
-      topo_(sim::Topology::for_ranks(cfg.nranks, cfg.ranks_per_node)),
+      topo_(sim::Topology::for_ranks(cfg.nranks, cfg.ranks_per_node,
+                                     cfg.spare_nodes)),
       net_(engine_, topo_, cfg.net),
       protocol_(std::move(protocol)),
       world_(Comm::world(cfg.nranks)),
@@ -29,6 +30,25 @@ Machine::Machine(MachineConfig cfg, std::unique_ptr<ProtocolHooks> protocol)
   SPBC_ASSERT(protocol_);
   traffic_.reset(cfg.nranks);
   engine_.set_abort_on_deadlock(cfg.abort_on_deadlock);
+  // Elastic rebinds mutate machine-global maps from serial recovery events;
+  // the threaded executor's shard windows do not serialize against those.
+  if (cfg.spare_nodes > 0 ||
+      cfg.default_failure_kind == FailureKind::kNodePermanent) {
+    SPBC_ASSERT_MSG(cfg.engine_threads <= 1,
+                    "elastic recovery (spare nodes / permanent failures) "
+                    "requires engine_threads == 1");
+  }
+  node_of_rank_.resize(static_cast<size_t>(cfg.nranks));
+  for (int r = 0; r < cfg.nranks; ++r)
+    node_of_rank_[static_cast<size_t>(r)] = topo_.node_of(r);
+  node_retired_.assign(static_cast<size_t>(topo_.total_nodes()), 0);
+  tombstoned_.assign(static_cast<size_t>(cfg.nranks), 0);
+  for (int s = topo_.nodes(); s < topo_.total_nodes(); ++s)
+    spare_pool_.push_back(s);
+  // Hardware-level routing (same-node checks, NIC indexing) follows the
+  // dynamic binding; identical to the topology's block layout until a
+  // retirement rebinds something.
+  net_.set_node_of([this](int r) { return this->node_of(r); });
   ranks_.reserve(static_cast<size_t>(cfg.nranks));
   for (int r = 0; r < cfg.nranks; ++r)
     ranks_.push_back(std::make_unique<Rank>(*this, r));
@@ -70,8 +90,14 @@ void Machine::set_cluster_of(std::vector<int> cluster_of) {
                    : std::min(cfg_.engine_shards, nclusters_);
     engine_.set_shard_plan(nclusters_, exec);
     // Cross-cluster messages take at least one network latency: inter-node
-    // when clusters are node-colocated, else the intra-node floor.
-    engine_.set_lookahead(cfg_.enforce_node_colocation
+    // when clusters are node-colocated, else the intra-node floor. An
+    // elastic machine gets the floor even when the initial map is colocated:
+    // a shrunk restart can later pack two clusters onto one surviving node,
+    // and their same-node cross-shard traffic then rides the intra path.
+    const bool can_retire =
+        cfg_.spare_nodes > 0 ||
+        cfg_.default_failure_kind == FailureKind::kNodePermanent;
+    engine_.set_lookahead(cfg_.enforce_node_colocation && !can_retire
                               ? cfg_.net.inter_latency
                               : cfg_.net.intra_latency);
     // The shared jitter RNG stream would make jitter values depend on the
@@ -86,7 +112,12 @@ void Machine::set_cluster_of(std::vector<int> cluster_of) {
       engine_.set_threads(cfg_.engine_threads);
     }
   }
-  net_.set_shard_of([this](int r) { return this->cluster_of(r); });
+  // Freeze the rank -> shard snapshot: later cluster migrations (streaming
+  // repartitioner) keep a rank's events on its original shard, so the event
+  // order — and with it fixed-seed bit-identity across shard layouts — never
+  // depends on migration timing.
+  shard_of_rank_ = cluster_of_;
+  net_.set_shard_of([this](int r) { return this->shard_of(r); });
   protocol_->on_cluster_map(nclusters_);
 }
 
@@ -107,7 +138,7 @@ void Machine::launch(AppFn app) {
   for (int r = 0; r < cfg_.nranks; ++r) {
     alive_[static_cast<size_t>(r)] = true;
     Rank* rk = ranks_[static_cast<size_t>(r)].get();
-    auto id = engine_.spawn_on(cluster_of(r), [this, rk] {
+    auto id = engine_.spawn_on(shard_of(r), [this, rk] {
       protocol_->on_rank_start(*rk, /*restarted=*/false);
       app_(*rk);
       rk->set_task(sim::Engine::kInvalidTask);
@@ -126,7 +157,7 @@ RunResult Machine::run() {
 }
 
 void Machine::inject_failure(sim::Time t, int victim_rank) {
-  inject_failure(t, victim_rank, FailureKind::kNodeLoss);
+  inject_failure(t, victim_rank, cfg_.default_failure_kind);
 }
 
 void Machine::inject_failure(sim::Time t, int victim_rank, FailureKind kind) {
@@ -173,6 +204,16 @@ void Machine::record_traffic(const Envelope& env) {
 
 void Machine::transport_send(Rank& /*sender*/, const Envelope& env, Payload payload,
                              std::function<void()> on_complete) {
+  if (tombstoned_[static_cast<size_t>(env.dst)]) {
+    // The destination is permanently dead, awaiting its elastic rebind: the
+    // send completes as a no-op (MPI semantics: buffer reusable) without
+    // entering the transport — no rendezvous handshake to spin on, no
+    // intra-cluster in-flight accounting to drain. The restored destination
+    // announces a Rollback after respawn; replay re-delivers what matters.
+    tombstone_drops_.fetch_add(1, std::memory_order_relaxed);
+    if (on_complete) on_complete();
+    return;
+  }
   record_traffic(env);
   bool intra = cluster_of(env.src) == cluster_of(env.dst);
 
@@ -230,6 +271,13 @@ void Machine::transport_send(Rank& /*sender*/, const Envelope& env, Payload payl
 
 void Machine::send_control(int src, int dst, ControlMsg msg) {
   SPBC_ASSERT(dst >= 0 && dst < cfg_.nranks);
+  if (tombstoned_[static_cast<size_t>(dst)]) {
+    // Control traffic to a permanently-dead rank is dropped at the source:
+    // the incarnation filter would discard it on arrival anyway, but a
+    // tombstoned destination should not keep burning transport events.
+    tombstone_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   uint64_t bytes = kHeaderBytes + msg.words.size() * sizeof(uint64_t);
   CtrlNode* n = ctrl_pool_.acquire();
   n->msg = std::move(msg);
@@ -313,6 +361,14 @@ void Machine::deliver_data(int dst, Envelope env, Payload payload, bool payload_
 
 void Machine::replay_send(int src, const Envelope& env, const Payload& payload,
                           std::function<void()> on_complete) {
+  if (tombstoned_[static_cast<size_t>(env.dst)]) {
+    // Replay toward a permanently-dead rank: complete immediately so the
+    // replayer's pacing window keeps moving. The rank's post-rebind Rollback
+    // re-announces its restored windows and the replay re-enqueues then.
+    tombstone_drops_.fetch_add(1, std::memory_order_relaxed);
+    if (on_complete) on_complete();
+    return;
+  }
   MsgNode* n = msg_pool_.acquire();
   n->env = env;
   n->env.replayed = true;
@@ -345,6 +401,67 @@ void Machine::replay_send(int src, const Envelope& env, const Payload& payload,
 // ---------------------------------------------------------------------------
 // Crash / recovery mechanics
 // ---------------------------------------------------------------------------
+
+void Machine::retire_node(int node) {
+  SPBC_ASSERT(node >= 0 && node < topo_.total_nodes());
+  if (node_retired_[static_cast<size_t>(node)]) return;  // coalesced storm
+  node_retired_[static_cast<size_t>(node)] = 1;
+  std::vector<int> residents;
+  for (int r = 0; r < cfg_.nranks; ++r)
+    if (node_of_rank_[static_cast<size_t>(r)] == node) residents.push_back(r);
+  if (residents.empty()) return;  // a drained node (everyone migrated away)
+  for (int r : residents) tombstoned_[static_cast<size_t>(r)] = 1;
+
+  if (!spare_pool_.empty()) {
+    // Hot-swap: the whole resident set moves to the next pooled spare, so
+    // the node-colocation invariant is preserved as-is.
+    const int spare = spare_pool_.front();
+    spare_pool_.erase(spare_pool_.begin());
+    for (int r : residents) node_of_rank_[static_cast<size_t>(r)] = spare;
+    ++spare_swaps_;
+    return;
+  }
+
+  // Pool exhausted — shrunk restart: re-pack the residents onto the least
+  // loaded surviving node, preferring one that already hosts their cluster
+  // (keeps the colocation invariant when possible; a cross-cluster target is
+  // the documented graceful degradation and is why elastic machines run
+  // single-threaded). Deterministic: ties break toward the lowest node id.
+  const int cluster = cluster_of_[static_cast<size_t>(residents.front())];
+  std::vector<int> load(static_cast<size_t>(topo_.total_nodes()), 0);
+  std::vector<uint8_t> hosts_cluster(static_cast<size_t>(topo_.total_nodes()),
+                                     0);
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    const int n = node_of_rank_[static_cast<size_t>(r)];
+    if (n == node) continue;  // the dying residents themselves
+    ++load[static_cast<size_t>(n)];
+    if (cluster_of_[static_cast<size_t>(r)] == cluster)
+      hosts_cluster[static_cast<size_t>(n)] = 1;
+  }
+  int best = -1;
+  for (int n = 0; n < topo_.total_nodes(); ++n) {
+    if (node_retired_[static_cast<size_t>(n)]) continue;
+    if (load[static_cast<size_t>(n)] == 0 && n >= topo_.nodes())
+      continue;  // an idle spare would have been in the pool
+    if (best < 0 ||
+        hosts_cluster[static_cast<size_t>(n)] >
+            hosts_cluster[static_cast<size_t>(best)] ||
+        (hosts_cluster[static_cast<size_t>(n)] ==
+             hosts_cluster[static_cast<size_t>(best)] &&
+         load[static_cast<size_t>(n)] < load[static_cast<size_t>(best)])) {
+      best = n;
+    }
+  }
+  SPBC_ASSERT_MSG(best >= 0, "no surviving node to shrink onto");
+  for (int r : residents) node_of_rank_[static_cast<size_t>(r)] = best;
+  ++shrink_restarts_;
+}
+
+void Machine::migrate_rank(int r, int cluster) {
+  SPBC_ASSERT(r >= 0 && r < cfg_.nranks);
+  SPBC_ASSERT(cluster >= 0 && cluster < nclusters_);
+  cluster_of_[static_cast<size_t>(r)] = cluster;
+}
 
 void Machine::kill_rank(int r) {
   SPBC_ASSERT(r >= 0 && r < cfg_.nranks);
@@ -381,7 +498,8 @@ void Machine::respawn_rank(int r, bool restarted) {
   ++incarnation_[static_cast<size_t>(r)];
   Rank* rk = ranks_[static_cast<size_t>(r)].get();
   rk->set_restarted(restarted);
-  auto id = engine_.spawn_on(cluster_of(r), [this, rk, restarted] {
+  tombstoned_[static_cast<size_t>(r)] = 0;  // elastic rebind completed
+  auto id = engine_.spawn_on(shard_of(r), [this, rk, restarted] {
     protocol_->on_rank_start(*rk, restarted);
     app_(*rk);
     rk->set_task(sim::Engine::kInvalidTask);

@@ -37,6 +37,14 @@ namespace spbc::mpi {
 struct MachineConfig {
   int nranks = 8;
   int ranks_per_node = 8;
+  /// Hot-spare nodes appended after the compute nodes: idle hardware (NIC +
+  /// node-local storage, no ranks) a permanent node loss swaps in. 0 keeps
+  /// the machine byte-identical to the pre-elastic layout.
+  int spare_nodes = 0;
+  /// Severity of the two-argument inject_failure() overload. Elastic suites
+  /// flip this to kNodePermanent to turn every scripted failure into a
+  /// never-returning node loss without touching the injection sites.
+  FailureKind default_failure_kind = FailureKind::kNodeLoss;
   net::NetworkParams net;
   uint64_t eager_threshold = 64 * 1024;  // bytes; above -> rendezvous
   sim::Time poll_overhead = sim::nsec(120);  // test/iprobe CPU cost
@@ -135,6 +143,48 @@ class Machine {
 
   int nranks() const { return cfg_.nranks; }
   Rank& rank(int r);
+
+  /// PHYSICAL node currently hosting `rank`. Starts as the topology's block
+  /// layout; spare-node hot-swap and shrunk restart rebind it. Everything
+  /// that models hardware (NIC routing, storage residency, failure blast
+  /// radius) must use this, not Topology::node_of — the latter stays the
+  /// LOGICAL layout that redundancy-group/slot arithmetic is keyed by.
+  int node_of(int rank) const {
+    return node_of_rank_[static_cast<size_t>(rank)];
+  }
+  /// Spares still in the pool (not yet swapped in).
+  int spares_available() const { return static_cast<int>(spare_pool_.size()); }
+  /// A permanently-dead node left service (retire_node).
+  bool node_retired(int node) const {
+    return node_retired_[static_cast<size_t>(node)] != 0;
+  }
+  /// Rank is permanently dead and awaiting its elastic rebind+respawn: sends
+  /// toward it complete as no-ops instead of spinning retries at a rendezvous
+  /// that will never answer. Cleared when the rank respawns.
+  bool tombstoned(int rank) const {
+    return tombstoned_[static_cast<size_t>(rank)] != 0;
+  }
+
+  /// Serial context: a node died permanently. Its resident ranks are
+  /// tombstoned and rebound — all onto the next pooled spare (hot-swap), or,
+  /// with the pool empty, onto the least-loaded surviving node (shrunk
+  /// restart; same-cluster nodes preferred to preserve colocation). The
+  /// caller must have invalidated the OLD node's staged copies first: after
+  /// this call the residents' storage residency is computed against the new
+  /// binding.
+  void retire_node(int node);
+
+  /// Serial context: move `rank` to cluster `cluster` (streaming
+  /// repartitioner flip). Event routing keeps the rank's original shard —
+  /// the shard map is frozen at set_cluster_of so fixed-seed runs stay
+  /// bit-identical across layouts while membership changes.
+  void migrate_rank(int rank, int cluster);
+
+  uint64_t spare_swaps() const { return spare_swaps_; }
+  uint64_t shrink_restarts() const { return shrink_restarts_; }
+  uint64_t tombstone_drops() const {
+    return tombstone_drops_.load(std::memory_order_relaxed);
+  }
 
   /// Cluster mapping used by hierarchical protocols; identity (one cluster)
   /// when unset. Must be set before launch().
@@ -270,6 +320,13 @@ class Machine {
   void handle_control(int dst, const ControlMsg& msg);
   void record_traffic(const Envelope& env);
   void note_intra_send_landed(int src);
+  /// Event-routing shard of a rank: the cluster map frozen at
+  /// set_cluster_of (migrations must not move a rank's events between
+  /// shards mid-run — event order would depend on migration timing).
+  int shard_of(int rank) const {
+    return shard_of_rank_.empty() ? cluster_of(rank)
+                                  : shard_of_rank_[static_cast<size_t>(rank)];
+  }
 
   MachineConfig cfg_;
   sim::Engine engine_;
@@ -285,6 +342,17 @@ class Machine {
   std::vector<std::vector<std::function<void()>>> intra_drain_watchers_;
   std::vector<int> cluster_of_;
   int nclusters_ = 1;
+  // Frozen rank -> shard snapshot (see shard_of); empty until set_cluster_of.
+  std::vector<int> shard_of_rank_;
+  // Dynamic rank -> physical node binding (see node_of).
+  std::vector<int> node_of_rank_;
+  // Spare nodes not yet swapped in, FIFO (ids in [topo.nodes(), total)).
+  std::vector<int> spare_pool_;
+  std::vector<uint8_t> node_retired_;  // indexed by node id
+  std::vector<uint8_t> tombstoned_;    // indexed by rank
+  uint64_t spare_swaps_ = 0;           // serial context only
+  uint64_t shrink_restarts_ = 0;       // serial context only
+  std::atomic<uint64_t> tombstone_drops_{0};
 
   AppFn app_;
 

@@ -23,6 +23,11 @@ class Machine;
 enum class FailureKind : uint8_t {
   kNodeLoss,     // the node dies: processes AND node-local storage are lost
   kProcessOnly,  // the processes die; node-local storage survives restart
+  /// The node dies and never returns: storage is lost AND the node leaves
+  /// service. Elastic recovery rebinds its resident ranks to a hot spare
+  /// (or re-packs them onto survivors when the pool is empty) instead of
+  /// restarting on the dead hardware.
+  kNodePermanent,
 };
 
 class ProtocolHooks {

@@ -22,14 +22,16 @@ Network::Network(sim::Engine& engine, const sim::Topology& topo, NetworkParams p
       params_(params),
       jitter_rng_(params.jitter_seed, 0x6e65747764ULL),
       chan_rows_(static_cast<size_t>(topo.nranks())),
-      nic_free_at_(static_cast<size_t>(topo.nodes()), sim::kTimeZero) {}
+      nic_free_at_(static_cast<size_t>(topo.total_nodes()), sim::kTimeZero) {}
 
 sim::Time Network::latency(int src, int dst) const {
-  return topo_.same_node(src, dst) ? params_.intra_latency : params_.inter_latency;
+  return node_of(src) == node_of(dst) ? params_.intra_latency
+                                      : params_.inter_latency;
 }
 
 double Network::bandwidth(int src, int dst) const {
-  return topo_.same_node(src, dst) ? params_.intra_bandwidth : params_.inter_bandwidth;
+  return node_of(src) == node_of(dst) ? params_.intra_bandwidth
+                                      : params_.inter_bandwidth;
 }
 
 sim::Time Network::wire_time(int src_rank, int dst_rank, uint64_t bytes) const {
@@ -104,10 +106,10 @@ sim::Time Network::submit_routed(const Transfer& t, int route_rank,
       static_cast<double>(t.bytes) / bandwidth(t.src_rank, t.dst_rank);
 
   sim::Time start = now;
-  bool inter_node = !topo_.same_node(t.src_rank, t.dst_rank);
+  bool inter_node = node_of(t.src_rank) != node_of(t.dst_rank);
   if (inter_node && params_.model_nic_contention) {
     // The source NIC injects one message at a time.
-    auto node = static_cast<size_t>(topo_.node_of(t.src_rank));
+    auto node = static_cast<size_t>(node_of(t.src_rank));
     start = std::max(start, nic_free_at_[node]);
     nic_free_at_[node] = start + serialize;
   }

@@ -77,6 +77,15 @@ class Network {
     shard_of_ = std::move(shard_of);
   }
 
+  /// Rank -> physical node map (the machine wires its dynamic binding here:
+  /// spare-node hot-swap and shrunk restart move ranks off their block-layout
+  /// home). Unset = the topology's static block layout. Same-node checks and
+  /// NIC indexing consult it, so traffic to a migrated rank rides the new
+  /// node's NIC.
+  void set_node_of(std::function<int(int)> node_of) {
+    node_of_ = std::move(node_of);
+  }
+
   /// Order-independent jitter draws (counter-hash per channel instead of the
   /// shared RNG stream). Required for sharded/threaded runs; changes jitter
   /// values — legacy single-shard runs keep the original stream.
@@ -122,6 +131,9 @@ class Network {
   };
   Chan& channel(int src, int dst);
 
+  int node_of(int rank) const {
+    return node_of_ ? node_of_(rank) : topo_.node_of(rank);
+  }
   sim::Time latency(int src, int dst) const;
   double bandwidth(int src, int dst) const;
 
@@ -131,6 +143,7 @@ class Network {
   util::Pcg32 jitter_rng_;
   bool deterministic_jitter_ = false;
   std::function<int(int)> shard_of_;
+  std::function<int(int)> node_of_;
 
   std::vector<ChanRow> chan_rows_;  // indexed by src rank
   // Per-node NIC next-free time (inter-node injection serialization). With

@@ -12,14 +12,20 @@ namespace spbc::sim {
 
 class Topology {
  public:
-  Topology(int nodes, int ranks_per_node)
-      : nodes_(nodes), ranks_per_node_(ranks_per_node) {
-    SPBC_ASSERT(nodes > 0 && ranks_per_node > 0);
+  Topology(int nodes, int ranks_per_node, int spare_nodes = 0)
+      : nodes_(nodes), ranks_per_node_(ranks_per_node),
+        spare_nodes_(spare_nodes) {
+    SPBC_ASSERT(nodes > 0 && ranks_per_node > 0 && spare_nodes >= 0);
   }
 
   int nodes() const { return nodes_; }
   int ranks_per_node() const { return ranks_per_node_; }
   int nranks() const { return nodes_ * ranks_per_node_; }
+  /// Hot-spare nodes: physically present (NICs, storage devices) but hosting
+  /// no ranks until a permanent node loss swaps one in. Their ids follow the
+  /// compute nodes: [nodes(), total_nodes()).
+  int spare_nodes() const { return spare_nodes_; }
+  int total_nodes() const { return nodes_ + spare_nodes_; }
 
   int node_of(int rank) const {
     SPBC_ASSERT(rank >= 0 && rank < nranks());
@@ -30,15 +36,16 @@ class Topology {
 
   /// Builds the smallest topology with `ppn` ranks per node that holds
   /// `nranks` ranks (nranks must be divisible by ppn).
-  static Topology for_ranks(int nranks, int ppn) {
+  static Topology for_ranks(int nranks, int ppn, int spare_nodes = 0) {
     SPBC_ASSERT_MSG(nranks % ppn == 0,
                     "nranks=" << nranks << " not divisible by ppn=" << ppn);
-    return Topology(nranks / ppn, ppn);
+    return Topology(nranks / ppn, ppn, spare_nodes);
   }
 
  private:
   int nodes_;
   int ranks_per_node_;
+  int spare_nodes_;
 };
 
 }  // namespace spbc::sim

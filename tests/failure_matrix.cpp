@@ -43,6 +43,8 @@ const char* timing_name(FailureCase::Timing t) {
       return "mid-rebuild";
     case FailureCase::Timing::kMidScrub:
       return "mid-scrub";
+    case FailureCase::Timing::kSpareSwap:
+      return "spare-swap";
   }
   return "?";
 }
@@ -82,7 +84,7 @@ FailureCase sample_case(uint64_t seed) {
   c.nclusters = 2 + static_cast<int>(
                         rng.next_bounded(static_cast<uint32_t>(c.nodes - 1)));
 
-  const uint32_t timing = rng.next_bounded(5);
+  const uint32_t timing = rng.next_bounded(6);
   c.timing = static_cast<FailureCase::Timing>(timing);
   c.bytes = (c.timing == FailureCase::Timing::kMidDrain ||
              c.timing == FailureCase::Timing::kMidRebuild)
@@ -99,6 +101,10 @@ FailureCase sample_case(uint64_t seed) {
                      rng.next_bounded(static_cast<uint32_t>(max_losses)));
   c.correlated = rng.next_bounded(2) == 0;
   c.flush_pfs = rng.next_bounded(4) == 0;
+  // Spare pool for the permanent-loss bucket: 0 (forces shrunk restarts)
+  // through 2; larger losses than spares mix hot-swaps and shrinks.
+  if (c.timing == FailureCase::Timing::kSpareSwap)
+    c.spares = static_cast<int>(rng.next_bounded(3));
   return c;
 }
 
@@ -114,6 +120,8 @@ std::string describe_case(const FailureCase& c) {
      << (c.correlated ? " correlated" : " independent")
      << " timing=" << timing_name(c.timing)
      << (c.flush_pfs ? " pfs=fast" : " pfs=lagging");
+  if (c.timing == FailureCase::Timing::kSpareSwap)
+    os << " spares=" << c.spares;
   return os.str();
 }
 
@@ -328,6 +336,7 @@ CaseResult run_case(const FailureCase& c) {
   mpi::MachineConfig mc;
   mc.nranks = c.nodes;
   mc.ranks_per_node = 1;
+  mc.spare_nodes = c.spares;
   auto proto = std::make_unique<core::SpbcProtocol>(core::SpbcConfig{});
   mpi::Machine m(mc, std::move(proto));
   std::vector<int> clusters(static_cast<size_t>(c.nodes));
@@ -382,6 +391,7 @@ CaseResult run_case(const FailureCase& c) {
     case FailureCase::Timing::kSettled:
     case FailureCase::Timing::kMidRebuild:
     case FailureCase::Timing::kMidScrub:
+    case FailureCase::Timing::kSpareSwap:
       kill_at = kEpoch2At + local_write + 1.5;
       break;
     case FailureCase::Timing::kMidDrain:
@@ -406,12 +416,41 @@ CaseResult run_case(const FailureCase& c) {
   }
 
   // ---- losses ------------------------------------------------------------
-  // Mid-rebuild keeps one victim in reserve: it dies while serving reads.
+  // Mid-rebuild (and multi-loss spare-swap) keeps one victim in reserve: it
+  // dies while the earlier losses' rebuild reads are in flight.
   const bool reserve_one =
-      c.timing == FailureCase::Timing::kMidRebuild && victims.size() > 1;
+      (c.timing == FailureCase::Timing::kMidRebuild ||
+       c.timing == FailureCase::Timing::kSpareSwap) &&
+      victims.size() > 1;
   const size_t first_wave =
       reserve_one ? victims.size() - 1 : victims.size();
-  if (c.timing != FailureCase::Timing::kMidScrub) {
+  // Permanent loss: the victim's current physical node is invalidated (its
+  // staged state is gone for good) AND retired from the machine, so the
+  // resident rank rebinds onto a pooled spare or packs onto a survivor.
+  auto retire = [&](int v) {
+    const int old = m.node_of(v);
+    area.invalidate_node(old);
+    m.retire_node(old);
+    if (m.node_of(v) == old)
+      run.fail("retire_node left rank " + std::to_string(v) +
+               " bound to the dead node");
+    if (!m.node_retired(old)) run.fail("retired node still in service");
+  };
+  if (c.timing == FailureCase::Timing::kSpareSwap) {
+    m.engine().at(kill_at, [&] {
+      for (size_t i = 0; i < first_wave; ++i) retire(victims[i]);
+      // Each retire_node call on a live node bumps exactly one counter:
+      // hot-swap while the pool lasts, shrunk restart after.
+      const uint64_t want_swaps =
+          std::min<uint64_t>(first_wave, static_cast<uint64_t>(c.spares));
+      if (m.spare_swaps() != want_swaps)
+        run.fail("spare-swap count " + std::to_string(m.spare_swaps()) +
+                 " != expected " + std::to_string(want_swaps));
+      if (m.shrink_restarts() != first_wave - want_swaps)
+        run.fail("shrink-restart count " + std::to_string(m.shrink_restarts()) +
+                 " != expected " + std::to_string(first_wave - want_swaps));
+    });
+  } else if (c.timing != FailureCase::Timing::kMidScrub) {
     m.engine().at(kill_at, [&] {
       for (size_t i = 0; i < first_wave; ++i) area.invalidate_node(victims[i]);
     });
@@ -490,9 +529,11 @@ CaseResult run_case(const FailureCase& c) {
           run.fail("liveness=false but the plan claims a redundancy source (rank " +
                    std::to_string(v) + " epoch " + std::to_string(e) + ")");
         }
-        // Invariant 2 (settled cases): within the scheme's advertised
-        // distance the victim MUST be recoverable without the PFS.
-        if (c.timing == FailureCase::Timing::kSettled) {
+        // Invariant 2 (settled cases, and permanent losses — the rebind to a
+        // spare/survivor must not cost recoverability): within the scheme's
+        // advertised distance the victim MUST be recoverable without the PFS.
+        if (c.timing == FailureCase::Timing::kSettled ||
+            c.timing == FailureCase::Timing::kSpareSwap) {
           std::vector<int> group = area.scheme().group_of(v);
           group.push_back(v);
           int in_group_dead = 0;
@@ -547,7 +588,10 @@ CaseResult run_case(const FailureCase& c) {
                                     sole_probe, outstanding](bool ok) {
           --*outstanding;
           const uint64_t pfs_after = area.stats().restores_by_level[2];
-          if (!ok && (live && c.timing != FailureCase::Timing::kMidRebuild)) {
+          const bool later_loss_possible =
+              c.timing == FailureCase::Timing::kMidRebuild ||
+              (c.timing == FailureCase::Timing::kSpareSwap && reserve_one);
+          if (!ok && live && !later_loss_possible) {
             run.fail("restore failed although liveness held and no later "
                      "loss intervened (rank " +
                      std::to_string(v) + " epoch " + std::to_string(e) + ")");
@@ -585,10 +629,16 @@ CaseResult run_case(const FailureCase& c) {
   });
 
   // Mid-rebuild: the reserved victim (a surviving group member, i.e. a
-  // rebuild source) dies while the reads above are on the wire.
+  // rebuild source) dies while the reads above are on the wire. Under
+  // spare-swap timing the reserved loss is itself permanent — a node dying
+  // while an earlier victim's spare rebuild is still in flight.
   if (reserve_one) {
-    m.engine().at(check_at + 0.01,
-                  [&] { area.invalidate_node(victims.back()); });
+    m.engine().at(check_at + 0.01, [&] {
+      if (c.timing == FailureCase::Timing::kSpareSwap)
+        retire(victims.back());
+      else
+        area.invalidate_node(victims.back());
+    });
   }
 
   // Invariant 5 (settled, lagging PFS): owners that survived but lost a

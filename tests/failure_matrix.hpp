@@ -63,9 +63,19 @@ struct FailureCase {
     /// scrub wave runs. Asserts detection, repair back to full liveness
     /// while the PFS lags, and oracle agreement afterwards.
     kMidScrub,
+    /// Node-never-returns bucket: each loss is a PERMANENT node death —
+    /// invalidate + mpi::Machine::retire_node, so the victims' ranks rebind
+    /// onto pooled spares (or pack onto survivors when the pool is
+    /// exhausted, `spares` = 0). Asserts the rebind happened, the swap /
+    /// shrink accounting, and that in-tolerance losses stay recoverable
+    /// without the PFS against the NEW physical binding. With several
+    /// losses, one is held in reserve and lands while the spare rebuild's
+    /// reads are in flight (swap-in-progress loss).
+    kSpareSwap,
   };
   Timing timing = Timing::kSettled;
   bool flush_pfs = false;  // fast PFS: the frontier covers every epoch
+  int spares = 0;          // pooled spare nodes (kSpareSwap bucket only)
 };
 
 struct CaseResult {

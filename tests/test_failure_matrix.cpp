@@ -88,5 +88,41 @@ TEST(FailureMatrix, PinnedSchemeCorners) {
   }
 }
 
+// Node-never-returns corners pinned the same way: hot-swap with the pool
+// holding (spares > losses), shrunk restart with the pool empty, and a
+// permanent loss landing while an earlier victim's spare rebuild is still
+// in flight (losses=2 reserves one). The randomized sweep samples this
+// bucket too; the pins keep each path covered under any sampler change.
+TEST(FailureMatrix, PinnedSpareSwapCorners) {
+  struct Corner {
+    ckpt::SchemeKind kind;
+    int nodes;
+    int losses;
+    int spares;
+  };
+  for (const Corner& k : {Corner{ckpt::SchemeKind::kXorGroup, 4, 1, 2},
+                          Corner{ckpt::SchemeKind::kXorGroup, 4, 1, 0},
+                          Corner{ckpt::SchemeKind::kReedSolomon, 6, 2, 1}}) {
+    testing::FailureCase c;
+    c.seed = 0;  // hand-built, not sampled
+    c.redundancy.kind = k.kind;
+    c.redundancy.group_size = 4;
+    c.redundancy.rs_k = 4;
+    c.redundancy.rs_m = 2;
+    c.nodes = k.nodes;
+    c.nclusters = 2;
+    c.bytes = 2048;
+    c.losses = k.losses;
+    c.correlated = false;
+    c.timing = testing::FailureCase::Timing::kSpareSwap;
+    c.flush_pfs = false;
+    c.spares = k.spares;
+    testing::CaseResult res = testing::run_case(c);
+    EXPECT_TRUE(res.ok) << testing::describe_case(c);
+    if (!res.ok)
+      for (const std::string& v : res.violations) ADD_FAILURE() << v;
+  }
+}
+
 }  // namespace
 }  // namespace spbc

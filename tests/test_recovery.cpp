@@ -88,6 +88,14 @@ Rig make_rig(int nranks, int rpn, std::vector<int> clusters, int ckpt_every,
     cfg.aggregate_rollbacks = true;
     cfg.tree_ckpt_markers = true;
   }
+  // SPBC_TEST_ELASTIC=1 reruns this suite with a spare-node pool and every
+  // injected failure upgraded to a permanent node loss: the victim's node
+  // never returns, its ranks hot-swap onto a pooled spare, and the same
+  // checksum oracles must still hold across the rebind.
+  if (std::getenv("SPBC_TEST_ELASTIC") != nullptr) {
+    cfg.spare_nodes = 2;
+    cfg.default_failure_kind = mpi::FailureKind::kNodePermanent;
+  }
   core::SpbcConfig scfg;
   scfg.checkpoint_every = static_cast<uint64_t>(ckpt_every);
   auto proto = std::make_unique<core::SpbcProtocol>(scfg);
