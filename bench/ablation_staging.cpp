@@ -217,8 +217,8 @@ int main(int argc, char** argv) {
       {"xor", ckpt::SchemeKind::kXorGroup, 1},
       {"rs", ckpt::SchemeKind::kReedSolomon, 2},
   };
-  util::Table st3({"Scheme", "losses", "redundancy KB", "overhead %",
-                   "restores L/P/F", "rebuilds", "rebuild KB",
+  util::Table st3({"Scheme", "losses", "redundancy KB", "wire KB L/P/F",
+                   "overhead %", "restores L/P/F", "rebuilds", "rebuild KB",
                    "epoch fallbacks", "reprotections"});
   std::map<std::string, uint64_t> red_bytes;
   std::map<std::string, ckpt::StagingStats> fail_stats;
@@ -231,7 +231,7 @@ int main(int argc, char** argv) {
     cfg.spbc.storage_model.pfs_bw = 2.0e6;  // floors lag; locals persist
     ModeResult ff3 = run_ff(cfg);
     if (!ff3.ok) {
-      st3.add_row({s.name, "-", "fail", "-", "-", "-", "-", "-", "-"});
+      st3.add_row({s.name, "-", "fail", "-", "-", "-", "-", "-", "-", "-"});
       continue;
     }
     red_bytes[s.name] =
@@ -252,7 +252,8 @@ int main(int argc, char** argv) {
           ckpt::RedundancyScheme::make(cfg.spbc.redundancy, probe);
       const std::vector<int> group = scheme->group_of(cfg.victim_rank);
       if (group.empty()) {
-        st3.add_row({s.name, "-", "no group", "-", "-", "-", "-", "-", "-"});
+        st3.add_row(
+            {s.name, "-", "no group", "-", "-", "-", "-", "-", "-", "-"});
         continue;
       }
       cfg.extra_failures.push_back(
@@ -266,6 +267,11 @@ int main(int argc, char** argv) {
     const double ovh = (ff3.elapsed - none.elapsed) / none.elapsed * 100.0;
     st3.add_row(
         {s.name, std::to_string(s.losses), kb(red_bytes[s.name]),
+         // Bytes-on-wire per level in the failure-free run: LOCAL device
+         // writes, PARTNER traffic (copies + parity), PFS ingest.
+         kb(ff3.staging.bytes_to_local) + "/" +
+             kb(ff3.staging.bytes_to_partner + ff3.staging.bytes_to_parity) +
+             "/" + kb(ff3.staging.bytes_to_pfs),
          util::Table::fmt(ovh, 3),
          fr.run.completed
              ? std::to_string(fs.restores_by_level[0]) + "/" +

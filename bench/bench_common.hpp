@@ -76,6 +76,20 @@ struct BenchOpts {
   // --repart-period: streaming-repartitioner cadence in virtual seconds
   // (0 = the pinned Section 6.1 map for the whole run).
   double repart_period = 0;
+  // Checkpoint data-reduction knobs (ablation_compress; DESIGN.md §15):
+  // --compress: stage-boundary LZ/RLE codec applied once at LOCAL capture.
+  bool compress = false;
+  // --delta-blocks: content-addressed delta-capture block size in bytes
+  // (0 = delta encoding off; captures stay full).
+  int delta_blocks = 0;
+  // --full-stride: delta-chain length bound including the full capture
+  // (1 = every capture full, 0 = unbounded chains).
+  int full_stride = 8;
+  // --state-bytes / --mutate: the synthetic evolving app-state model that
+  // gives delta encoding realistic block-level churn (0 bytes = off; the
+  // snapshot then carries only protocol + app token state).
+  int state_bytes = 0;
+  double mutation_rate = 0.10;
 };
 
 inline BenchOpts parse_opts(int argc, char** argv) {
@@ -104,6 +118,11 @@ inline BenchOpts parse_opts(int argc, char** argv) {
   o.escalate = cli.get_flag("escalate");
   o.spares = static_cast<int>(cli.get_int("spares", o.spares));
   o.repart_period = cli.get_double("repart-period", o.repart_period);
+  o.compress = cli.get_flag("compress");
+  o.delta_blocks = static_cast<int>(cli.get_int("delta-blocks", o.delta_blocks));
+  o.full_stride = static_cast<int>(cli.get_int("full-stride", o.full_stride));
+  o.state_bytes = static_cast<int>(cli.get_int("state-bytes", o.state_bytes));
+  o.mutation_rate = cli.get_double("mutate", o.mutation_rate);
   if (!o.scheme.empty() && !ckpt::parse_scheme(o.scheme)) {
     std::fprintf(stderr, "unknown --scheme=%s (single|partner|xor|rs)\n",
                  o.scheme.c_str());
@@ -140,8 +159,33 @@ inline harness::ScenarioConfig make_config(const BenchOpts& o, const std::string
   cfg.machine.tree_ckpt_markers = o.tree_markers;
   cfg.machine.spare_nodes = o.spares;
   cfg.spbc.control.repartition_period = o.repart_period;
+  cfg.spbc.reduction.compress = o.compress;
+  if (o.delta_blocks > 0) {
+    cfg.spbc.reduction.delta = true;
+    cfg.spbc.reduction.block_bytes = static_cast<uint32_t>(o.delta_blocks);
+  }
+  cfg.spbc.reduction.full_stride = static_cast<uint64_t>(
+      o.full_stride < 0 ? 0 : o.full_stride);
+  if (o.state_bytes > 0) {
+    cfg.spbc.state_model.bytes = static_cast<uint64_t>(o.state_bytes);
+    cfg.spbc.state_model.block_bytes = cfg.spbc.reduction.block_bytes;
+    cfg.spbc.state_model.mutation_rate = o.mutation_rate;
+    cfg.spbc.state_model.seed = o.seed;
+  }
   cfg.use_clustering_tool = o.use_clustering_tool;
   return cfg;
+}
+
+/// Shared deterministic block-mutation payload generator (DESIGN.md §15):
+/// the protocol's synthetic evolving state and the bench/test harnesses all
+/// derive payloads from the same (seed, rank, epoch) keys, so expected
+/// checksums and delta chains can be recomputed anywhere without replaying
+/// a run. Epoch e state = make_payload_state(cfg', rank) evolved e times.
+inline std::vector<unsigned char> payload_state_at(
+    const ckpt::StateModelConfig& cfg, int rank, uint64_t epoch) {
+  std::vector<unsigned char> buf = ckpt::make_state(cfg, rank);
+  for (uint64_t e = 1; e <= epoch; ++e) ckpt::evolve_state(buf, cfg, rank, e);
+  return buf;
 }
 
 inline const std::vector<std::string>& paper_apps() {

@@ -1,0 +1,84 @@
+#include "ckpt/reduction.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace spbc::ckpt {
+
+void fill_synth_block(unsigned char* dst, uint64_t len, uint64_t seed) {
+  util::Pcg32 rng(seed, 0x9e3779b97f4a7c15ull);
+  uint64_t pos = 0;
+  while (pos < len) {
+    // A constant run of 16..79 bytes, led by one noise byte: roughly the
+    // entropy profile of field data between solver sweeps.
+    uint64_t run = 16 + rng.next_bounded(64);
+    if (run > len - pos) run = len - pos;
+    const unsigned char noise = static_cast<unsigned char>(rng.next_u32());
+    const unsigned char fill = static_cast<unsigned char>(rng.next_u32());
+    dst[pos] = noise;
+    for (uint64_t i = 1; i < run; ++i) dst[pos + i] = fill;
+    pos += run;
+  }
+}
+
+namespace {
+uint64_t block_seed(const StateModelConfig& cfg, int rank, uint64_t epoch,
+                    uint64_t block) {
+  util::Fnv1a64 h;
+  h.update_u64(cfg.seed);
+  h.update_u64(static_cast<uint64_t>(rank));
+  h.update_u64(epoch);
+  h.update_u64(block);
+  return h.digest();
+}
+}  // namespace
+
+std::vector<unsigned char> make_state(const StateModelConfig& cfg, int rank) {
+  std::vector<unsigned char> buf(cfg.bytes);
+  if (cfg.bytes == 0) return buf;
+  const uint32_t bb = cfg.block_bytes ? cfg.block_bytes : 4096;
+  for (uint64_t off = 0; off < cfg.bytes; off += bb) {
+    const uint64_t len = std::min<uint64_t>(bb, cfg.bytes - off);
+    fill_synth_block(buf.data() + off, len, block_seed(cfg, rank, 0, off / bb));
+  }
+  return buf;
+}
+
+void evolve_state(std::vector<unsigned char>& buf, const StateModelConfig& cfg,
+                  int rank, uint64_t epoch) {
+  if (cfg.bytes == 0) return;
+  const uint32_t bb = cfg.block_bytes ? cfg.block_bytes : 4096;
+  const uint64_t nblocks = (cfg.bytes + bb - 1) / bb;
+  uint64_t rewrites = static_cast<uint64_t>(
+      std::llround(cfg.mutation_rate * static_cast<double>(nblocks)));
+  if (rewrites < 1) rewrites = 1;
+  if (rewrites > nblocks) rewrites = nblocks;
+  // Block choice is keyed by (seed, rank, epoch) alone — independent of
+  // execution history, so a re-executed epoch mutates identically.
+  util::Pcg32 rng(cfg.seed ^ (static_cast<uint64_t>(rank) * 0x5851f42d4c957f2dull),
+                  epoch);
+  for (uint64_t i = 0; i < rewrites; ++i) {
+    const uint64_t b = rng.next_bounded(static_cast<uint32_t>(nblocks));
+    const uint64_t off = b * bb;
+    const uint64_t len = std::min<uint64_t>(bb, cfg.bytes - off);
+    fill_synth_block(buf.data() + off, len, block_seed(cfg, rank, epoch, b));
+  }
+}
+
+std::vector<uint64_t> hash_blocks(const std::vector<unsigned char>& bytes,
+                                  uint32_t block_bytes) {
+  const uint32_t bb = block_bytes ? block_bytes : 4096;
+  const uint64_t n = bytes.size();
+  std::vector<uint64_t> hashes((n + bb - 1) / bb);
+  for (size_t b = 0; b < hashes.size(); ++b) {
+    const uint64_t off = static_cast<uint64_t>(b) * bb;
+    const uint64_t len = std::min<uint64_t>(bb, n - off);
+    util::Fnv1a64 h;
+    h.update(bytes.data() + off, len);
+    hashes[b] = h.digest();
+  }
+  return hashes;
+}
+
+}  // namespace spbc::ckpt

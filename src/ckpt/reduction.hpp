@@ -1,0 +1,89 @@
+#pragma once
+// Checkpoint data reduction: configuration and the synthetic state-evolution
+// model that makes it measurable.
+//
+// Snapshot bytes are the currency of the whole LOCAL -> PARTNER -> PFS
+// pipeline: every redundancy share, PFS flush, scrub probe and rebuild read
+// pays them again, so shrinking the payload compounds through every level.
+// Two reductions stack (both off by default — the raw path is bit-for-bit
+// the pre-reduction pipeline):
+//
+//   * Content-addressed block deltas: a capture is split into fixed-size
+//     blocks, each block FNV-hashed, and only blocks whose hash changed
+//     since the previous epoch's capture are stored. Restore walks the
+//     base-plus-deltas chain; a configurable full-capture stride bounds the
+//     chain so retention (and restore reads) can't grow without bound.
+//   * Stage-boundary compression: the deterministic LZ/RLE codec
+//     (util/codec.hpp) runs once at LOCAL, and PARTNER copies, redundancy
+//     shares and PFS flushes all ship the compressed bytes (SCR's
+//     compress-once-at-cache discipline).
+//
+// The encoding lives in ckpt::Store (the blob owner); staging and the
+// control plane only ever see post-reduction sizes. See DESIGN.md §15.
+
+#include <cstdint>
+#include <vector>
+
+namespace spbc::ckpt {
+
+struct ReductionConfig {
+  /// Content-addressed block-level delta encoding between consecutive
+  /// epochs. A capture whose predecessor (epoch - 1) is still stored and
+  /// whose chain is shorter than `full_stride` stores only its changed
+  /// blocks; everything else is a full capture.
+  bool delta = false;
+  /// Delta granularity: capture bytes are hashed and diffed in blocks of
+  /// this size (the last block may be short).
+  uint32_t block_bytes = 4096;
+  /// Upper bound on chain length, full capture included: every
+  /// `full_stride`-th epoch is a full capture even when deltas are small, so
+  /// a restore never walks more than full_stride - 1 deltas and pruning can
+  /// always converge to the PFS retention floor. 0 = unbounded (testing
+  /// only); 1 = every capture full (deltas effectively off).
+  uint64_t full_stride = 8;
+  /// Compress the stored payload (full captures and delta payloads alike)
+  /// with the deterministic LZ/RLE codec. Incompressible payloads are kept
+  /// raw — the stored size never exceeds the unreduced size.
+  bool compress = false;
+
+  bool enabled() const { return delta || compress; }
+};
+
+/// Per-rank synthetic evolving application state, AMG/miniFE-style: a buffer
+/// of `bytes` advanced at every checkpoint epoch by rewriting a
+/// `mutation_rate` fraction of its `block_bytes` blocks with fresh
+/// low-entropy content. Materialized into the snapshot stream (unlike
+/// SpbcConfig::snapshot_pad_bytes, which is a pure size pad), so the
+/// reduction layer sees real deltas and real compressibility. Evolution is
+/// keyed by (seed, rank, epoch) only: re-executing an epoch after a rollback
+/// regenerates the identical state, which keeps recovered checksums equal to
+/// the failure-free run on any engine shard/thread layout.
+struct StateModelConfig {
+  uint64_t bytes = 0;  // 0 = model off
+  uint32_t block_bytes = 4096;
+  /// Fraction of blocks rewritten per epoch (>= 1 block once enabled).
+  double mutation_rate = 0.10;
+  uint64_t seed = 1;
+};
+
+/// Fills `dst[0..len)` with deterministic low-entropy content derived from
+/// `seed`: constant runs of varying length with interspersed noise bytes —
+/// compressible like relaxation-solver state, not like uniform noise.
+void fill_synth_block(unsigned char* dst, uint64_t len, uint64_t seed);
+
+/// The rank's epoch-0 state image.
+std::vector<unsigned char> make_state(const StateModelConfig& cfg, int rank);
+
+/// Advances `buf` from epoch - 1 to `epoch`: rewrites
+/// round(mutation_rate * nblocks) (at least 1) blocks chosen by a
+/// (seed, rank, epoch)-keyed PRNG. Pure in (cfg, rank, epoch, prior buf).
+void evolve_state(std::vector<unsigned char>& buf, const StateModelConfig& cfg,
+                  int rank, uint64_t epoch);
+
+/// Per-block FNV-1a hashes of `bytes` at `block_bytes` granularity (the last
+/// block hashes its real, possibly short, length — so a size change at the
+/// tail reads as a changed block).
+std::vector<uint64_t> hash_blocks(const std::vector<unsigned char>& bytes,
+                                  uint32_t block_bytes);
+
+}  // namespace spbc::ckpt

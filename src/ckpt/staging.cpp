@@ -101,7 +101,7 @@ bool StagingArea::node_in_service(int node) const {
 // ---- write path ------------------------------------------------------------
 
 sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes,
-                             LevelPlan plan) {
+                             LevelPlan plan, uint64_t chain_base) {
   if (!enabled()) return 0.0;
   SPBC_ASSERT(machine_ != nullptr);
   const int node = machine_->node_of(rank);
@@ -118,6 +118,7 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes,
   SPBC_ASSERT(static_cast<size_t>(rank) < entries_.size());
   Entry& e = entries_[static_cast<size_t>(rank)][epoch];
   e.bytes = bytes;
+  e.chain_base = chain_base;
   e.levels = 0;
   e.retries_left = 3;
   // The plan (and the active scheme) are honored by the async chain; the
@@ -139,6 +140,7 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes,
         break;
       case StorageLevel::kLocal:
         e.levels = kAtLocal;
+        srow(rank).bytes_to_local += bytes;
         cost = node_local_q_[static_cast<size_t>(node)].reserve(
                    now, cfg_.model.write_time(StorageLevel::kLocal, bytes)) -
                now;
@@ -151,6 +153,7 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes,
         // dedups repeat failures of a down node, so the stale copy would
         // survive the node's next death).
         e.levels = kAtLocal;
+        srow(rank).bytes_to_local += bytes;
         PlacementPlan plan = scheme_->encode(rank, epoch, bytes, *this);
         sim::Time w = 0;
         switch (cfg_.redundancy.kind) {
@@ -201,6 +204,7 @@ sim::Time StagingArea::write(int rank, uint64_t epoch, uint64_t bytes,
   // Async: the fiber pays only the LOCAL write; the promotion chain starts
   // when that write completes.
   e.levels = kAtLocal;
+  srow(rank).bytes_to_local += bytes;
   ++srow(rank).drains_started;
   sim::Time local = cfg_.model.write_time(StorageLevel::kLocal, bytes);
   sim::Time done = node_local_q_[static_cast<size_t>(node)].reserve(now, local);
@@ -385,12 +389,36 @@ uint8_t StagingArea::levels(int rank, uint64_t epoch) const {
   return mask;
 }
 
+bool StagingArea::element_recoverable(const Entry& e, int rank,
+                                      uint64_t epoch) const {
+  if (e.levels & kAtPfs) return true;
+  return scheme_of(e).recoverable_without_pfs(rank, epoch, *this);
+}
+
 bool StagingArea::recoverable(int rank, uint64_t epoch) const {
   if (!enabled()) return true;
-  const Entry* e = find(rank, epoch);
-  if (e == nullptr) return false;
-  if (e->levels & kAtPfs) return true;
-  return scheme_of(*e).recoverable_without_pfs(rank, epoch, *this);
+  const Entry* head = find(rank, epoch);
+  if (head == nullptr) return false;
+  // Every element of the delta chain must be restorable: materializing the
+  // head epoch reads the base and every interior delta. A full capture
+  // (chain_base == epoch; always the case with reduction off) degenerates to
+  // the single-element check.
+  for (uint64_t e = epoch;; --e) {
+    const Entry* en = find(rank, e);
+    if (en == nullptr || !element_recoverable(*en, rank, e)) return false;
+    if (e <= head->chain_base || e == 0) break;
+  }
+  return true;
+}
+
+std::vector<uint64_t> StagingArea::restore_chain(int rank,
+                                                 uint64_t epoch) const {
+  const Entry* head = find(rank, epoch);
+  if (head == nullptr || head->chain_base >= epoch) return {epoch};
+  std::vector<uint64_t> chain;
+  chain.reserve(static_cast<size_t>(epoch - head->chain_base + 1));
+  for (uint64_t e = head->chain_base; e <= epoch; ++e) chain.push_back(e);
+  return chain;
 }
 
 RestorePlan StagingArea::plan_restore(int rank, uint64_t epoch) const {
@@ -424,7 +452,29 @@ void StagingArea::note_restore(const RestorePlan& plan) {
 
 void StagingArea::execute_restore(int rank, uint64_t epoch,
                                   std::function<void(bool)> done) {
-  do_restore(rank, epoch, std::move(done), /*budget=*/2);
+  const std::vector<uint64_t> chain = restore_chain(rank, epoch);
+  if (chain.size() == 1) {
+    do_restore(rank, epoch, std::move(done), /*budget=*/2);
+    return;
+  }
+  // Delta chain: the base and every delta restore from their own cheapest
+  // sources, overlapped; the materialization succeeds only if all of them
+  // do. All completions land on the restoring rank's shard (direct reads via
+  // engine events, rebuilds via run_serial), so the shared counters are
+  // race-free.
+  auto remaining = std::make_shared<int>(static_cast<int>(chain.size()));
+  auto all_ok = std::make_shared<bool>(true);
+  auto shared_done =
+      std::make_shared<std::function<void(bool)>>(std::move(done));
+  for (uint64_t e : chain) {
+    do_restore(
+        rank, e,
+        [remaining, all_ok, shared_done](bool ok) {
+          if (!ok) *all_ok = false;
+          if (--*remaining == 0) (*shared_done)(*all_ok);
+        },
+        /*budget=*/2);
+  }
 }
 
 void StagingArea::do_restore(int rank, uint64_t epoch,
@@ -549,16 +599,25 @@ void StagingArea::invalidate_node(int node) {
 
 void StagingArea::audit_for_restore(int rank, uint64_t epoch) {
   if (!enabled()) return;
-  Entry* e = find(rank, epoch);
-  if (e == nullptr) return;
-  for (Fragment& f : e->fragments) {
-    if (f.live && f.corrupt) {
-      // The corrupt bit stays set: on a dead fragment it means "confirmed
-      // lost", which keeps the RS encode from treating the share as still
-      // in flight to its (alive) host.
-      f.live = false;
-      ++srow(rank).corrupt_read_drops;
+  const Entry* head = find(rank, epoch);
+  const uint64_t base = head == nullptr ? epoch : head->chain_base;
+  // Audit the whole chain: a restore of a delta epoch reads every element,
+  // so corrupt copies anywhere in it must be dropped before recoverability
+  // is believed.
+  for (uint64_t ee = epoch;; --ee) {
+    Entry* e = find(rank, ee);
+    if (e != nullptr) {
+      for (Fragment& f : e->fragments) {
+        if (f.live && f.corrupt) {
+          // The corrupt bit stays set: on a dead fragment it means
+          // "confirmed lost", which keeps the RS encode from treating the
+          // share as still in flight to its (alive) host.
+          f.live = false;
+          ++srow(rank).corrupt_read_drops;
+        }
+      }
     }
+    if (ee <= base || ee == 0) break;
   }
 }
 
@@ -708,6 +767,9 @@ void StagingArea::rename_epoch(int rank, uint64_t from, uint64_t to) {
   auto it = row.find(from);
   if (it == row.end()) return;
   Entry moved = std::move(it->second);
+  // Migration renames only full captures (the store asserts the same): the
+  // re-keyed entry stays self-anchored in the destination's epoch space.
+  if (moved.chain_base == from) moved.chain_base = to;
   row.erase(it);
   row[to] = std::move(moved);
   // Keep the retention floor keyed to the surviving epoch numbers. Stale
@@ -741,6 +803,7 @@ StagingStats StagingArea::stats() const {
     out.drains_aborted += s.drains_aborted;
     out.hop_retries += s.hop_retries;
     out.retries_exhausted += s.retries_exhausted;
+    out.bytes_to_local += s.bytes_to_local;
     out.bytes_to_partner += s.bytes_to_partner;
     out.bytes_to_pfs += s.bytes_to_pfs;
     out.parity_fragments += s.parity_fragments;

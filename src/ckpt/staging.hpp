@@ -104,6 +104,10 @@ struct StagingStats {
   /// (flushable data requires a full copy; the snapshot stays recoverable
   /// through the scheme's rebuild).
   uint64_t retries_exhausted = 0;
+  /// Per-level bytes-on-wire, post-reduction (what each device/link actually
+  /// carried): LOCAL device writes, full-copy fragment bytes landed, PFS
+  /// ingest. Rebuild reads are counted in rebuild_bytes_read below.
+  uint64_t bytes_to_local = 0;
   uint64_t bytes_to_partner = 0;  // full-copy fragment bytes landed
   uint64_t bytes_to_pfs = 0;
   /// Parity fragment placements landed and their bytes (kXorGroup).
@@ -170,11 +174,19 @@ class StagingArea : public ResidencyView {
   /// cost of `level` in sync mode, only the LOCAL write in async mode (the
   /// promotion chain then runs in the background). 0 when disabled. The
   /// plan overload lets the control plane end this epoch's chain early
-  /// (LOCAL-only / no-PFS epochs).
+  /// (LOCAL-only / no-PFS epochs). `bytes` is the POST-reduction (encoded)
+  /// size — every level of the chain ships the reduced bytes; `chain_base`
+  /// is the epoch of the full capture anchoring this epoch's delta chain
+  /// (ckpt::SaveInfo::chain_base; == epoch for a full capture), which makes
+  /// recoverability and restore planning chain-aware.
   sim::Time write(int rank, uint64_t epoch, uint64_t bytes) {
     return write(rank, epoch, bytes, LevelPlan{});
   }
-  sim::Time write(int rank, uint64_t epoch, uint64_t bytes, LevelPlan plan);
+  sim::Time write(int rank, uint64_t epoch, uint64_t bytes, LevelPlan plan) {
+    return write(rank, epoch, bytes, plan, epoch);
+  }
+  sim::Time write(int rank, uint64_t epoch, uint64_t bytes, LevelPlan plan,
+                  uint64_t chain_base);
 
   /// Residency mask (ResidencyBit) of a snapshot; 0 = unknown or all copies
   /// lost. Always 0 when staging is disabled.
@@ -184,7 +196,15 @@ class StagingArea : public ResidencyView {
   /// disabled (the store is then free and reliable, as in the paper's
   /// measurement mode). Scheme-aware: an XOR snapshot with a dead LOCAL copy
   /// is recoverable while its group can rebuild it or the PFS holds it.
+  /// Chain-aware: a delta epoch is recoverable only if EVERY element of its
+  /// base-plus-deltas chain is — restore has to materialize all of them.
   bool recoverable(int rank, uint64_t epoch) const;
+
+  /// The epochs a restore of (rank, epoch) must read, ascending: the chain
+  /// base through `epoch` for a delta capture, just {epoch} for a full one
+  /// (or when the entry is unknown — the caller's plan/recoverable queries
+  /// report the failure).
+  std::vector<uint64_t> restore_chain(int rank, uint64_t epoch) const;
 
   /// The scheme's cheapest live reconstruction of (rank, epoch).
   /// Source::kNone when staging is disabled or every copy is gone.
@@ -197,18 +217,21 @@ class StagingArea : public ResidencyView {
   /// rebuild reads are submitted to net::Network (they contend with real
   /// traffic) and checked against source-node storage generations; a source
   /// death mid-read re-plans from the surviving fragments (bounded retries).
-  /// `done(ok)` fires in event context; ok=false means every reconstruction
-  /// path is gone and the caller must fall back an epoch.
+  /// A delta epoch restores its whole chain (base + every delta, each from
+  /// its own cheapest source; reads overlap). `done(ok)` fires in event
+  /// context; ok=false means some chain element lost every reconstruction
+  /// path and the caller must fall back an epoch.
   void execute_restore(int rank, uint64_t epoch,
                        std::function<void(bool)> done);
 
   void note_epoch_fallback() { ++stats_rows_[0].epoch_fallbacks; }
 
-  /// Drops corrupt-but-believed-live fragments of (rank, epoch) before a
-  /// restore trusts them ("audit on read": the restore path checksums its
-  /// source, so silent loss is discovered now at the latest and a restore
-  /// never falsely succeeds from it). Recovery orchestration calls it before
-  /// the belief-side recoverable()/plan_restore() queries.
+  /// Drops corrupt-but-believed-live fragments of (rank, epoch) — and of
+  /// every element of its delta chain — before a restore trusts them
+  /// ("audit on read": the restore path checksums its source, so silent loss
+  /// is discovered now at the latest and a restore never falsely succeeds
+  /// from it). Recovery orchestration calls it before the belief-side
+  /// recoverable()/plan_restore() queries.
   void audit_for_restore(int rank, uint64_t epoch);
 
   /// Silent-loss injection (tests/benches): mark a live fragment of
@@ -278,7 +301,10 @@ class StagingArea : public ResidencyView {
 
  private:
   struct Entry {
-    uint64_t bytes = 0;
+    uint64_t bytes = 0;        // encoded (post-reduction) size
+    /// Full-capture epoch anchoring this epoch's delta chain (== the entry's
+    /// own epoch for a full capture / with reduction off).
+    uint64_t chain_base = 0;
     uint8_t levels = 0;        // kAtLocal / kAtPfs (kAtPartner synthesized)
     uint8_t retries_left = 3;  // per-snapshot budget for re-issued hops
     /// Index into {base, escalated} of the scheme that encoded this epoch;
@@ -317,6 +343,9 @@ class StagingArea : public ResidencyView {
   void retry_from_surviving(int rank, uint64_t epoch);
   void do_restore(int rank, uint64_t epoch, std::function<void(bool)> done,
                   int budget);
+  /// One chain element's scheme-level recoverability (PFS copy or the
+  /// encoding scheme can reconstruct it without one).
+  bool element_recoverable(const Entry& e, int rank, uint64_t epoch) const;
   /// The scheme an entry was encoded under (Entry::scheme_idx).
   const RedundancyScheme& scheme_of(const Entry& e) const;
   /// One scrub digest probe of (rank, epoch)'s fragment `frag_idx`.

@@ -1,6 +1,9 @@
 #include "ckpt/store.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
+#include "util/codec.hpp"
 
 namespace spbc::ckpt {
 
@@ -23,11 +26,81 @@ sim::Time StorageCostModel::read_time(StorageLevel level, uint64_t bytes) const 
   return write_time(level, bytes);
 }
 
-void Store::save(int rank, Snapshot snap) {
+SaveInfo Store::save(int rank, Snapshot snap, bool force_full) {
   Row& r = row(rank);
-  r.bytes_written += snap.bytes.size();
+  SaveInfo info;
+  info.raw_bytes = snap.bytes.size();
+
+  StoredSnapshot s;
+  s.taken_at = snap.taken_at;
+  s.epoch = snap.epoch;
+  s.raw_size = snap.bytes.size();
+  s.chain_base = snap.epoch;
+
+  const uint32_t bb = reduction_.block_bytes ? reduction_.block_bytes : 4096;
+  const uint32_t nblocks =
+      static_cast<uint32_t>((snap.bytes.size() + bb - 1) / bb);
+  info.blocks_total = nblocks;
+  info.blocks_changed = nblocks;
+
+  std::vector<unsigned char> payload;  // what compression (if any) sees
+  bool have_payload = false;
+  if (reduction_.delta) {
+    s.block_bytes = bb;
+    s.block_hashes = hash_blocks(snap.bytes, bb);
+    // Delta eligibility: the immediately-preceding epoch is still stored at
+    // the same granularity, and appending to its chain stays within the
+    // full-capture stride. A replaced same-epoch snapshot re-diffs against
+    // the same predecessor.
+    const StoredSnapshot* prev = nullptr;
+    if (!force_full && snap.epoch > 0) {
+      auto it = r.snaps.find(snap.epoch - 1);
+      if (it != r.snaps.end() && it->second.block_bytes == bb) prev = &it->second;
+    }
+    if (prev != nullptr &&
+        (reduction_.full_stride == 0 ||
+         snap.epoch - prev->chain_base < reduction_.full_stride)) {
+      const size_t prev_n = prev->block_hashes.size();
+      for (uint32_t b = 0; b < nblocks; ++b) {
+        if (b < prev_n && prev->block_hashes[b] == s.block_hashes[b]) continue;
+        s.changed.push_back(b);
+      }
+      if (s.changed.size() < nblocks) {
+        s.chain_base = prev->chain_base;
+        info.blocks_changed = static_cast<uint32_t>(s.changed.size());
+        payload.reserve(s.changed.size() * bb);
+        for (uint32_t b : s.changed) {
+          const uint64_t off = static_cast<uint64_t>(b) * bb;
+          const uint64_t len = std::min<uint64_t>(bb, s.raw_size - off);
+          payload.insert(payload.end(), snap.bytes.begin() + static_cast<long>(off),
+                         snap.bytes.begin() + static_cast<long>(off + len));
+        }
+        have_payload = true;
+      } else {
+        s.changed.clear();  // everything changed: a full capture is smaller
+      }
+    }
+  }
+  if (!have_payload) payload = std::move(snap.bytes);
+
+  if (reduction_.compress) {
+    std::vector<unsigned char> enc = util::codec::lz_compress(payload);
+    if (enc.size() < payload.size()) {
+      s.compressed = true;
+      s.enc = std::move(enc);
+    }
+  }
+  if (!s.compressed) s.enc = std::move(payload);
+
+  info.stored_bytes = s.enc.size();
+  info.chain_base = s.chain_base;
+  info.full = s.full();
+  r.bytes_written += info.stored_bytes;
+  r.raw_bytes += info.raw_bytes;
   ++r.snapshots;
-  r.snaps[snap.epoch] = std::move(snap);
+  if (!info.full) ++r.delta_snapshots;
+  r.snaps[s.epoch] = std::move(s);
+  return info;
 }
 
 bool Store::has(int rank) const {
@@ -35,7 +108,7 @@ bool Store::has(int rank) const {
   return r && !r->snaps.empty();
 }
 
-const Snapshot& Store::latest(int rank) const {
+const StoredSnapshot& Store::latest(int rank) const {
   const Row* r = row(rank);
   SPBC_ASSERT_MSG(r && !r->snaps.empty(), "no checkpoint for rank " << rank);
   return r->snaps.rbegin()->second;
@@ -46,11 +119,58 @@ bool Store::has_epoch(int rank, uint64_t epoch) const {
   return r && r->snaps.count(epoch) > 0;
 }
 
-const Snapshot& Store::at_epoch(int rank, uint64_t epoch) const {
+const StoredSnapshot& Store::at_epoch(int rank, uint64_t epoch) const {
   const Row* r = row(rank);
   SPBC_ASSERT_MSG(r && r->snaps.count(epoch) > 0,
                   "no epoch-" << epoch << " checkpoint for rank " << rank);
   return r->snaps.at(epoch);
+}
+
+std::vector<unsigned char> Store::decode_payload(const StoredSnapshot& s) {
+  if (!s.compressed) return s.enc;
+  // Delta payload size: full blocks plus a possibly-short tail block.
+  uint64_t out_n = s.raw_size;
+  if (!s.full()) {
+    out_n = 0;
+    for (uint32_t b : s.changed) {
+      const uint64_t off = static_cast<uint64_t>(b) * s.block_bytes;
+      out_n += std::min<uint64_t>(s.block_bytes, s.raw_size - off);
+    }
+  }
+  return util::codec::lz_decompress(s.enc, out_n);
+}
+
+const std::vector<unsigned char>& Store::materialize(
+    int rank, uint64_t epoch, std::vector<unsigned char>& scratch) const {
+  const StoredSnapshot& head = at_epoch(rank, epoch);
+  if (head.full() && !head.compressed) return head.enc;  // raw path: no copy
+  const StoredSnapshot& base = at_epoch(rank, head.chain_base);
+  SPBC_ASSERT_MSG(base.full(), "chain base epoch " << head.chain_base
+                                                   << " of rank " << rank
+                                                   << " is not a full capture");
+  scratch = decode_payload(base);
+  // Roll the deltas forward, base + 1 .. epoch. Every element must still be
+  // stored: prune_epochs_below never removes a live chain's interior.
+  for (uint64_t e = head.chain_base + 1; e <= epoch; ++e) {
+    const StoredSnapshot& d = at_epoch(rank, e);
+    SPBC_ASSERT_MSG(d.chain_base == head.chain_base,
+                    "broken delta chain at epoch " << e << " of rank " << rank);
+    const std::vector<unsigned char> payload = decode_payload(d);
+    scratch.resize(d.raw_size);
+    uint64_t src = 0;
+    for (uint32_t b : d.changed) {
+      const uint64_t off = static_cast<uint64_t>(b) * d.block_bytes;
+      const uint64_t len = std::min<uint64_t>(d.block_bytes, d.raw_size - off);
+      SPBC_ASSERT(src + len <= payload.size());
+      std::copy(payload.begin() + static_cast<long>(src),
+                payload.begin() + static_cast<long>(src + len),
+                scratch.begin() + static_cast<long>(off));
+      src += len;
+    }
+  }
+  SPBC_ASSERT_MSG(scratch.size() == head.raw_size,
+                  "materialized size mismatch for rank " << rank);
+  return scratch;
 }
 
 void Store::release_captures(Row& r, uint64_t bytes) {
@@ -68,15 +188,23 @@ void Store::drop_epochs_above(int rank, uint64_t epoch) {
   }
 }
 
-void Store::prune_epochs_below(int rank, uint64_t epoch) {
+uint64_t Store::prune_epochs_below(int rank, uint64_t epoch) {
   Row& r = row(rank);
-  r.snaps.erase(r.snaps.begin(), r.snaps.lower_bound(epoch));
+  // Chain clamp: the oldest epoch we keep may be a delta whose base (and
+  // interior deltas) sit below the nominal floor — they back its restore, so
+  // they survive too. chain_base is monotone non-decreasing in epoch, so the
+  // first retained epoch's base bounds every later one's.
+  uint64_t floor = epoch;
+  auto it = r.snaps.lower_bound(epoch);
+  if (it != r.snaps.end()) floor = std::min(floor, it->second.chain_base);
+  r.snaps.erase(r.snaps.begin(), r.snaps.lower_bound(floor));
   auto cap = r.caps.begin();
-  while (cap != r.caps.end() && cap->first < epoch) {
+  while (cap != r.caps.end() && cap->first < floor) {
     for (const CapturedMsg& cm : cap->second)
       if (!cm.spilled) release_captures(r, cm.env.bytes);
     cap = r.caps.erase(cap);
   }
+  return floor;
 }
 
 void Store::rename_epoch(int rank, uint64_t from, uint64_t to) {
@@ -84,8 +212,13 @@ void Store::rename_epoch(int rank, uint64_t from, uint64_t to) {
   Row& r = row(rank);
   auto snap = r.snaps.find(from);
   if (snap != r.snaps.end()) {
-    Snapshot moved = std::move(snap->second);
+    StoredSnapshot moved = std::move(snap->second);
+    // Migration forces the boundary/pin epochs full at save time precisely
+    // so this re-key cannot orphan a delta from its chain.
+    SPBC_ASSERT_MSG(moved.full(), "rename_epoch on a delta capture (rank "
+                                      << rank << ", epoch " << from << ")");
     moved.epoch = to;
+    moved.chain_base = to;
     r.snaps.erase(snap);
     r.snaps[to] = std::move(moved);
   }

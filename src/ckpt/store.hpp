@@ -23,12 +23,24 @@
 // received. Captures are modeled as reliably stored with the epoch's restore
 // data; their live footprint is tracked per rank (with a global high-water
 // mark) so protocols can bound it.
+//
+// Data reduction (ReductionConfig; DESIGN.md §15): the store owns the
+// encoded representation. With delta encoding on, save() hashes the capture
+// in fixed-size blocks against the previous epoch's hash index and stores
+// only the changed blocks; with compression on, the stored payload runs
+// through the deterministic LZ/RLE codec once here, and every downstream
+// consumer (staging fragments, PFS flushes, the control plane's Daly terms)
+// sees the post-reduction size. materialize() reconstructs the logical bytes
+// by walking the base-plus-deltas chain; prune_epochs_below() clamps its
+// floor to the chain base of the oldest retained epoch so a delta never
+// outlives its base.
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "ckpt/reduction.hpp"
 #include "mpi/types.hpp"
 #include "sim/time.hpp"
 
@@ -60,6 +72,43 @@ struct Snapshot {
   std::vector<unsigned char> bytes;
 };
 
+/// What save() actually wrote: the caller stages `stored_bytes` (the encoded
+/// size — what every downstream level ships) and threads `chain_base`
+/// through the staging entry so restore planning knows the epoch's delta
+/// chain.
+struct SaveInfo {
+  uint64_t raw_bytes = 0;     // logical (decoded) capture size
+  uint64_t stored_bytes = 0;  // encoded payload size actually written
+  /// Epoch of the full capture anchoring this epoch's chain (== the saved
+  /// epoch when the capture is full).
+  uint64_t chain_base = 0;
+  bool full = true;
+  uint32_t blocks_total = 0;
+  uint32_t blocks_changed = 0;  // == blocks_total for a full capture
+};
+
+/// A snapshot as the store keeps it: the encoded payload plus the header a
+/// restore needs to decode it. With reduction off, `enc` IS the logical
+/// bytes (no copy, no header overhead beyond the empty vectors).
+struct StoredSnapshot {
+  sim::Time taken_at = 0;
+  uint64_t epoch = 0;
+  uint64_t raw_size = 0;    // logical size (decode target)
+  uint64_t chain_base = 0;  // == epoch for a full capture
+  bool compressed = false;  // enc ran through the codec
+  uint32_t block_bytes = 0; // delta granularity; 0 = not block-encoded
+  /// Delta payload layout: enc decodes to the concatenation of the blocks in
+  /// `changed` (ascending), each block_bytes long except a short tail block.
+  std::vector<uint32_t> changed;
+  /// Per-block hash index of the FULL logical image — the content-addressed
+  /// baseline the next epoch diffs against. Present whenever delta encoding
+  /// is on (full captures included).
+  std::vector<uint64_t> block_hashes;
+  std::vector<unsigned char> enc;
+
+  bool full() const { return chain_base == epoch; }
+};
+
 /// One intra-cluster message that crossed a checkpoint cut, captured at the
 /// receiver for restore-time redelivery. The payload is shared: a message
 /// that crossed several cuts is recorded under each epoch but its bytes are
@@ -88,24 +137,48 @@ class Store {
       rows_.resize(static_cast<size_t>(nranks));
   }
 
+  /// Configure data reduction (attach time, before the first save; the
+  /// defaults keep the raw pre-reduction path bit-for-bit).
+  void set_reduction(ReductionConfig rc) { reduction_ = rc; }
+  const ReductionConfig& reduction() const { return reduction_; }
+
   /// Saves `snap` under (rank, snap.epoch), replacing a same-epoch snapshot.
-  void save(int rank, Snapshot snap);
+  /// Applies the configured reduction: delta-encodes against the previous
+  /// epoch's hash index when eligible, then compresses. `force_full` pins a
+  /// full capture regardless of eligibility — migration boundary/pin epochs
+  /// must be renameable, and a renamed delta would orphan its chain.
+  SaveInfo save(int rank, Snapshot snap, bool force_full = false);
   bool has(int rank) const;
   /// Highest-epoch snapshot held for `rank`.
-  const Snapshot& latest(int rank) const;
+  const StoredSnapshot& latest(int rank) const;
   bool has_epoch(int rank, uint64_t epoch) const;
-  const Snapshot& at_epoch(int rank, uint64_t epoch) const;
+  const StoredSnapshot& at_epoch(int rank, uint64_t epoch) const;
+
+  /// Reconstructs the logical snapshot bytes of (rank, epoch): decompresses
+  /// and walks the base-plus-deltas chain when the capture is reduced (the
+  /// whole chain must still be stored — prune_epochs_below guarantees it).
+  /// Returns a reference either into the store (raw full capture: no copy —
+  /// the pre-reduction restore path) or to `scratch`.
+  const std::vector<unsigned char>& materialize(
+      int rank, uint64_t epoch, std::vector<unsigned char>& scratch) const;
 
   /// Epoch-consistent restore bookkeeping: a rollback to `epoch` invalidates
   /// any higher, uncommitted epoch (snapshots and captures); a committed
   /// wave supersedes everything below it.
   void drop_epochs_above(int rank, uint64_t epoch);
-  void prune_epochs_below(int rank, uint64_t epoch);
+  /// Prunes below `epoch`, clamped to the chain base of the oldest epoch
+  /// retained: a delta capture keeps its base (and intermediate deltas)
+  /// alive past the nominal floor. Returns the effective floor applied —
+  /// the caller mirrors it into the staging residency so chain elements
+  /// keep their copies too.
+  uint64_t prune_epochs_below(int rank, uint64_t epoch);
 
   /// Migration flip (serial context): re-keys the rank's epoch-`from`
   /// snapshot and captures to epoch number `to`, so state carried across a
   /// cluster migration lines up with the destination cluster's epoch
-  /// sequence. No-op when no epoch-`from` state exists.
+  /// sequence. No-op when no epoch-`from` state exists. The snapshot must be
+  /// a full capture (the flip forces boundary/pin epochs full at save time);
+  /// renaming a delta would orphan it from its chain.
   void rename_epoch(int rank, uint64_t from, uint64_t to);
 
   /// In-flight capture for the marker-based wave: records a message that
@@ -148,8 +221,13 @@ class Store {
   sim::Time write_cost(uint64_t bytes) const { return model_.write_time(level_, bytes); }
   sim::Time read_cost(uint64_t bytes) const { return model_.read_time(level_, bytes); }
 
+  /// Encoded bytes actually written (== logical bytes with reduction off).
   uint64_t total_bytes_written() const { return sum_rows(&Row::bytes_written); }
+  /// Logical capture bytes presented to save() (the reduction baseline).
+  uint64_t total_raw_bytes() const { return sum_rows(&Row::raw_bytes); }
   uint64_t snapshots_taken() const { return sum_rows(&Row::snapshots); }
+  /// Captures stored as block deltas (vs full).
+  uint64_t delta_snapshots() const { return sum_rows(&Row::delta_snapshots); }
   /// Cumulative count of cut-crossing messages captured (diagnostics).
   uint64_t in_flight_captured() const {
     return sum_rows(&Row::in_flight_captured);
@@ -159,17 +237,20 @@ class Store {
  private:
   StorageLevel level_;
   StorageCostModel model_;
+  ReductionConfig reduction_{};
 
   // All storage and counters live in one row per rank: a row is only ever
   // mutated from its rank's shard (saves, captures, per-rank prunes) or from
   // serial recovery context, so concurrent shard threads never share one.
   // Whole-store counters are summed over rows on read.
   struct Row {
-    std::map<uint64_t, Snapshot> snaps;                 // epoch -> snapshot
+    std::map<uint64_t, StoredSnapshot> snaps;           // epoch -> snapshot
     std::map<uint64_t, std::vector<CapturedMsg>> caps;  // epoch -> captures
     uint64_t capture_live = 0;
     uint64_t bytes_written = 0;
+    uint64_t raw_bytes = 0;
     uint64_t snapshots = 0;
+    uint64_t delta_snapshots = 0;
     uint64_t in_flight_captured = 0;
     uint64_t capture_hwm = 0;
     uint64_t captures_spilled = 0;
@@ -185,6 +266,8 @@ class Store {
                : nullptr;
   }
   static void release_captures(Row& r, uint64_t bytes);
+  /// Decoded payload of one stored snapshot (no chain walk).
+  static std::vector<unsigned char> decode_payload(const StoredSnapshot& s);
 
   uint64_t sum_rows(uint64_t Row::*field) const {
     uint64_t total = 0;

@@ -194,7 +194,11 @@ class ControlPlane {
     ranks_migrated_ += static_cast<uint64_t>(moved < 0 ? 0 : moved);
   }
 
-  /// Any shard: observe a real snapshot size. Two-phase for bit-identity
+  /// Any shard: observe a real snapshot size — the staged (post-reduction)
+  /// bytes, after delta encoding and compression, plus the incompressible
+  /// pad. Daly's C is the cost actually paid per checkpoint, so the interval
+  /// math must see what the storage hierarchy ships, not the raw capture
+  /// size. Two-phase for bit-identity
   /// across shard/thread layouts: the observation lands in a pending atomic
   /// max (order-independent), and only a serial-context event (a failure or
   /// a scrub tick) publishes it into the value the interval math reads — so

@@ -95,8 +95,14 @@ void SpbcProtocol::attach(mpi::Machine& machine) {
   // structural race. (set_cluster_of also calls on_cluster_map, covering
   // either wiring order.)
   store_.reserve_ranks(n);
+  store_.set_reduction(cfg_.reduction);
   on_cluster_map(machine.nclusters());
   logs_.resize(static_cast<size_t>(n));
+  synth_state_.assign(static_cast<size_t>(n), {});
+  if (cfg_.state_model.bytes > 0) {
+    for (int r = 0; r < n; ++r)
+      synth_state_[static_cast<size_t>(r)] = ckpt::make_state(cfg_.state_model, r);
+  }
   replayers_.resize(static_cast<size_t>(n));
   ckpt_.resize(static_cast<size_t>(n));
   for (int r = 0; r < n; ++r) {
@@ -343,32 +349,47 @@ void SpbcProtocol::run_coordinated_checkpoint(mpi::Rank& rank) {
   util::ByteWriter app;
   rank.serialize_app(app);
   w.put_bytes(app.bytes().data(), app.size());
+  if (cfg_.state_model.bytes > 0) {
+    // Synthetic evolving state: mutate a deterministic subset of blocks for
+    // this epoch, then capture the buffer. Keyed by (seed, rank, epoch)
+    // only, so re-execution after a rollback regenerates identical state —
+    // and identical delta chains.
+    std::vector<unsigned char>& buf = synth_state_[static_cast<size_t>(me)];
+    ckpt::evolve_state(buf, cfg_.state_model, me, epoch);
+    w.put_bytes(buf.data(), buf.size());
+  }
 
   ckpt::Snapshot snap;
   snap.taken_at = machine_->engine().now();
   snap.epoch = epoch;
   snap.bytes = w.take();
-  const uint64_t snap_bytes = snap.bytes.size() + cfg_.snapshot_pad_bytes;
-  store_.save(me, std::move(snap));
+  // Level plan first (a pure read of control-plane state): migration
+  // boundary/pin epochs are forced to full staging depth AND to a full
+  // (non-delta) capture — the flip's rename_epoch re-keys them, which must
+  // not orphan a delta from its chain.
+  ckpt::LevelPlan plan = control_.plan_for_epoch(epoch);
+  bool force_full = false;
+  if (!forced_pfs_epoch_.empty()) {
+    auto fp = forced_pfs_epoch_.find(cluster);
+    if (fp != forced_pfs_epoch_.end() && fp->second == epoch) {
+      plan.redundancy = true;
+      plan.pfs = true;
+      force_full = true;
+    }
+  }
+  const ckpt::SaveInfo sinfo = store_.save(me, std::move(snap), force_full);
+  // Downstream levels ship the reduced (delta/compressed) bytes; the pad
+  // models incompressible side state and rides on top of them.
+  const uint64_t staged = sinfo.stored_bytes + cfg_.snapshot_pad_bytes;
   cs.last_cut = machine_->engine().now();
-  control_.note_snapshot_bytes(snap_bytes);
+  control_.note_snapshot_bytes(staged);
   // Staging write: the fiber stall is the full configured-level cost in sync
   // mode but only the fast LOCAL write under async staging — the drainer
   // promotes LOCAL -> PARTNER -> PFS in the background while the
   // application computes. Under the control plane the epoch carries a level
   // plan: cheap LOCAL epochs fire at the Young/Daly cadence while the
   // redundancy hop and the PFS flush run at their own (longer) strides.
-  ckpt::LevelPlan plan = control_.plan_for_epoch(epoch);
-  if (!forced_pfs_epoch_.empty()) {
-    // Migration bridge: the boundary/pin epochs must land at full depth —
-    // the flip's fallback guarantees are anchored on their PFS copies.
-    auto fp = forced_pfs_epoch_.find(cluster);
-    if (fp != forced_pfs_epoch_.end() && fp->second == epoch) {
-      plan.redundancy = true;
-      plan.pfs = true;
-    }
-  }
-  sim::Time cost = staging_.write(me, epoch, snap_bytes, plan);
+  sim::Time cost = staging_.write(me, epoch, staged, plan, sinfo.chain_base);
 
   if (cfg_.gc_logs) {
     // Freeze the inter-cluster received-windows the epoch captured (GC at
@@ -524,8 +545,11 @@ void SpbcProtocol::commit_epoch(
       // The down-sweep reaches the root locally; members prune their
       // superseded snapshots/captures when their kCkptCommit arrives.
       ckpt_[static_cast<size_t>(m)].epoch = epoch;
-      store_.prune_epochs_below(m, floor);
-      staging_.prune_epochs_below(m, floor);
+      // The store clamps the floor to the oldest retained epoch's delta-chain
+      // base; staging must keep the same interval or restores of the surviving
+      // head would find their chain elements unstaged.
+      const uint64_t eff = store_.prune_epochs_below(m, floor);
+      staging_.prune_epochs_below(m, eff);
       maybe_spill_captures(m);
       continue;
     }
@@ -708,7 +732,10 @@ void SpbcProtocol::select_and_restore(int cluster, std::vector<int> members,
       // failure abandons this epoch and re-enters one lower, and the
       // abandoned pass's direct reads never happen.
       ckpt::RestorePlan plan = staging_.plan_restore(r, epoch);
-      if (plan.source == ckpt::RestorePlan::Source::kRebuild) {
+      if (plan.source == ckpt::RestorePlan::Source::kRebuild ||
+          staging_.restore_chain(r, epoch).size() > 1) {
+        // Delta heads read their whole chain [base..epoch]; route them
+        // through execute_restore, which reads (and audits) per element.
         rebuilds.push_back(r);
       } else if (plan.source != ckpt::RestorePlan::Source::kNone) {
         direct_plans.push_back(plan);
@@ -851,10 +878,15 @@ void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
     logs_[static_cast<size_t>(r)].clear();
     cs = CkptLocal{};
     cs.last_cut = machine_->engine().now();
+    if (cfg_.state_model.bytes > 0)
+      synth_state_[static_cast<size_t>(r)] = ckpt::make_state(cfg_.state_model, r);
     return;
   }
-  const ckpt::Snapshot& snap = store_.at_epoch(r, epoch);
-  util::ByteReader reader(snap.bytes);
+  // Decode the stored form: roll the delta chain forward from its full base
+  // and decompress. The raw path hands back a reference without copying.
+  std::vector<unsigned char> scratch;
+  const std::vector<unsigned char>& bytes = store_.materialize(r, epoch, scratch);
+  util::ByteReader reader(bytes);
   const uint64_t snap_epoch = reader.get<uint64_t>();
   SPBC_ASSERT_MSG(snap_epoch == epoch, "snapshot/epoch mismatch for rank " << r);
   cs.epoch = epoch;
@@ -873,6 +905,8 @@ void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
   rank.restore_runtime(reader);
   logs_[static_cast<size_t>(r)].restore(reader);
   machine_->set_pending_app_state(r, reader.get_bytes());
+  if (cfg_.state_model.bytes > 0)
+    synth_state_[static_cast<size_t>(r)] = reader.get_bytes();
   SPBC_ASSERT_MSG(reader.exhausted(), "trailing bytes in snapshot of rank " << r);
 }
 
@@ -1170,8 +1204,13 @@ void SpbcProtocol::on_control(mpi::Rank& receiver, const mpi::ControlMsg& msg) {
       // retention floor (words[1]), which lags the committed epoch under
       // async staging until the PFS flush catches up.
       cs.epoch = std::max(cs.epoch, msg.words.at(0));
-      store_.prune_epochs_below(receiver.rank(), msg.words.at(1));
-      staging_.prune_epochs_below(receiver.rank(), msg.words.at(1));
+      {
+        // Chain clamp (see commit_epoch): the store may retain epochs below
+        // the nominal floor to back a delta head; staging mirrors it.
+        const uint64_t eff =
+            store_.prune_epochs_below(receiver.rank(), msg.words.at(1));
+        staging_.prune_epochs_below(receiver.rank(), eff);
+      }
       maybe_spill_captures(receiver.rank());
       break;
     default:
@@ -1305,10 +1344,13 @@ void SpbcProtocol::try_flip_migration() {
     // lacks: the walk lands on pin_b, durable for every member by the
     // precondition above.
     store_.drop_epochs_above(r, boundary);
-    store_.prune_epochs_below(r, boundary);
+    // The boundary epoch was forced to a full capture at save time, so the
+    // chain clamp is a no-op here and the rename below re-keys a
+    // self-contained snapshot.
+    const uint64_t eff = store_.prune_epochs_below(r, boundary);
     store_.rename_epoch(r, boundary, pin);
     staging_.drop_epochs_above(r, boundary);
-    staging_.prune_epochs_below(r, boundary);
+    staging_.prune_epochs_below(r, eff);
     staging_.rename_epoch(r, boundary, pin);
     auto& cs = ckpt_[static_cast<size_t>(r)];
     cs.epoch = committed_b;

@@ -94,8 +94,25 @@ struct SpbcConfig {
   /// (LOCAL stall, redundancy bytes, PFS drain rate) only appear at real
   /// sizes. The pad inflates what the storage pipeline and the control
   /// plane's Daly terms see; the stored/replayed snapshot bytes are
-  /// unchanged (nothing is materialized).
+  /// unchanged (nothing is materialized). Since nothing is materialized the
+  /// pad is incompressible: it is added on top of the POST-reduction size.
+  /// Workloads that want reduction-sensitive sizing use `state_model`
+  /// instead.
   uint64_t snapshot_pad_bytes = 0;
+
+  /// Checkpoint data reduction (ckpt/reduction.hpp; DESIGN.md §15):
+  /// content-addressed block deltas between consecutive epochs and/or
+  /// deterministic LZ/RLE compression, applied once in the store — staging
+  /// fragments, PFS flushes and the control plane's Daly C_level terms all
+  /// see the post-reduction bytes. Both off by default (the raw path is
+  /// bit-for-bit the pre-reduction pipeline).
+  ckpt::ReductionConfig reduction{};
+
+  /// Per-rank synthetic evolving app state materialized into every snapshot
+  /// (AMG/miniFE-style block-mutation model; ckpt/reduction.hpp). 0 bytes =
+  /// off. Gives the reduction layer real deltas and real compressibility;
+  /// restored runs regenerate identical state on any shard/thread layout.
+  ckpt::StateModelConfig state_model{};
 
   /// Bound on a rank's live in-flight-capture bytes: when exceeded, the rank
   /// cuts a new epoch at its next checkpoint opportunity so the resulting
@@ -324,6 +341,11 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   std::vector<uint8_t> storage_survives_;
   std::vector<SenderLog> logs_;
   std::vector<Replayer> replayers_;
+  // Per-rank synthetic evolving app state (state_model.bytes > 0 only).
+  // Mutated from the rank's own shard at its epoch cut and regenerated
+  // deterministically on restore, so delta captures see realistic
+  // block-level churn without a real application.
+  std::vector<std::vector<unsigned char>> synth_state_;
   std::vector<CkptLocal> ckpt_;
   // Pre-sized by on_cluster_map (lazy map insertion would be a structural
   // race under the threaded shard executor). A cluster's wave cell is read

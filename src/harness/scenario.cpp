@@ -185,6 +185,14 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.scrubs_repaired = res.staging.scrubs_repaired;
     res.silent_losses_injected = res.staging.silent_losses_injected;
     res.corrupt_live_fragments = spbc->staging().corrupt_live_fragments();
+    res.bytes_local_written = res.staging.bytes_to_local;
+    res.bytes_partner_written =
+        res.staging.bytes_to_partner + res.staging.bytes_to_parity;
+    res.bytes_pfs_written = res.staging.bytes_to_pfs;
+    res.bytes_rebuild_read = res.staging.rebuild_bytes_read;
+    res.ckpt_raw_bytes = spbc->store().total_raw_bytes();
+    res.ckpt_stored_bytes = spbc->store().total_bytes_written();
+    res.delta_snapshots = spbc->store().delta_snapshots();
     res.control = spbc->control_plane().stats();
     for (int r = 0; r < cfg.nranks; ++r) {
       res.log_bytes_reclaimed += spbc->log_of(r).bytes_reclaimed();

@@ -114,6 +114,22 @@ struct ScenarioResult {
   // Multi-level staging pipeline counters (zeros when staging is off).
   ckpt::StagingStats staging;
 
+  // Per-level bytes-on-wire, lifted from `staging` for the data-reduction
+  // benches (what each device/link actually carried, post-reduction):
+  // LOCAL device writes, PARTNER traffic (full copies + parity fragments),
+  // PFS ingest, and bytes streamed back by rebuild reads.
+  uint64_t bytes_local_written = 0;
+  uint64_t bytes_partner_written = 0;
+  uint64_t bytes_pfs_written = 0;
+  uint64_t bytes_rebuild_read = 0;
+
+  // Checkpoint data reduction (store-level): logical capture bytes vs what
+  // the store kept after delta encoding + compression, and how many captures
+  // were delta (non-full). raw == stored when reduction is off.
+  uint64_t ckpt_raw_bytes = 0;
+  uint64_t ckpt_stored_bytes = 0;
+  uint64_t delta_snapshots = 0;
+
   // Headline reliability counters, lifted out of `staging` so benches and
   // tests can gate on them without digging through the full stats struct
   // (several of these previously never reached harness summaries).

@@ -1,0 +1,130 @@
+#include "util/codec.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace spbc::util::codec {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr uint32_t kHashBits = 13;
+
+uint32_t hash4(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  // Fibonacci hashing of the 4-byte prefix; the single-entry table makes the
+  // match finder O(n) and fully deterministic.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_len(std::vector<unsigned char>& out, size_t extra) {
+  // 255-coded continuation of a nibble that saturated at 15.
+  while (extra >= 255) {
+    out.push_back(255);
+    extra -= 255;
+  }
+  out.push_back(static_cast<unsigned char>(extra));
+}
+
+void emit(std::vector<unsigned char>& out, const unsigned char* lit,
+          size_t nlit, size_t match_len, size_t offset) {
+  const size_t lit_nib = nlit < 15 ? nlit : 15;
+  const size_t match_nib =
+      match_len == 0 ? 0 : (match_len - kMinMatch < 15 ? match_len - kMinMatch : 15);
+  out.push_back(static_cast<unsigned char>((lit_nib << 4) | match_nib));
+  if (lit_nib == 15) put_len(out, nlit - 15);
+  out.insert(out.end(), lit, lit + nlit);
+  if (match_len == 0) return;  // final literal-only token
+  out.push_back(static_cast<unsigned char>(offset & 0xff));
+  out.push_back(static_cast<unsigned char>((offset >> 8) & 0xff));
+  if (match_nib == 15) put_len(out, match_len - kMinMatch - 15);
+}
+
+}  // namespace
+
+std::vector<unsigned char> lz_compress(const unsigned char* data, size_t n) {
+  std::vector<unsigned char> out;
+  if (n == 0) return out;
+  out.reserve(n / 2 + 16);
+  uint32_t table[1u << kHashBits];
+  std::memset(table, 0xff, sizeof(table));  // 0xffffffff = empty slot
+  size_t lit_start = 0;
+  size_t pos = 0;
+  // The last kMinMatch-1 bytes can never start a match (hash4 reads 4 bytes
+  // and a match must not run past the end without being clamped below).
+  const size_t match_limit = n >= kMinMatch ? n - kMinMatch + 1 : 0;
+  while (pos < match_limit) {
+    const uint32_t h = hash4(data + pos);
+    const uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+    if (cand == 0xffffffffu || pos - cand > kMaxOffset ||
+        std::memcmp(data + cand, data + pos, kMinMatch) != 0) {
+      ++pos;
+      continue;
+    }
+    size_t len = kMinMatch;
+    while (pos + len < n && data[cand + len] == data[pos + len]) ++len;
+    emit(out, data + lit_start, pos - lit_start, len, pos - cand);
+    pos += len;
+    lit_start = pos;
+  }
+  if (lit_start < n) emit(out, data + lit_start, n - lit_start, 0, 0);
+  return out;
+}
+
+void lz_decompress(const unsigned char* enc, size_t n, unsigned char* out,
+                   size_t out_n) {
+  size_t ip = 0;
+  size_t op = 0;
+  while (ip < n) {
+    const unsigned char token = enc[ip++];
+    size_t nlit = token >> 4;
+    if (nlit == 15) {
+      unsigned char c;
+      do {
+        SPBC_ASSERT_MSG(ip < n, "codec: truncated literal length");
+        c = enc[ip++];
+        nlit += c;
+      } while (c == 255);
+    }
+    SPBC_ASSERT_MSG(ip + nlit <= n && op + nlit <= out_n,
+                    "codec: literal run overruns the stream");
+    std::memcpy(out + op, enc + ip, nlit);
+    ip += nlit;
+    op += nlit;
+    if ((token & 0x0f) == 0 && ip == n) break;  // final literal-only token
+    SPBC_ASSERT_MSG(ip + 2 <= n, "codec: truncated match offset");
+    const size_t offset = static_cast<size_t>(enc[ip]) |
+                          (static_cast<size_t>(enc[ip + 1]) << 8);
+    ip += 2;
+    size_t mlen = (token & 0x0f) + kMinMatch;
+    if ((token & 0x0f) == 15) {
+      unsigned char c;
+      do {
+        SPBC_ASSERT_MSG(ip < n, "codec: truncated match length");
+        c = enc[ip++];
+        mlen += c;
+      } while (c == 255);
+    }
+    SPBC_ASSERT_MSG(offset >= 1 && offset <= op && op + mlen <= out_n,
+                    "codec: match overruns the output");
+    // Byte-by-byte: matches may self-overlap (offset < mlen encodes a run).
+    for (size_t i = 0; i < mlen; ++i) {
+      out[op] = out[op - offset];
+      ++op;
+    }
+  }
+  SPBC_ASSERT_MSG(op == out_n, "codec: decoded size mismatch");
+}
+
+std::vector<unsigned char> lz_decompress(const std::vector<unsigned char>& enc,
+                                         size_t out_n) {
+  std::vector<unsigned char> out(out_n);
+  lz_decompress(enc.data(), enc.size(), out.data(), out_n);
+  return out;
+}
+
+}  // namespace spbc::util::codec

@@ -6,9 +6,11 @@
 #include <set>
 #include <sstream>
 
+#include "ckpt/reduction.hpp"
 #include "ckpt/staging.hpp"
 #include "core/spbc.hpp"
 #include "mpi/machine.hpp"
+#include "util/codec.hpp"
 #include "util/gf256.hpp"
 #include "util/rng.hpp"
 
@@ -45,6 +47,8 @@ const char* timing_name(FailureCase::Timing t) {
       return "mid-scrub";
     case FailureCase::Timing::kSpareSwap:
       return "spare-swap";
+    case FailureCase::Timing::kMidDeltaChain:
+      return "mid-delta-chain";
   }
   return "?";
 }
@@ -84,7 +88,7 @@ FailureCase sample_case(uint64_t seed) {
   c.nclusters = 2 + static_cast<int>(
                         rng.next_bounded(static_cast<uint32_t>(c.nodes - 1)));
 
-  const uint32_t timing = rng.next_bounded(6);
+  const uint32_t timing = rng.next_bounded(7);
   c.timing = static_cast<FailureCase::Timing>(timing);
   c.bytes = (c.timing == FailureCase::Timing::kMidDrain ||
              c.timing == FailureCase::Timing::kMidRebuild)
@@ -128,11 +132,23 @@ std::string describe_case(const FailureCase& c) {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Shadow codec: re-derives a victim's snapshot bytes from the surviving
-// residency with the real arithmetic (GF(256) Cauchy solve for RS, XOR
-// fold, full copy for PARTNER) and compares checksums against the original
-// payload. It reads only what the residency view says is live — exactly
-// the data a real rebuild could stream.
+// Shadow codec: re-derives a victim's snapshot from the surviving residency
+// with the real arithmetic (GF(256) Cauchy solve for RS, XOR fold, full copy
+// for PARTNER) and compares checksums against the original payload. It reads
+// only what the residency view says is live — exactly the data a real
+// rebuild could stream.
+//
+// The shadow models the full data-reduction pipeline (DESIGN.md §15):
+// logical payloads come from the shared block-mutation generator
+// (ckpt::make_state / evolve_state — the same primitives the protocol's
+// synthetic state model uses), what the wire carries is the ENCODED blob
+// (epoch 2 is a block delta over epoch 1 when smaller; both epochs LZ
+// compressed when smaller), and checksum identity is asserted on the
+// LOGICAL (decoded) payload. A defect in the codec, the delta scatter, or
+// the chain decode fails the oracle even when the scheme arithmetic is
+// right. Wire blobs differ in length across ranks, so XOR/RS operate over
+// the group-max length with zero padding (length metadata travels with the
+// fragment header, as in a real striped layout).
 // ---------------------------------------------------------------------------
 class ShadowCodec {
  public:
@@ -144,12 +160,17 @@ class ShadowCodec {
         // payloads are capped so the 100 MB timing cases don't generate
         // gigabytes of shadow bytes. The sim still accounts the full size.
         len_(static_cast<size_t>(std::min<uint64_t>(bytes, 4096))) {
+    smc_.bytes = len_;
+    smc_.block_bytes = 256;
+    smc_.mutation_rate = 0.25;
+    smc_.seed = rng.next_u64();
     for (int r = 0; r < nodes; ++r) {
-      for (uint64_t e = 1; e <= 2; ++e) {
-        std::vector<uint8_t>& data = originals_[{r, e}];
-        data.resize(len_);
-        for (uint8_t& b : data) b = static_cast<uint8_t>(rng.next_bounded(256));
-      }
+      std::vector<unsigned char> buf = ckpt::make_state(smc_, r);
+      ckpt::evolve_state(buf, smc_, r, 1);
+      originals_[{r, 1}].assign(buf.begin(), buf.end());
+      ckpt::evolve_state(buf, smc_, r, 2);
+      originals_[{r, 2}].assign(buf.begin(), buf.end());
+      encode(r);
     }
   }
 
@@ -157,10 +178,12 @@ class ShadowCodec {
     return checksum(originals_.at({rank, epoch}));
   }
 
-  /// Rebuilds (rank, epoch) from live residency; false when the surviving
-  /// symbols cannot determine it (the caller asserts this never happens
-  /// while the scheme claims liveness).
+  /// Rebuilds (rank, epoch)'s wire blob from live residency and decodes it
+  /// back to the logical payload; false when the surviving symbols cannot
+  /// determine it (the caller asserts this never happens while the scheme
+  /// claims liveness).
   bool reconstruct(int rank, uint64_t epoch, std::vector<uint8_t>* out) const {
+    std::vector<uint8_t> enc;
     switch (red_.kind) {
       case ckpt::SchemeKind::kSingle:
         return false;  // no remote redundancy to decode from
@@ -168,24 +191,111 @@ class ShadowCodec {
         const std::vector<ckpt::Fragment>* frags =
             area_.fragments(rank, epoch);
         if (frags == nullptr) return false;
-        for (const ckpt::Fragment& f : *frags) {
+        bool copy_live = false;
+        for (const ckpt::Fragment& f : *frags)
           if (f.live && !f.corrupt && !f.parity &&
-              area_.node_in_service(f.host_node)) {
-            *out = originals_.at({rank, epoch});  // the copy is the data
-            return true;
-          }
-        }
-        return false;
+              area_.node_in_service(f.host_node))
+            copy_live = true;
+        if (!copy_live) return false;
+        enc = blobs_.at({rank, epoch}).enc;  // the copy is the wire blob
+        break;
       }
       case ckpt::SchemeKind::kXorGroup:
-        return reconstruct_xor(rank, epoch, out);
+        if (!reconstruct_xor(rank, epoch, &enc)) return false;
+        break;
       case ckpt::SchemeKind::kReedSolomon:
-        return reconstruct_rs(rank, epoch, out);
+        if (!reconstruct_rs(rank, epoch, &enc)) return false;
+        break;
     }
-    return false;
+    return decode(rank, epoch, enc, out);
   }
 
  private:
+  // Wire form of one epoch: delta (changed 256-byte blocks vs epoch 1) and
+  // LZ compression, each kept only when smaller — the store's policy.
+  struct Blob {
+    std::vector<uint8_t> enc;
+    uint64_t payload_len = 0;  // pre-compression (delta payload) bytes
+    bool compressed = false;
+    bool delta = false;
+    std::vector<uint32_t> changed;
+  };
+
+  void pack(std::vector<uint8_t> payload, Blob* b) {
+    b->payload_len = payload.size();
+    std::vector<unsigned char> enc =
+        util::codec::lz_compress(payload.data(), payload.size());
+    if (enc.size() < payload.size()) {
+      b->compressed = true;
+      b->enc.assign(enc.begin(), enc.end());
+    } else {
+      b->enc = std::move(payload);
+    }
+  }
+
+  void encode(int r) {
+    const std::vector<uint8_t>& v1 = originals_.at({r, 1});
+    const std::vector<uint8_t>& v2 = originals_.at({r, 2});
+    Blob b1;
+    pack(v1, &b1);
+    blobs_[{r, 1}] = std::move(b1);
+    const std::vector<uint64_t> h1 = ckpt::hash_blocks(v1, smc_.block_bytes);
+    const std::vector<uint64_t> h2 = ckpt::hash_blocks(v2, smc_.block_bytes);
+    Blob b2;
+    for (uint32_t blk = 0; blk < h2.size(); ++blk)
+      if (blk >= h1.size() || h1[blk] != h2[blk]) b2.changed.push_back(blk);
+    if (b2.changed.size() < h2.size()) {
+      b2.delta = true;
+      std::vector<uint8_t> payload;
+      for (uint32_t blk : b2.changed) {
+        const size_t off = static_cast<size_t>(blk) * smc_.block_bytes;
+        const size_t n = std::min<size_t>(smc_.block_bytes, len_ - off);
+        payload.insert(payload.end(), v2.begin() + static_cast<long>(off),
+                       v2.begin() + static_cast<long>(off + n));
+      }
+      pack(std::move(payload), &b2);
+    } else {
+      b2.changed.clear();
+      pack(v2, &b2);
+    }
+    blobs_[{r, 2}] = std::move(b2);
+  }
+
+  // Wire blob -> logical payload: decompress, then scatter a delta's changed
+  // blocks over the decoded epoch-1 base (the store materializes the chain
+  // base the same way on the real restore path).
+  bool decode(int rank, uint64_t epoch, const std::vector<uint8_t>& enc,
+              std::vector<uint8_t>* out) const {
+    const Blob& b = blobs_.at({rank, epoch});
+    std::vector<uint8_t> payload;
+    if (b.compressed) {
+      payload.resize(b.payload_len);
+      util::codec::lz_decompress(enc.data(), enc.size(), payload.data(),
+                                 payload.size());
+    } else {
+      payload = enc;
+    }
+    if (!b.delta) {
+      *out = std::move(payload);
+      return true;
+    }
+    std::vector<uint8_t> base;
+    if (!decode(rank, 1, blobs_.at({rank, 1}).enc, &base)) return false;
+    base.resize(len_);
+    size_t src = 0;
+    for (uint32_t blk : b.changed) {
+      const size_t off = static_cast<size_t>(blk) * smc_.block_bytes;
+      const size_t n = std::min<size_t>(smc_.block_bytes, len_ - off);
+      if (src + n > payload.size()) return false;
+      std::copy(payload.begin() + static_cast<long>(src),
+                payload.begin() + static_cast<long>(src + n),
+                base.begin() + static_cast<long>(off));
+      src += n;
+    }
+    *out = std::move(base);
+    return true;
+  }
+
   std::vector<int> group_ranks(int rank) const {
     std::vector<int> members = area_.scheme().group_of(rank);
     members.push_back(rank);
@@ -197,7 +307,20 @@ class ShadowCodec {
     return area_.has_local(member, epoch) && area_.node_in_service(member);
   }
 
-  // XOR: parity(owner) = fold of every member's data. Rebuild needs the
+  size_t group_wire_len(const std::vector<int>& members,
+                        uint64_t epoch) const {
+    size_t n = 0;
+    for (int m : members) n = std::max(n, blobs_.at({m, epoch}).enc.size());
+    return n;
+  }
+
+  std::vector<uint8_t> padded_wire(int rank, uint64_t epoch, size_t n) const {
+    std::vector<uint8_t> v = blobs_.at({rank, epoch}).enc;
+    v.resize(n, 0);
+    return v;
+  }
+
+  // XOR: parity(owner) = fold of every member's wire blob. Rebuild needs the
   // owner's live parity and every other member's data.
   bool reconstruct_xor(int rank, uint64_t epoch,
                        std::vector<uint8_t>* out) const {
@@ -210,29 +333,32 @@ class ShadowCodec {
         parity_live = true;
     if (!parity_live) return false;
     const std::vector<int> members = group_ranks(rank);
-    std::vector<uint8_t> acc(len_, 0);
+    const size_t wlen = group_wire_len(members, epoch);
+    std::vector<uint8_t> acc(wlen, 0);
     for (int m : members) {  // parity content: fold over the whole group
-      const std::vector<uint8_t>& d = originals_.at({m, epoch});
+      const std::vector<uint8_t> d = padded_wire(m, epoch, wlen);
       for (size_t i = 0; i < acc.size(); ++i) acc[i] ^= d[i];
     }
     for (int m : members) {  // peel the surviving members back out
       if (m == rank) continue;
       if (!data_live(m, epoch)) return false;
-      const std::vector<uint8_t>& d = originals_.at({m, epoch});
+      const std::vector<uint8_t> d = padded_wire(m, epoch, wlen);
       for (size_t i = 0; i < acc.size(); ++i) acc[i] ^= d[i];
     }
+    acc.resize(blobs_.at({rank, epoch}).enc.size());
     *out = std::move(acc);
     return true;
   }
 
   // RS: each live share is one Cauchy equation (row = position * m + share)
-  // over the group's member-data symbols; solve for the unknown members and
+  // over the group's member wire blobs; solve for the unknown members and
   // return the requested one.
   bool reconstruct_rs(int rank, uint64_t epoch,
                       std::vector<uint8_t>* out) const {
     const std::vector<int> members = group_ranks(rank);
     const int g = static_cast<int>(members.size());
     const int m = red_.rs_m;
+    const size_t wlen = group_wire_len(members, epoch);
     std::vector<int> unknowns;
     for (int p = 0; p < g; ++p)
       if (!data_live(members[static_cast<size_t>(p)], epoch))
@@ -266,13 +392,13 @@ class ShadowCodec {
         // is XOR, so the RHS is just the unknown columns' contribution.
         Eq eq;
         eq.row = row;
-        eq.rhs.assign(len_, 0);
-        for (int j : unknowns)
-          util::gf256::mul_add(eq.rhs.data(),
-                               originals_.at({members[static_cast<size_t>(j)],
-                                              epoch})
-                                   .data(),
-                               eq.rhs.size(), family.at(row, j));
+        eq.rhs.assign(wlen, 0);
+        for (int j : unknowns) {
+          const std::vector<uint8_t> d =
+              padded_wire(members[static_cast<size_t>(j)], epoch, wlen);
+          util::gf256::mul_add(eq.rhs.data(), d.data(), eq.rhs.size(),
+                               family.at(row, j));
+        }
         eqs.push_back(std::move(eq));
       }
     }
@@ -288,11 +414,12 @@ class ShadowCodec {
     // Target row of the inverse applied to the RHS vectors.
     int trow = 0;
     while (unknowns[static_cast<size_t>(trow)] != target) ++trow;
-    std::vector<uint8_t> solved(len_, 0);
+    std::vector<uint8_t> solved(wlen, 0);
     for (int i = 0; i < u; ++i)
       util::gf256::mul_add(solved.data(),
                            eqs[static_cast<size_t>(i)].rhs.data(),
                            solved.size(), dec.at(trow, i));
+    solved.resize(blobs_.at({rank, epoch}).enc.size());
     *out = std::move(solved);
     return true;
   }
@@ -300,7 +427,9 @@ class ShadowCodec {
   const ckpt::RedundancyConfig red_;
   const ckpt::StagingArea& area_;
   size_t len_;  // shadow payload length (capped; see constructor)
+  ckpt::StateModelConfig smc_;
   std::map<std::pair<int, uint64_t>, std::vector<uint8_t>> originals_;
+  std::map<std::pair<int, uint64_t>, Blob> blobs_;
 };
 
 struct CaseRunner {
@@ -392,6 +521,7 @@ CaseResult run_case(const FailureCase& c) {
     case FailureCase::Timing::kMidRebuild:
     case FailureCase::Timing::kMidScrub:
     case FailureCase::Timing::kSpareSwap:
+    case FailureCase::Timing::kMidDeltaChain:
       kill_at = kEpoch2At + local_write + 1.5;
       break;
     case FailureCase::Timing::kMidDrain:
@@ -411,7 +541,11 @@ CaseResult run_case(const FailureCase& c) {
       // write (a write would also mark its node back in service).
       if (c.timing == FailureCase::Timing::kPreDrain && victim_set.count(r))
         return;
-      area.write(r, 2, c.bytes);
+      // Delta-chain bucket: epoch 2 is staged as a delta anchored on the
+      // epoch-1 full capture, so its recoverability spans both elements.
+      const uint64_t chain_base =
+          c.timing == FailureCase::Timing::kMidDeltaChain ? 1 : 2;
+      area.write(r, 2, c.bytes, ckpt::LevelPlan{}, chain_base);
     });
   }
 
@@ -502,12 +636,76 @@ CaseResult run_case(const FailureCase& c) {
     });
   }
 
-  // ---- invariant checks --------------------------------------------------
-  // (Mid-scrub cases run their own checks above: no node ever died, so the
-  // victim-loss invariants below would be vacuous.)
+  // ---- delta-chain checks (mid-delta-chain timing) -----------------------
+  // Epoch 2 is a delta head anchored on epoch 1; its restore must walk both
+  // elements. Asserts the chain shape, chain-aware recoverability (a head
+  // never claims liveness past a lost base), no false success when the
+  // chain is exhausted, and that the epoch-1 fallback target still restores
+  // on its own whenever its elements survive.
   auto outstanding = std::make_shared<int>(0);
+  if (c.timing == FailureCase::Timing::kMidDeltaChain) {
+    m.engine().at(check_at, [&, outstanding] {
+      for (size_t i = 0; i < first_wave; ++i) {
+        const int v = victims[i];
+        const std::vector<uint64_t> chain = area.restore_chain(v, 2);
+        if (chain.size() != 2 || chain.front() != 1 || chain.back() != 2)
+          run.fail("delta head's restore chain is not [1, 2] (rank " +
+                   std::to_string(v) + ")");
+        const bool head_ok = area.recoverable(v, 2);
+        const bool base_ok = area.recoverable(v, 1);
+        if (head_ok && !base_ok)
+          run.fail("chain head claims recoverability past a lost base (rank " +
+                   std::to_string(v) + ")");
+        ++*outstanding;
+        area.execute_restore(
+            v, 2, [&, v, head_ok, base_ok, outstanding](bool ok) {
+              --*outstanding;
+              if (ok && !head_ok)
+                run.fail("exhausted-chain restore reported success — "
+                         "invented data (rank " +
+                         std::to_string(v) + ")");
+              if (!ok && head_ok)
+                run.fail("chain restore failed although every element was "
+                         "recoverable (rank " +
+                         std::to_string(v) + ")");
+              if (ok && area.scheme().recoverable_without_pfs(v, 2, area) &&
+                  !area.has_local(v, 2)) {
+                // Checksum identity through the reduction pipeline: the
+                // rebuilt wire blob must decode (delta scatter over the
+                // epoch-1 base) to the exact logical payload.
+                std::vector<uint8_t> rebuilt;
+                if (!shadow.reconstruct(v, 2, &rebuilt)) {
+                  run.fail("shadow codec cannot decode a chain head the "
+                           "scheme claims (rank " +
+                           std::to_string(v) + ")");
+                } else if (checksum(rebuilt) !=
+                           shadow.original_checksum(v, 2)) {
+                  run.fail("decoded chain head differs from the original "
+                           "logical payload (rank " +
+                           std::to_string(v) + ")");
+                }
+              }
+              if (!ok && base_ok) {
+                // Exhausted chain: the caller falls back one epoch; the
+                // base must then restore as its own (length-1) chain.
+                ++*outstanding;
+                area.execute_restore(v, 1, [&, v, outstanding](bool ok1) {
+                  --*outstanding;
+                  if (!ok1)
+                    run.fail("epoch-1 fallback restore failed although "
+                             "epoch 1 was recoverable (rank " +
+                             std::to_string(v) + ")");
+                });
+              }
+            });
+      }
+    });
+  }
 
-  if (c.timing != FailureCase::Timing::kMidScrub)
+  // ---- invariant checks --------------------------------------------------
+  // (Mid-scrub and mid-delta-chain cases run their own checks above.)
+  if (c.timing != FailureCase::Timing::kMidScrub &&
+      c.timing != FailureCase::Timing::kMidDeltaChain)
   m.engine().at(check_at, [&, outstanding] {
     const uint64_t probe_epoch =
         c.timing == FailureCase::Timing::kPreDrain ? 1 : 2;

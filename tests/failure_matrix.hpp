@@ -20,9 +20,14 @@
 //      without touching it.
 //   3. Checksum identity: a restore served by the redundancy layer is
 //      re-derived through a shadow codec — real GF(256) Cauchy solves for
-//      RS, XOR folds, full copies for PARTNER, over the case's actual
-//      random payload bytes — and must reproduce the original snapshot
-//      exactly (Fnv1a64). The shadow codec works at full snapshot length;
+//      RS, XOR folds, full copies for PARTNER — and must reproduce the
+//      original snapshot exactly (Fnv1a64). The shadow models the full
+//      data-reduction pipeline (DESIGN.md §15): its logical payloads come
+//      from the shared block-mutation generator, what the wire carries is
+//      the ENCODED blob (block delta for epoch 2 + LZ compression), and
+//      checksum identity is asserted on the LOGICAL (decoded) payload, so a
+//      codec or chain-decode defect fails the oracle even when the scheme's
+//      arithmetic is right. The shadow works at a capped payload length;
 //      the simulator's ceil(B/k) fragment sizes are its wire-cost
 //      abstraction of the striped layout.
 //   4. No false success: when the predicate is false and no PFS copy
@@ -72,6 +77,13 @@ struct FailureCase {
     /// losses, one is held in reserve and lands while the spare rebuild's
     /// reads are in flight (swap-in-progress loss).
     kSpareSwap,
+    /// Delta-chain bucket: epoch 2 is staged as a DELTA anchored on epoch 1
+    /// (chain_base = 1), and the losses land with the chain live. Asserts
+    /// chain-aware recoverability (the head is recoverable only while its
+    /// base is), that an exhausted chain's restore reports failure instead
+    /// of inventing data, and that the epoch-1 fallback target then still
+    /// restores whenever its own elements survive.
+    kMidDeltaChain,
   };
   Timing timing = Timing::kSettled;
   bool flush_pfs = false;  // fast PFS: the frontier covers every epoch

@@ -1,0 +1,362 @@
+// Tests: checkpoint data reduction (DESIGN.md §15) — the deterministic
+// LZ/RLE codec, the synthetic block-mutation state model, content-addressed
+// delta captures in ckpt::Store (chains, the full-capture stride bound,
+// chain-clamped pruning, rename semantics), chain-aware staging
+// recoverability, and end-to-end scenario identity with reduction enabled.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ckpt/reduction.hpp"
+#include "ckpt/staging.hpp"
+#include "ckpt/store.hpp"
+#include "core/spbc.hpp"
+#include "harness/scenario.hpp"
+#include "mpi/machine.hpp"
+#include "util/codec.hpp"
+#include "util/rng.hpp"
+
+namespace spbc {
+namespace {
+
+std::vector<unsigned char> roundtrip(const std::vector<unsigned char>& data) {
+  const std::vector<unsigned char> enc = util::codec::lz_compress(data);
+  return util::codec::lz_decompress(enc, data.size());
+}
+
+TEST(Codec, RoundTripsEmptyAndTiny) {
+  EXPECT_TRUE(roundtrip({}).empty());
+  for (size_t n = 1; n <= 16; ++n) {
+    std::vector<unsigned char> data(n);
+    for (size_t i = 0; i < n; ++i) data[i] = static_cast<unsigned char>(i * 37);
+    EXPECT_EQ(roundtrip(data), data) << "length " << n;
+  }
+}
+
+TEST(Codec, CompressesConstantRuns) {
+  std::vector<unsigned char> data(64 * 1024, 0xAB);
+  const std::vector<unsigned char> enc = util::codec::lz_compress(data);
+  EXPECT_LT(enc.size(), data.size() / 100) << "RLE degeneration missing";
+  EXPECT_EQ(util::codec::lz_decompress(enc, data.size()), data);
+}
+
+TEST(Codec, RoundTripsPatternedPayloads) {
+  // Low-entropy structured content at awkward sizes, including ones that end
+  // mid-match and mid-literal-run.
+  util::Pcg32 rng(42, 7);
+  for (size_t n : {17u, 255u, 256u, 257u, 4095u, 4096u, 70000u}) {
+    std::vector<unsigned char> data(n);
+    size_t i = 0;
+    while (i < n) {
+      const unsigned char fill = static_cast<unsigned char>(rng.next_bounded(256));
+      const size_t run = 1 + rng.next_bounded(64);
+      for (size_t j = 0; j < run && i < n; ++j) data[i++] = fill;
+    }
+    EXPECT_EQ(roundtrip(data), data) << "length " << n;
+  }
+}
+
+TEST(Codec, RoundTripsIncompressibleBytes) {
+  util::Pcg32 rng(3, 9);
+  std::vector<unsigned char> data(50000);
+  for (unsigned char& b : data) b = static_cast<unsigned char>(rng.next_bounded(256));
+  // Uniform noise may expand — the caller keeps the raw bytes then — but the
+  // round trip itself must still be exact.
+  EXPECT_EQ(roundtrip(data), data);
+}
+
+TEST(Codec, DeterministicEncoding) {
+  std::vector<unsigned char> data(8192);
+  util::Pcg32 rng(11, 1);
+  ckpt::fill_synth_block(data.data(), data.size(), rng.next_u64());
+  EXPECT_EQ(util::codec::lz_compress(data), util::codec::lz_compress(data));
+}
+
+TEST(StateModel, PureInSeedRankEpoch) {
+  ckpt::StateModelConfig cfg;
+  cfg.bytes = 8192;
+  cfg.block_bytes = 512;
+  cfg.mutation_rate = 0.25;
+  cfg.seed = 77;
+  std::vector<unsigned char> a = ckpt::make_state(cfg, 3);
+  std::vector<unsigned char> b = ckpt::make_state(cfg, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, ckpt::make_state(cfg, 4));
+  ckpt::evolve_state(a, cfg, 3, 1);
+  ckpt::evolve_state(b, cfg, 3, 1);
+  EXPECT_EQ(a, b) << "evolution not pure in (seed, rank, epoch)";
+  // Compressible by construction, and a bounded fraction of blocks changes
+  // per epoch (mutation_rate, at least one block).
+  EXPECT_LT(util::codec::lz_compress(a).size(), a.size());
+  std::vector<unsigned char> c = b;
+  ckpt::evolve_state(c, cfg, 3, 2);
+  const std::vector<uint64_t> hb = ckpt::hash_blocks(b, cfg.block_bytes);
+  const std::vector<uint64_t> hc = ckpt::hash_blocks(c, cfg.block_bytes);
+  size_t changed = 0;
+  for (size_t i = 0; i < hb.size(); ++i)
+    if (hb[i] != hc[i]) ++changed;
+  EXPECT_GE(changed, 1u);
+  EXPECT_LE(changed, 4u) << "mutation rewrote more blocks than the rate allows";
+}
+
+TEST(StateModel, HashBlocksSeesTailChanges) {
+  std::vector<unsigned char> a(1000, 1);
+  std::vector<unsigned char> b = a;
+  b.back() = 2;  // short tail block
+  const std::vector<uint64_t> ha = ckpt::hash_blocks(a, 256);
+  const std::vector<uint64_t> hb = ckpt::hash_blocks(b, 256);
+  ASSERT_EQ(ha.size(), 4u);
+  EXPECT_EQ(ha[0], hb[0]);
+  EXPECT_NE(ha[3], hb[3]);
+}
+
+// Store with delta + compression on: saves a per-epoch evolving payload and
+// checks the chain metadata, the reduction ratio, and exact materialization.
+class DeltaStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    smc_.bytes = 16384;
+    smc_.block_bytes = 1024;
+    smc_.mutation_rate = 0.10;
+    smc_.seed = 5;
+    ckpt::ReductionConfig red;
+    red.delta = true;
+    red.block_bytes = 1024;
+    red.full_stride = 4;
+    red.compress = true;
+    store_.set_reduction(red);
+    state_ = ckpt::make_state(smc_, 0);
+  }
+
+  ckpt::SaveInfo save_epoch(uint64_t epoch, bool force_full = false) {
+    ckpt::evolve_state(state_, smc_, 0, epoch);
+    expected_[epoch] = state_;
+    ckpt::Snapshot s;
+    s.taken_at = static_cast<double>(epoch);
+    s.epoch = epoch;
+    s.bytes = state_;
+    return store_.save(0, std::move(s), force_full);
+  }
+
+  void expect_materializes(uint64_t epoch) {
+    std::vector<unsigned char> scratch;
+    EXPECT_EQ(store_.materialize(0, epoch, scratch), expected_.at(epoch))
+        << "epoch " << epoch;
+  }
+
+  ckpt::StateModelConfig smc_;
+  ckpt::Store store_;
+  std::vector<unsigned char> state_;
+  std::map<uint64_t, std::vector<unsigned char>> expected_;
+};
+
+TEST_F(DeltaStoreTest, ChainsAndStrideBound) {
+  for (uint64_t e = 1; e <= 9; ++e) save_epoch(e);
+  // full_stride = 4: epochs 1, 5, 9 are full; the rest chain off them.
+  for (uint64_t e = 1; e <= 9; ++e) {
+    const ckpt::StoredSnapshot& s = store_.at_epoch(0, e);
+    const uint64_t want_base = e - ((e - 1) % 4);
+    EXPECT_EQ(s.chain_base, want_base) << "epoch " << e;
+    EXPECT_EQ(s.full(), e == want_base);
+    expect_materializes(e);
+  }
+  EXPECT_EQ(store_.delta_snapshots(), 6u);
+  // 10% of blocks mutate per epoch: deltas must shrink storage well below
+  // the raw capture volume.
+  EXPECT_LT(store_.total_bytes_written(), store_.total_raw_bytes() / 2);
+}
+
+TEST_F(DeltaStoreTest, ForceFullBreaksTheChain) {
+  save_epoch(1);
+  save_epoch(2);
+  const ckpt::SaveInfo info = save_epoch(3, /*force_full=*/true);
+  EXPECT_TRUE(info.full);
+  EXPECT_EQ(info.chain_base, 3u);
+  // A forced-full epoch may be renamed (the migration flip's re-key).
+  store_.rename_epoch(0, 3, 7);
+  EXPECT_TRUE(store_.has_epoch(0, 7));
+  EXPECT_EQ(store_.at_epoch(0, 7).chain_base, 7u);
+  std::vector<unsigned char> scratch;
+  EXPECT_EQ(store_.materialize(0, 7, scratch), expected_.at(3));
+}
+
+TEST_F(DeltaStoreTest, PruneClampsToChainBase) {
+  for (uint64_t e = 1; e <= 6; ++e) save_epoch(e);
+  // Nominal floor 3 sits mid-chain (base 1): the effective floor must clamp
+  // to the base, keeping epochs 1 and 2 alive to back epoch 3's restore.
+  EXPECT_EQ(store_.prune_epochs_below(0, 3), 1u);
+  EXPECT_TRUE(store_.has_epoch(0, 1));
+  EXPECT_TRUE(store_.has_epoch(0, 2));
+  expect_materializes(3);
+  expect_materializes(6);
+  // A floor on a full epoch prunes everything below it.
+  EXPECT_EQ(store_.prune_epochs_below(0, 5), 5u);
+  EXPECT_FALSE(store_.has_epoch(0, 4));
+  expect_materializes(6);
+}
+
+TEST(DeltaStore, SameGranularityRequiredForDelta) {
+  ckpt::Store store;
+  ckpt::ReductionConfig red;
+  red.delta = true;
+  red.block_bytes = 512;
+  store.set_reduction(red);
+  ckpt::Snapshot a;
+  a.epoch = 1;
+  a.bytes.assign(4096, 3);
+  store.save(0, std::move(a));
+  // Same bytes one epoch later: a delta with zero changed blocks.
+  ckpt::Snapshot b;
+  b.epoch = 2;
+  b.bytes.assign(4096, 3);
+  const ckpt::SaveInfo info = store.save(0, std::move(b));
+  EXPECT_FALSE(info.full);
+  EXPECT_EQ(info.blocks_changed, 0u);
+  EXPECT_EQ(info.stored_bytes, 0u);
+  std::vector<unsigned char> scratch;
+  EXPECT_EQ(store.materialize(0, 2, scratch),
+            std::vector<unsigned char>(4096, 3));
+}
+
+TEST(DeltaStore, MissingPredecessorForcesFull) {
+  ckpt::Store store;
+  ckpt::ReductionConfig red;
+  red.delta = true;
+  store.set_reduction(red);
+  ckpt::Snapshot a;
+  a.epoch = 1;
+  a.bytes.assign(1000, 1);
+  store.save(0, std::move(a));
+  // Epoch 3 has no epoch-2 predecessor: it must be a full capture.
+  ckpt::Snapshot c;
+  c.epoch = 3;
+  c.bytes.assign(1000, 2);
+  EXPECT_TRUE(store.save(0, std::move(c)).full);
+}
+
+// Chain-aware staging: a delta head is only recoverable while every chain
+// element is, and execute_restore walks the whole chain.
+TEST(StagingChain, RecoverabilitySpansTheChain) {
+  mpi::MachineConfig mc;
+  mc.nranks = 4;
+  mc.ranks_per_node = 1;
+  core::SpbcConfig scfg;
+  auto proto = std::make_unique<core::SpbcProtocol>(scfg);
+  mpi::Machine m(mc, std::move(proto));
+  m.set_cluster_of({0, 0, 1, 1});
+
+  ckpt::StagingConfig sc;
+  sc.level = ckpt::StorageLevel::kPfs;
+  sc.async = true;
+  sc.model.pfs_bw = 1.0;  // the PFS frontier never catches up
+  sc.redundancy.kind = ckpt::SchemeKind::kPartner;
+  ckpt::StagingArea area(sc);
+  area.attach(m);
+
+  auto failed = std::make_shared<int>(0);
+  auto succeeded = std::make_shared<int>(0);
+  m.engine().at(0.01, [&] {
+    area.write(0, 1, 1000);                          // full
+    area.write(0, 2, 200, ckpt::LevelPlan{}, 1);     // delta on 1
+    area.write(0, 3, 200, ckpt::LevelPlan{}, 1);     // delta on 1
+  });
+  m.engine().at(1.0, [&] {
+    const std::vector<uint64_t> chain = area.restore_chain(0, 3);
+    ASSERT_EQ(chain.size(), 3u);
+    EXPECT_EQ(chain.front(), 1u);
+    EXPECT_TRUE(area.recoverable(0, 3));
+    // Losing the owner's node kills LOCAL copies of every element; the
+    // partner copies keep the chain recoverable.
+    area.invalidate_node(0);
+    EXPECT_TRUE(area.recoverable(0, 3));
+    // Losing the partner's host too exhausts the chain (PFS never landed):
+    // the head must stop claiming recoverability.
+    area.invalidate_node(m.node_of(area.partner_of(0)));
+    EXPECT_FALSE(area.recoverable(0, 3));
+    area.execute_restore(0, 3, [failed, succeeded](bool ok) {
+      if (ok)
+        ++*failed;  // false success: the chain was exhausted
+      else
+        ++*succeeded;
+    });
+  });
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(*failed, 0) << "exhausted chain restore reported success";
+  EXPECT_EQ(*succeeded, 1);
+}
+
+// End-to-end: reduction on (delta + compression + evolving synthetic state),
+// a mid-run failure, validate-mode checksums. The recovered run must land on
+// exactly the failure-free checksums — the reduction pipeline may not change
+// a single byte of restored state.
+TEST(ReductionE2E, FailureRunMatchesFailureFreeChecksums) {
+  harness::ScenarioConfig cfg;
+  cfg.app = "MiniGhost";
+  cfg.nranks = 16;
+  cfg.ranks_per_node = 4;
+  cfg.nclusters = 4;
+  cfg.app_cfg.iters = 6;
+  cfg.app_cfg.validate = true;
+  cfg.spbc.checkpoint_every = 2;
+  cfg.spbc.storage = ckpt::StorageLevel::kPfs;
+  cfg.spbc.async_staging = true;
+  cfg.spbc.reduction.delta = true;
+  cfg.spbc.reduction.block_bytes = 256;
+  cfg.spbc.reduction.full_stride = 4;
+  cfg.spbc.reduction.compress = true;
+  cfg.spbc.state_model.bytes = 4096;
+  cfg.spbc.state_model.block_bytes = 256;
+  cfg.spbc.state_model.mutation_rate = 0.2;
+  cfg.spbc.state_model.seed = 9;
+
+  harness::ScenarioResult ff = harness::run_failure_free(cfg);
+  ASSERT_TRUE(ff.run.completed);
+  ASSERT_FALSE(ff.checksums.empty());
+  EXPECT_GT(ff.delta_snapshots, 0u);
+  EXPECT_LT(ff.ckpt_stored_bytes, ff.ckpt_raw_bytes);
+
+  harness::ScenarioResult fr = harness::run_with_failure(cfg, ff.elapsed, 0.6);
+  ASSERT_TRUE(fr.run.completed);
+  EXPECT_EQ(fr.checksums, ff.checksums)
+      << "reduction changed restored state bytes";
+}
+
+// Bit-identity across engine shard layouts with reduction enabled: encoded
+// sizes feed the control plane and staging, so any layout-dependence in the
+// encoder would fan out into divergent schedules.
+TEST(ReductionE2E, ShardLayoutInvariant) {
+  harness::ScenarioConfig cfg;
+  cfg.app = "MiniFE";
+  cfg.nranks = 16;
+  cfg.ranks_per_node = 4;
+  cfg.nclusters = 4;
+  cfg.app_cfg.iters = 5;
+  cfg.app_cfg.validate = true;
+  cfg.spbc.checkpoint_every = 2;
+  cfg.spbc.storage = ckpt::StorageLevel::kPfs;
+  cfg.spbc.async_staging = true;
+  cfg.spbc.reduction.delta = true;
+  cfg.spbc.reduction.block_bytes = 512;
+  cfg.spbc.reduction.compress = true;
+  cfg.spbc.state_model.bytes = 2048;
+  cfg.spbc.state_model.block_bytes = 512;
+  cfg.spbc.state_model.seed = 4;
+
+  cfg.machine.engine_shards = 1;
+  harness::ScenarioResult serial = harness::run_failure_free(cfg);
+  ASSERT_TRUE(serial.run.completed);
+
+  cfg.machine.engine_shards = 0;  // one shard per cluster
+  harness::ScenarioResult sharded = harness::run_failure_free(cfg);
+  ASSERT_TRUE(sharded.run.completed);
+
+  EXPECT_EQ(serial.checksums, sharded.checksums);
+  EXPECT_EQ(serial.ckpt_stored_bytes, sharded.ckpt_stored_bytes);
+  EXPECT_EQ(serial.delta_snapshots, sharded.delta_snapshots);
+  EXPECT_EQ(serial.bytes_pfs_written, sharded.bytes_pfs_written);
+}
+
+}  // namespace
+}  // namespace spbc
