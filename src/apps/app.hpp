@@ -32,6 +32,24 @@ struct AppConfig {
   /// Where final per-rank checksums are deposited (validate mode); owned by
   /// the caller, single-threaded simulator makes this safe.
   std::map<int, uint64_t>* checksums = nullptr;
+
+  /// Bursty / adversarial traffic phases (hostile workload matrix; DESIGN.md
+  /// §16): every burst_period iterations the app spends burst_duty of them
+  /// in a burst, multiplying its message sizes by burst_factor (applied via
+  /// burst_msg_scale). The schedule is a pure function of the iteration
+  /// index, so a fixed burst config is fully deterministic — recovery
+  /// re-executes the same burst and checksums stay identical. factor <= 1
+  /// or period == 0 disables the shape (byte-identical messages).
+  double burst_factor = 1.0;
+  int burst_period = 0;
+  int burst_duty = 1;  // iterations of each period spent bursting
+
+  /// Effective message-size multiplier at iteration `iter`.
+  double burst_msg_scale(int iter) const {
+    if (burst_factor <= 1.0 || burst_period <= 0) return msg_scale;
+    return (iter % burst_period) < burst_duty ? msg_scale * burst_factor
+                                              : msg_scale;
+  }
 };
 
 using AppMain = std::function<void(mpi::Rank&, const AppConfig&)>;
@@ -56,6 +74,12 @@ void amg_main(mpi::Rank& rank, const AppConfig& cfg);
 void gtc_main(mpi::Rank& rank, const AppConfig& cfg);
 void milc_main(mpi::Rank& rank, const AppConfig& cfg);
 void cm1_main(mpi::Rank& rank, const AppConfig& cfg);
+
+// ---- facade ports (living integration docs; src/apps/facade_ports.cpp) --
+// The same skeletons driven through the four-call C-style facade
+// (core/facade.hpp) instead of set_state_handlers + maybe_checkpoint.
+void minife_facade_main(mpi::Rank& rank, const AppConfig& cfg);
+void nas_bt_facade_main(mpi::Rank& rank, const AppConfig& cfg);
 
 // ---- NAS skeletons for the HydEE comparison (Section 6.5) ---------------
 void nas_bt_main(mpi::Rank& rank, const AppConfig& cfg);

@@ -97,7 +97,11 @@ const std::vector<AppInfo>& registry() {
        "MiniFE skeleton: CG solve, halo + dot products, ANY_SOURCE setup"},
       {"MiniGhost", minighost_main, false,
        "MiniGhost skeleton: BSPMA 7-point stencil halo exchange"},
+      {"MiniFE-facade", minife_facade_main, true,
+       "MiniFE ported to the four-call facade (core/facade.hpp)"},
       {"BT", nas_bt_main, false, "NAS BT skeleton: multi-partition ADI sweeps"},
+      {"BT-facade", nas_bt_facade_main, false,
+       "NAS BT ported to the four-call facade (core/facade.hpp)"},
       {"LU", nas_lu_main, false, "NAS LU skeleton: SSOR pipelined wavefront"},
       {"MG", nas_mg_main, false, "NAS MG skeleton: V-cycle geometric multigrid"},
       {"SP", nas_sp_main, false, "NAS SP skeleton: scalar penta-diagonal sweeps"},

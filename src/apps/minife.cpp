@@ -103,8 +103,8 @@ void minife_main(mpi::Rank& rank, const AppConfig& cfg) {
     // Halo exchange of boundary rows (named sources).
     std::vector<mpi::Request> recvs;
     for (int nb : neighbors) recvs.push_back(rank.irecv(nb, kTagHalo, world));
-    const uint64_t bytes =
-        static_cast<uint64_t>(static_cast<double>(kHaloBytes) * cfg.msg_scale);
+    const uint64_t bytes = static_cast<uint64_t>(
+        static_cast<double>(kHaloBytes) * cfg.burst_msg_scale(st.iter));
     for (int nb : neighbors) {
       uint64_t h = synthetic_hash(static_cast<uint64_t>(me), static_cast<uint64_t>(nb),
                                   static_cast<uint64_t>(st.iter), 0xfe01);

@@ -57,8 +57,9 @@ void line_sweep(mpi::Rank& rank, const AppConfig& cfg, const Grid2D& grid, State
   if (succ >= 0) {
     uint64_t h = synthetic_hash(me, succ, st.iter, salt);
     rank.send(succ, tag,
-              make_payload(cfg, static_cast<uint64_t>(
-                                    static_cast<double>(bytes) * cfg.msg_scale),
+              make_payload(cfg,
+                           static_cast<uint64_t>(static_cast<double>(bytes) *
+                                                 cfg.burst_msg_scale(st.iter)),
                            h, &st.u),
               world);
   }
@@ -77,8 +78,9 @@ void face_exchange(mpi::Rank& rank, const AppConfig& cfg, const CartGrid<N>& gri
   for (int nb : nbrs) {
     uint64_t h = synthetic_hash(me, nb, st.iter, salt);
     rank.isend(nb, tag,
-               make_payload(cfg, static_cast<uint64_t>(
-                                     static_cast<double>(bytes) * cfg.msg_scale),
+               make_payload(cfg,
+                            static_cast<uint64_t>(static_cast<double>(bytes) *
+                                                  cfg.burst_msg_scale(st.iter)),
                             h, &st.u),
                world);
   }

@@ -21,6 +21,7 @@ void StagingArea::attach(mpi::Machine& machine) {
   node_down_ = std::vector<std::atomic<uint8_t>>(static_cast<size_t>(nodes));
   node_local_q_.assign(static_cast<size_t>(nodes), {});
   node_pfs_q_.assign(static_cast<size_t>(nodes), {});
+  pfs_q_depth_.assign(static_cast<size_t>(nodes), 0);
   pfs_frontier_.assign(nranks, 0);
   entries_.assign(nranks, {});
   stats_rows_ = std::vector<StagingStats>(nranks > 0 ? nranks : 1);
@@ -288,6 +289,18 @@ void StagingArea::place_fragment(int rank, uint64_t epoch,
       });
 }
 
+double StagingArea::pfs_available_frac(sim::Time now) const {
+  double frac = 1.0;
+  for (const PfsInterferencePhase& p : cfg_.pfs_interference) {
+    if (now < p.start || now >= p.end) continue;
+    const double f = p.available_frac <= 0.0   ? 1e-3
+                     : p.available_frac > 1.0 ? 1.0
+                                              : p.available_frac;
+    frac = std::min(frac, f);
+  }
+  return frac;
+}
+
 void StagingArea::start_pfs_flush(int rank, uint64_t epoch, int from_node,
                                   int source_frag) {
   if (cfg_.level != StorageLevel::kPfs) return;  // chain ends at redundancy
@@ -295,13 +308,26 @@ void StagingArea::start_pfs_flush(int rank, uint64_t epoch, int from_node,
   if (e == nullptr) return;
   if (!e->want_pfs) return;  // the epoch's plan ends the chain before PFS
   const sim::Time now = machine_->engine().now();
-  const sim::Time cost = cfg_.model.write_time(StorageLevel::kPfs, e->bytes);
+  // Multi-job PFS interference: the flush sees only its available share of
+  // the ingest bandwidth, sampled piecewise-constant at flush start.
+  const sim::Time base_cost =
+      cfg_.model.write_time(StorageLevel::kPfs, e->bytes);
+  const double frac = pfs_available_frac(now);
+  const sim::Time cost = base_cost / frac;
+  if (frac < 1.0) {
+    ++srow(rank).pfs_contended_flushes;
+    srow(rank).pfs_interference_time += cost - base_cost;
+  }
   const sim::Time done =
       node_pfs_q_[static_cast<size_t>(from_node)].reserve(now, cost);
+  const int depth = ++pfs_q_depth_[static_cast<size_t>(from_node)];
+  srow(rank).pfs_queue_depth_hwm = std::max(
+      srow(rank).pfs_queue_depth_hwm, static_cast<uint64_t>(depth));
   const uint64_t gen = node_gen(from_node);
   const uint64_t chain = e->chain_id;
   machine_->engine().at(done, [this, rank, epoch, from_node, gen, chain,
                                source_frag] {
+    --pfs_q_depth_[static_cast<size_t>(from_node)];
     Entry* entry = find(rank, epoch);
     if (entry == nullptr) {
       ++srow(rank).drains_aborted;  // rolled back while the flush was queued
@@ -821,6 +847,10 @@ StagingStats StagingArea::stats() const {
     out.scrubs_repaired += s.scrubs_repaired;
     out.silent_losses_injected += s.silent_losses_injected;
     out.corrupt_read_drops += s.corrupt_read_drops;
+    out.pfs_contended_flushes += s.pfs_contended_flushes;
+    out.pfs_interference_time += s.pfs_interference_time;
+    out.pfs_queue_depth_hwm =
+        std::max(out.pfs_queue_depth_hwm, s.pfs_queue_depth_hwm);
   }
   return out;
 }

@@ -67,6 +67,17 @@ struct LevelPlan {
   bool pfs = true;
 };
 
+/// One multi-job PFS interference window (hostile workload matrix): during
+/// [start, end) other jobs occupy (1 - available_frac) of the shared PFS
+/// ingest bandwidth, so this job's flushes cost 1/available_frac times their
+/// dedicated-bandwidth time. Phases are sampled piecewise-constant at flush
+/// start (deterministic: the cost is a pure function of the start time).
+struct PfsInterferencePhase {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  double available_frac = 1.0;  // clamped to (0, 1] at use
+};
+
 struct StagingConfig {
   /// kNone disables staging entirely (the store is free and reliable — the
   /// paper's measurement mode). Otherwise the deepest level of the chain:
@@ -89,6 +100,10 @@ struct StagingConfig {
   /// while escalated pin the escalated scheme for their whole lifetime.
   bool prepare_escalated = false;
   RedundancyConfig escalated{SchemeKind::kReedSolomon, 4, 4, 2};
+  /// Multi-job PFS interference windows (empty = dedicated PFS, costs
+  /// byte-identical to the pre-hostile pipeline). Appended last so existing
+  /// positional initializers stay valid.
+  std::vector<PfsInterferencePhase> pfs_interference{};
 };
 
 struct StagingStats {
@@ -141,6 +156,14 @@ struct StagingStats {
   /// scrub probe reached them — dropped dead so a restore never serves
   /// silently-lost data.
   uint64_t corrupt_read_drops = 0;
+  /// Multi-job PFS interference (hostile workload matrix): flushes whose
+  /// start fell inside an interference phase, and the extra flush seconds
+  /// the contended bandwidth cost relative to a dedicated PFS.
+  uint64_t pfs_contended_flushes = 0;
+  double pfs_interference_time = 0;
+  /// High-water mark of flushes simultaneously queued on one node's PFS
+  /// ingest share (merged by max, not sum): interference backs this up.
+  uint64_t pfs_queue_depth_hwm = 0;
 };
 
 class StagingArea : public ResidencyView {
@@ -393,6 +416,13 @@ class StagingArea : public ResidencyView {
   std::vector<std::atomic<uint8_t>> node_down_;
   std::vector<sim::BandwidthQueue> node_local_q_;  // local snapshot device
   std::vector<sim::BandwidthQueue> node_pfs_q_;    // per-node PFS ingest share
+  /// Flushes queued-or-running per node's PFS share (depth gauge; mutated
+  /// from the owning ranks' shard — co-resident ranks share a shard under
+  /// node colocation — or serial context).
+  std::vector<int> pfs_q_depth_;
+  /// Fraction of the PFS ingest bandwidth available to this job at `now`
+  /// (pfs_interference phases; 1.0 outside every phase).
+  double pfs_available_frac(sim::Time now) const;
   std::vector<uint64_t> pfs_frontier_;
   std::atomic<uint64_t> next_chain_id_{0};
   std::vector<StagingStats> stats_rows_ = std::vector<StagingStats>(1);

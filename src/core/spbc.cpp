@@ -78,7 +78,8 @@ SpbcProtocol::SpbcProtocol(SpbcConfig cfg)
                                    cfg.storage_model, cfg.redundancy,
                                    cfg.control.scrub_period,
                                    /*prepare_escalated=*/cfg.control.escalation,
-                                   cfg.control.escalated}),
+                                   cfg.control.escalated,
+                                   cfg.pfs_interference}),
       control_(with_staging_mode(cfg.control, cfg.async_staging),
                cfg.storage_model) {}
 
@@ -104,6 +105,7 @@ void SpbcProtocol::attach(mpi::Machine& machine) {
       synth_state_[static_cast<size_t>(r)] = ckpt::make_state(cfg_.state_model, r);
   }
   replayers_.resize(static_cast<size_t>(n));
+  facade_.assign(static_cast<size_t>(n), {});
   ckpt_.resize(static_cast<size_t>(n));
   for (int r = 0; r < n; ++r) {
     replayers_[static_cast<size_t>(r)].configure(&machine, r, cfg_.replay_window);
@@ -285,6 +287,27 @@ bool SpbcProtocol::maybe_checkpoint(mpi::Rank& rank) {
 }
 
 void SpbcProtocol::checkpoint_now(mpi::Rank& rank) { run_coordinated_checkpoint(rank); }
+
+bool SpbcProtocol::need_checkpoint(mpi::Rank& rank) {
+  // The facade's query half of maybe_checkpoint: the SAME trigger (the §13
+  // control plane's time-based boundary when enabled, the static every-N
+  // schedule otherwise, OR a peer's wave marker running ahead of our last
+  // snapshot) evaluated WITHOUT cutting — the app cuts on its own schedule
+  // through spbc_start/spbc_route/spbc_complete. The call still counts as a
+  // checkpoint opportunity, so a facade-driven app paces the periodic
+  // schedule exactly like a pattern-API app calling maybe_checkpoint.
+  auto& cs = ckpt_[static_cast<size_t>(rank.rank())];
+  ++cs.calls;
+  bool boundary;
+  if (control_.enabled()) {
+    boundary =
+        machine_->engine().now() - cs.last_cut >= control_.local_interval();
+  } else {
+    boundary =
+        cfg_.checkpoint_every != 0 && cs.calls % cfg_.checkpoint_every == 0;
+  }
+  return boundary || cs.wave_seen > cs.snap_epoch;
+}
 
 // The marker-based wave (replaces the old Ready/Take/Done/Resume drain
 // barrier — see DESIGN.md). Each member snapshots at its own checkpoint
@@ -872,6 +895,15 @@ void SpbcProtocol::restore_rank(int r, uint64_t epoch) {
   // never finished; re-execution will redo that wave from scratch.
   store_.drop_epochs_above(r, epoch);
   staging_.drop_epochs_above(r, epoch);
+  // A facade session torn open by the crash must not leak into the restored
+  // epoch: the session aborts, and the committed regions are re-loaded from
+  // the snapshot's app bytes by the state handlers on respawn (empty for a
+  // sigma_0 restore — epoch 0 carries no app bytes).
+  auto& fs = facade_[static_cast<size_t>(r)];
+  fs.in_session = false;
+  fs.restart_loaded = false;
+  fs.staged.clear();
+  fs.regions.clear();
   auto& cs = ckpt_[static_cast<size_t>(r)];
   if (epoch == 0) {
     // No committed checkpoint yet: roll back to the initial state sigma_0.

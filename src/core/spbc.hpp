@@ -38,6 +38,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "ckpt/staging.hpp"
@@ -135,6 +136,12 @@ struct SpbcConfig {
   /// disabled (the default), the static checkpoint_every schedule and
   /// full-depth writes are bit-for-bit unchanged.
   ControlPlaneConfig control{};
+
+  /// Multi-job PFS interference phases (hostile workload matrix; DESIGN.md
+  /// §16): windows during which other jobs occupy a fraction of the shared
+  /// PFS ingest bandwidth, stretching this job's flush costs. Empty (the
+  /// default) keeps every flush cost byte-identical.
+  std::vector<ckpt::PfsInterferencePhase> pfs_interference{};
 };
 
 class SpbcProtocol : public mpi::ProtocolHooks {
@@ -199,6 +206,31 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   /// joined and drained, so peers must keep reaching checkpoint
   /// opportunities for the forced snapshot to become restorable.
   void checkpoint_now(mpi::Rank& rank);
+
+  /// The facade's trigger query (spbc_need_checkpoint): answers exactly the
+  /// question maybe_checkpoint() asks — the §13 control plane's time-based
+  /// boundary when enabled, the static every-N schedule otherwise, OR a
+  /// cluster peer's wave marker running ahead — WITHOUT cutting an epoch.
+  /// Counts the call as a checkpoint opportunity like maybe_checkpoint()
+  /// does, so facade-driven apps pace the periodic schedule identically.
+  bool need_checkpoint(mpi::Rank& rank);
+
+  /// Per-rank state of the four-call facade (core/facade.hpp). `regions` is
+  /// the committed named-region map embedded in every snapshot via the app
+  /// state handlers; `staged` holds the open session's routed writes until
+  /// spbc_complete(valid=1) promotes them. Reset (session aborted) on
+  /// rollback: a torn session must never leak into the restored epoch.
+  struct FacadeState {
+    bool in_session = false;
+    bool restart_loaded = false;  // this incarnation pulled its restart state
+    uint64_t sessions = 0;    // spbc_start calls that opened a session
+    uint64_t completes = 0;   // spbc_complete(valid=1) commits
+    std::map<std::string, std::vector<unsigned char>> staged;
+    std::map<std::string, std::vector<unsigned char>> regions;
+  };
+  FacadeState& facade_state(int rank) {
+    return facade_[static_cast<size_t>(rank)];
+  }
 
  protected:
   /// HydEE overrides this to install its coordinator gate on each replayer.
@@ -346,6 +378,9 @@ class SpbcProtocol : public mpi::ProtocolHooks {
   // deterministically on restore, so delta captures see realistic
   // block-level churn without a real application.
   std::vector<std::vector<unsigned char>> synth_state_;
+  // Per-rank facade sessions/regions (only touched by facade-driven apps;
+  // pattern-API apps never allocate region bytes). Sized in attach().
+  std::vector<FacadeState> facade_;
   std::vector<CkptLocal> ckpt_;
   // Pre-sized by on_cluster_map (lazy map insertion would be a structural
   // race under the threaded shard executor). A cluster's wave cell is read

@@ -43,6 +43,54 @@ mpi::MachineConfig machine_config_for(const ScenarioConfig& cfg) {
   return mc;
 }
 
+/// Folds the hostile matrix into the sub-configs it forwards to. Only knobs
+/// the hostile block actually sets are copied, so shapes configured directly
+/// on app_cfg / machine / spbc compose instead of being clobbered.
+void apply_hostile(ScenarioConfig& cfg) {
+  const HostileConfig& h = cfg.hostile;
+  if (h.burst_factor > 1.0) {
+    cfg.app_cfg.burst_factor = h.burst_factor;
+    cfg.app_cfg.burst_period = h.burst_period;
+    cfg.app_cfg.burst_duty = h.burst_duty;
+  }
+  if (h.straggler_factor > 1.0) {
+    cfg.machine.straggler_factor = h.straggler_factor;
+    cfg.machine.straggler_frac = h.straggler_frac;
+    cfg.machine.straggler_seed = h.straggler_seed;
+  }
+  for (const net::PartitionPhase& p : h.partitions)
+    cfg.machine.net.partitions.push_back(p);
+  for (const ckpt::PfsInterferencePhase& p : h.pfs_interference)
+    cfg.spbc.pfs_interference.push_back(p);
+}
+
+/// PHYSICAL nodes of one failure domain (HostileConfig geometry).
+std::vector<int> domain_nodes(const HostileConfig& h, int nodes,
+                              const DomainFailure& d) {
+  std::vector<int> out;
+  switch (d.domain) {
+    case FailureDomain::kRack: {
+      int lo = d.index * h.rack_size;
+      int hi = std::min(nodes, lo + h.rack_size);
+      for (int n = lo; n < hi; ++n) out.push_back(n);
+      break;
+    }
+    case FailureDomain::kSwitch: {
+      SPBC_ASSERT(h.switch_count > 0);
+      for (int n = 0; n < nodes; ++n)
+        if (n % h.switch_count == d.index % h.switch_count) out.push_back(n);
+      break;
+    }
+    case FailureDomain::kPsu: {
+      int base = d.index * 2;
+      if (base < nodes) out.push_back(base);
+      if (base + 1 < nodes) out.push_back(base + 1);
+      break;
+    }
+  }
+  return out;
+}
+
 std::unique_ptr<mpi::ProtocolHooks> make_protocol(const ScenarioConfig& cfg) {
   switch (cfg.protocol) {
     case ProtocolKind::kNative:
@@ -108,7 +156,11 @@ std::vector<int> compute_cluster_map(const ScenarioConfig& cfg) {
   return part.partition(cfg.nclusters, pc).cluster_of;
 }
 
-ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+ScenarioResult run_scenario(const ScenarioConfig& cfg_in) {
+  // Fold the hostile matrix into the sub-configs on a local copy — the
+  // caller's config object is never mutated.
+  ScenarioConfig cfg = cfg_in;
+  apply_hostile(cfg);
   mpi::MachineConfig mc = machine_config_for(cfg);
   mpi::Machine machine(mc, make_protocol(cfg));
   std::vector<int> cluster_of = compute_cluster_map(cfg);
@@ -149,8 +201,27 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     }
   }
 
+  // Correlated failure domains: every node of the domain goes down, each
+  // node's first resident rank the injection victim, staggered inside the
+  // control plane's correlation window so its correlated-double estimator
+  // sees the losses as one domain event. Severity follows the machine's
+  // default_failure_kind (elastic suites therefore get permanent losses).
+  uint64_t domain_injected = 0;
+  for (const DomainFailure& d : cfg.hostile.domain_failures) {
+    SPBC_ASSERT_MSG(d.at > 0, "domain failures require a positive time");
+    int i = 0;
+    for (int node : domain_nodes(cfg.hostile, machine.topology().nodes(), d)) {
+      int victim = node * cfg.ranks_per_node;
+      if (victim >= cfg.nranks) continue;
+      machine.inject_failure(d.at + i * cfg.hostile.domain_stagger, victim);
+      ++domain_injected;
+      ++i;
+    }
+  }
+
   ScenarioResult res;
   res.cluster_of = cluster_of;
+  res.domain_failures_injected = domain_injected;
   res.run = machine.run();
   res.elapsed = res.run.finish_time;
   res.checksums = std::move(checksums);
@@ -169,6 +240,10 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.max_log_rate_mb_s = std::max(res.max_log_rate_mb_s, rate);
   }
   res.avg_log_rate_mb_s = sum / cfg.nranks;
+  for (int r = 0; r < cfg.nranks; ++r)
+    res.straggler_stall_time += machine.rank(r).profile().time_straggler_stall;
+  res.partition_msgs_held = machine.network().partition_msgs_held();
+  res.partition_stall_time = machine.network().partition_stall_time();
   res.spare_swaps = machine.spare_swaps();
   res.shrink_restarts = machine.shrink_restarts();
   res.tombstone_drops = machine.tombstone_drops();
@@ -190,6 +265,9 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
         res.staging.bytes_to_partner + res.staging.bytes_to_parity;
     res.bytes_pfs_written = res.staging.bytes_to_pfs;
     res.bytes_rebuild_read = res.staging.rebuild_bytes_read;
+    res.pfs_contended_flushes = res.staging.pfs_contended_flushes;
+    res.pfs_interference_time = res.staging.pfs_interference_time;
+    res.pfs_queue_depth_hwm = res.staging.pfs_queue_depth_hwm;
     res.ckpt_raw_bytes = spbc->store().total_raw_bytes();
     res.ckpt_stored_bytes = spbc->store().total_bytes_written();
     res.delta_snapshots = spbc->store().delta_snapshots();

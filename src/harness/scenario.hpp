@@ -35,6 +35,58 @@ enum class ProtocolKind {
 
 const char* protocol_name(ProtocolKind k);
 
+/// Hardware failure domains for correlated multi-node losses (hostile
+/// workload matrix; DESIGN.md §16). Geometry over PHYSICAL node ids:
+///   kRack:   contiguous blocks of HostileConfig::rack_size nodes
+///   kSwitch: leaf switch `s` serves every node with n % switch_count == s
+///   kPsu:    a power rail feeds node pairs {2k, 2k+1}
+enum class FailureDomain { kRack, kSwitch, kPsu };
+
+/// One correlated domain loss: every node in the domain fails, staggered by
+/// HostileConfig::domain_stagger so the control plane's correlation window
+/// (ControlPlaneConfig::correlation_window) sees them as correlated doubles.
+struct DomainFailure {
+  sim::Time at = 0;
+  FailureDomain domain = FailureDomain::kRack;
+  int index = 0;  // which rack / switch / power rail
+};
+
+/// Hostile workload matrix (DESIGN.md §16): one composable knob block per
+/// shape, all off by default (a default HostileConfig leaves the run
+/// byte-identical). Each shape can also be set directly on the sub-config
+/// it forwards to (app_cfg burst_*, machine straggler_*, machine.net
+/// partitions, spbc pfs_interference) — this block exists so scenarios and
+/// benches can express a whole hostile profile in one place and compose it
+/// with any redundancy scheme, spare pool, and reduction config.
+struct HostileConfig {
+  // Bursty / adversarial traffic phases -> apps::AppConfig::burst_*.
+  double burst_factor = 1.0;
+  int burst_period = 0;
+  int burst_duty = 1;
+  // Straggler / slow-node skew -> mpi::MachineConfig::straggler_*.
+  double straggler_factor = 1.0;
+  double straggler_frac = 0.0;
+  uint64_t straggler_seed = 0;
+  // Healing network partitions -> net::NetworkParams::partitions.
+  std::vector<net::PartitionPhase> partitions;
+  // Multi-job PFS interference -> core::SpbcConfig::pfs_interference.
+  std::vector<ckpt::PfsInterferencePhase> pfs_interference;
+  // Correlated rack / switch / PSU failure domains (expanded into one
+  // per-node failure each, staggered by domain_stagger; the machine's
+  // default_failure_kind decides severity, so elastic suites get permanent
+  // losses for free).
+  std::vector<DomainFailure> domain_failures;
+  int rack_size = 4;
+  int switch_count = 2;
+  sim::Time domain_stagger = 0.01;  // < correlation_window (0.05) by default
+
+  bool any() const {
+    return burst_factor > 1.0 || straggler_factor > 1.0 ||
+           !partitions.empty() || !pfs_interference.empty() ||
+           !domain_failures.empty();
+  }
+};
+
 struct ScenarioConfig {
   std::string app = "MiniGhost";
   int nranks = 64;
@@ -80,6 +132,10 @@ struct ScenarioConfig {
   /// is corrupted without killing anything. Only background scrubbing or a
   /// restore-path audit discovers it. Requires an SPBC-family protocol.
   std::vector<std::pair<sim::Time, uint64_t>> silent_losses;
+
+  /// Hostile workload matrix (see HostileConfig). Applied on top of the
+  /// sub-configs at run time; a default value changes nothing.
+  HostileConfig hostile;
 };
 
 struct ScenarioResult {
@@ -149,6 +205,15 @@ struct ScenarioResult {
   uint64_t spare_swaps = 0;
   uint64_t shrink_restarts = 0;
   uint64_t tombstone_drops = 0;
+
+  // Per-hostile-shape accounting (zeros when the matrix is off).
+  sim::Time straggler_stall_time = 0;    // extra compute on straggler nodes
+  uint64_t partition_msgs_held = 0;      // messages held across a partition
+  sim::Time partition_stall_time = 0;    // total extra in-fabric delay
+  uint64_t pfs_contended_flushes = 0;    // flushes hit by PFS interference
+  sim::Time pfs_interference_time = 0;   // extra flush time from contention
+  uint64_t pfs_queue_depth_hwm = 0;      // deepest per-node PFS flush queue
+  uint64_t domain_failures_injected = 0; // per-node failures from domains
 
   // Control-plane telemetry (zeros when the control plane is disabled).
   // Includes the online repartitioner's flip counters (control.repartitions,

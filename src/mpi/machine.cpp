@@ -42,6 +42,20 @@ Machine::Machine(MachineConfig cfg, std::unique_ptr<ProtocolHooks> protocol)
   for (int r = 0; r < cfg.nranks; ++r)
     node_of_rank_[static_cast<size_t>(r)] = topo_.node_of(r);
   node_retired_.assign(static_cast<size_t>(topo_.total_nodes()), 0);
+  // Straggler set: a pure function of (straggler_seed, node) so every layout
+  // and every re-execution agrees on which nodes are slow. Spare nodes draw
+  // too — a hot-swapped rank inherits its spare's speed.
+  straggler_node_.assign(static_cast<size_t>(topo_.total_nodes()), 0);
+  if (cfg.straggler_factor > 1.0 && cfg.straggler_frac > 0.0) {
+    for (int n = 0; n < topo_.total_nodes(); ++n) {
+      util::Fnv1a64 h;
+      h.update_u64(cfg.straggler_seed);
+      h.update_u64(static_cast<uint64_t>(n) ^ 0x57a661e5ull);
+      double u = static_cast<double>(h.digest() >> 11) /
+                 static_cast<double>(1ULL << 53);
+      straggler_node_[static_cast<size_t>(n)] = u < cfg.straggler_frac ? 1 : 0;
+    }
+  }
   tombstoned_.assign(static_cast<size_t>(cfg.nranks), 0);
   for (int s = topo_.nodes(); s < topo_.total_nodes(); ++s)
     spare_pool_.push_back(s);

@@ -102,6 +102,16 @@ struct MachineConfig {
   // Worker threads for the sharded executor (conservative lookahead windows).
   // > 1 requires engine_shards != 1 and node-colocated clusters.
   int engine_threads = 1;
+  // Straggler / slow-node skew (hostile workload matrix; DESIGN.md §16):
+  // every compute block on a straggler node is stretched by straggler_factor.
+  // Straggler nodes are picked deterministically from straggler_seed — a
+  // straggler_frac fraction of the compute nodes — so every shard/thread
+  // layout and every re-execution sees the same slow set. The extra time is
+  // accounted in RankProfile::time_straggler_stall. factor <= 1 or frac <= 0
+  // disables the shape and keeps compute() byte-identical.
+  double straggler_factor = 1.0;
+  double straggler_frac = 0.0;
+  uint64_t straggler_seed = 0;
 };
 
 /// Outcome of a Machine::run().
@@ -154,6 +164,12 @@ class Machine {
   }
   /// Spares still in the pool (not yet swapped in).
   int spares_available() const { return static_cast<int>(spare_pool_.size()); }
+  /// PHYSICAL node `node` is a straggler (MachineConfig::straggler_*): its
+  /// compute blocks run straggler_factor slower. Fixed at construction —
+  /// deterministic across shard/thread layouts and re-executions.
+  bool straggler_node(int node) const {
+    return straggler_node_[static_cast<size_t>(node)] != 0;
+  }
   /// A permanently-dead node left service (retire_node).
   bool node_retired(int node) const {
     return node_retired_[static_cast<size_t>(node)] != 0;
@@ -346,6 +362,8 @@ class Machine {
   std::vector<int> shard_of_rank_;
   // Dynamic rank -> physical node binding (see node_of).
   std::vector<int> node_of_rank_;
+  // Per-physical-node straggler flag (see straggler_node).
+  std::vector<uint8_t> straggler_node_;
   // Spare nodes not yet swapped in, FIFO (ids in [topo.nodes(), total)).
   std::vector<int> spare_pool_;
   std::vector<uint8_t> node_retired_;  // indexed by node id

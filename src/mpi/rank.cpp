@@ -249,6 +249,15 @@ void Rank::compute(sim::Time seconds) {
                static_cast<double>(1ULL << 53);
     seconds *= 1.0 + noise * u;
   }
+  const MachineConfig& mc = machine_.config();
+  if (mc.straggler_factor > 1.0 &&
+      machine_.straggler_node(machine_.node_of(world_rank_))) {
+    // Straggler-ness follows the PHYSICAL binding: a rank hot-swapped onto a
+    // spare node takes on that node's speed.
+    sim::Time extra = seconds * (mc.straggler_factor - 1.0);
+    profile_.time_straggler_stall += extra;
+    seconds += extra;
+  }
   profile_.time_compute += seconds;
   in_compute_ = true;
   compute_start_ = now();

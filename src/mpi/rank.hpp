@@ -65,6 +65,9 @@ struct PatternBook {
 struct RankProfile {
   sim::Time time_compute = 0;
   sim::Time time_mpi = 0;  // blocked or in MPI calls
+  // Extra compute time from running on a straggler node
+  // (MachineConfig::straggler_factor); included in time_compute.
+  sim::Time time_straggler_stall = 0;
   uint64_t sends = 0;
   uint64_t recvs = 0;
   uint64_t bytes_sent_intra_cluster = 0;

@@ -116,6 +116,26 @@ sim::Time Network::submit_routed(const Transfer& t, int route_rank,
 
   sim::Time arrival = start + lat + serialize;
 
+  // Healing partitions: a message crossing a partitioned boundary during the
+  // outage is held in the fabric and lands after the heal. The hold runs
+  // before the FIFO clamp so later same-channel traffic queues behind it.
+  if (!params_.partitions.empty()) {
+    const int src_node = node_of(t.src_rank);
+    const int dst_node = node_of(t.dst_rank);
+    for (const PartitionPhase& p : params_.partitions) {
+      if (now < p.start || now >= p.heal) continue;
+      if ((src_node < p.boundary_node) == (dst_node < p.boundary_node))
+        continue;
+      sim::Time healed = p.heal + lat + serialize;
+      if (healed > arrival) {
+        partition_holds_.fetch_add(1, std::memory_order_relaxed);
+        partition_stall_.fetch_add(healed - arrival,
+                                   std::memory_order_relaxed);
+        arrival = healed;
+      }
+    }
+  }
+
   // FIFO per channel: never deliver before an earlier message on the same
   // (src,dst) channel, even if jitter says otherwise.
   arrival = std::max(arrival, chan.last_arrival);

@@ -34,6 +34,13 @@
 
 namespace spbc::net {
 
+/// One healing-partition window (see NetworkParams::partitions).
+struct PartitionPhase {
+  sim::Time start = 0;
+  sim::Time heal = 0;
+  int boundary_node = 0;  // side A: node < boundary_node; side B: the rest
+};
+
 struct NetworkParams {
   // Intra-node (shared memory) path.
   sim::Time intra_latency = sim::usec(0.6);
@@ -52,6 +59,15 @@ struct NetworkParams {
   // Multiplicative latency jitter in [1, 1+jitter_frac); 0 disables.
   double jitter_frac = 0.0;
   uint64_t jitter_seed = 0;
+
+  // Healing network partitions (hostile workload matrix; DESIGN.md §16):
+  // during [start, heal) messages crossing the boundary — one endpoint on a
+  // node < boundary_node, the other on a node >= it — are held in the fabric
+  // and land no earlier than heal time plus their normal wire time, modeling
+  // a switch/uplink outage that heals without dropping traffic. Per-channel
+  // FIFO still holds (the clamp runs after the hold). Empty = no partitions;
+  // every arrival time is byte-identical to the unpartitioned run.
+  std::vector<PartitionPhase> partitions{};
 };
 
 /// A transfer handed to the network; `on_arrival` fires at the destination
@@ -116,6 +132,15 @@ class Network {
     return bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Messages held by a healing-partition window, and the total extra
+  /// in-fabric delay they accumulated (hostile-shape accounting).
+  uint64_t partition_msgs_held() const {
+    return partition_holds_.load(std::memory_order_relaxed);
+  }
+  sim::Time partition_stall_time() const {
+    return partition_stall_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Per-(src,dst) FIFO/jitter state, stored in a flat open-addressed row per
   // source rank (same idiom as TrafficMatrix). A row is only ever touched by
@@ -153,6 +178,8 @@ class Network {
 
   std::atomic<uint64_t> transfers_{0};
   std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> partition_holds_{0};
+  std::atomic<sim::Time> partition_stall_{0.0};
 };
 
 }  // namespace spbc::net

@@ -53,6 +53,24 @@ const char* timing_name(FailureCase::Timing t) {
   return "?";
 }
 
+const char* hostile_name(FailureCase::Hostile h) {
+  switch (h) {
+    case FailureCase::Hostile::kNone:
+      return "none";
+    case FailureCase::Hostile::kStragglerSkew:
+      return "straggler-skew";
+    case FailureCase::Hostile::kPartitionHeal:
+      return "partition-heal";
+    case FailureCase::Hostile::kRackDomain:
+      return "rack-domain";
+    case FailureCase::Hostile::kSwitchDomain:
+      return "switch-domain";
+    case FailureCase::Hostile::kPsuDomain:
+      return "psu-domain";
+  }
+  return "?";
+}
+
 FailureCase sample_case(uint64_t seed) {
   util::Pcg32 rng(seed, 0xfa17);
   FailureCase c;
@@ -109,6 +127,9 @@ FailureCase sample_case(uint64_t seed) {
   // through 2; larger losses than spares mix hot-swaps and shrinks.
   if (c.timing == FailureCase::Timing::kSpareSwap)
     c.spares = static_cast<int>(rng.next_bounded(3));
+  // Hostile-shape dimension, drawn LAST so it composes with every earlier
+  // draw (scheme x shape x losses x timing x correlation x PFS x spares).
+  c.hostile = static_cast<FailureCase::Hostile>(rng.next_bounded(6));
   return c;
 }
 
@@ -126,6 +147,8 @@ std::string describe_case(const FailureCase& c) {
      << (c.flush_pfs ? " pfs=fast" : " pfs=lagging");
   if (c.timing == FailureCase::Timing::kSpareSwap)
     os << " spares=" << c.spares;
+  if (c.hostile != FailureCase::Hostile::kNone)
+    os << " hostile=" << hostile_name(c.hostile);
   return os.str();
 }
 
@@ -466,6 +489,17 @@ CaseResult run_case(const FailureCase& c) {
   mc.nranks = c.nodes;
   mc.ranks_per_node = 1;
   mc.spare_nodes = c.spares;
+  // Hostile shape: healing partition over the epoch-2 drain era. Fragment
+  // placements crossing the nodes/2 boundary are held in the fabric until
+  // the heal — which lands before every settled-family kill/check time, so
+  // held placements must arrive, count, and restore like unheld ones.
+  if (c.hostile == FailureCase::Hostile::kPartitionHeal) {
+    net::PartitionPhase p;
+    p.start = kEpoch2At;
+    p.heal = kEpoch2At + 0.6;
+    p.boundary_node = std::max(1, c.nodes / 2);
+    mc.net.partitions.push_back(p);
+  }
   auto proto = std::make_unique<core::SpbcProtocol>(core::SpbcConfig{});
   mpi::Machine m(mc, std::move(proto));
   std::vector<int> clusters(static_cast<size_t>(c.nodes));
@@ -490,7 +524,40 @@ CaseResult run_case(const FailureCase& c) {
   std::vector<int> victims;
   {
     std::vector<int> pool;
-    if (c.correlated) {
+    // Hostile hardware domains trump the cluster-correlated pool: the blast
+    // radius is a rack (contiguous 4-node span), a leaf switch (node % 2
+    // stripe), or a PSU pair — patterns that cut ACROSS the cluster map and
+    // across redundancy groups.
+    switch (c.hostile) {
+      case FailureCase::Hostile::kRackDomain: {
+        const int racks = (c.nodes + 3) / 4;
+        const int rack =
+            static_cast<int>(rng.next_bounded(static_cast<uint32_t>(racks)));
+        for (int n = rack * 4; n < std::min(c.nodes, rack * 4 + 4); ++n)
+          pool.push_back(n);
+        break;
+      }
+      case FailureCase::Hostile::kSwitchDomain: {
+        const int sw = static_cast<int>(rng.next_bounded(2));
+        for (int n = 0; n < c.nodes; ++n)
+          if (n % 2 == sw) pool.push_back(n);
+        break;
+      }
+      case FailureCase::Hostile::kPsuDomain: {
+        const int pairs = (c.nodes + 1) / 2;
+        const int p =
+            static_cast<int>(rng.next_bounded(static_cast<uint32_t>(pairs)));
+        if (p * 2 < c.nodes) pool.push_back(p * 2);
+        if (p * 2 + 1 < c.nodes) pool.push_back(p * 2 + 1);
+        break;
+      }
+      default:
+        break;
+    }
+    if (static_cast<int>(pool.size()) < c.losses) pool.clear();
+    if (!pool.empty()) {
+      // Domain pool in effect; fall through to the draw below.
+    } else if (c.correlated) {
       int dom = clusters[static_cast<size_t>(
           rng.next_bounded(static_cast<uint32_t>(c.nodes)))];
       for (int n = 0; n < c.nodes; ++n)
@@ -534,12 +601,31 @@ CaseResult run_case(const FailureCase& c) {
   const double reprotect_check_at = check_at + 1.0;
 
   // ---- writes ------------------------------------------------------------
+  // Straggler skew: odd nodes cut epoch 2 late, so the wave's placements
+  // straggle across the kill instead of moving in lockstep.
+  auto skew_of = [&](int r) {
+    return c.hostile == FailureCase::Hostile::kStragglerSkew && (r % 2) != 0
+               ? 0.15
+               : 0.0;
+  };
+  // Mid-rebuild (and multi-loss spare-swap) keeps one victim in reserve: it
+  // dies while the earlier losses' rebuild reads are in flight (see the
+  // losses block below), so its skewed write still precedes its death.
+  const bool reserve_one =
+      (c.timing == FailureCase::Timing::kMidRebuild ||
+       c.timing == FailureCase::Timing::kSpareSwap) &&
+      victims.size() > 1;
   for (int r = 0; r < c.nodes; ++r) {
     m.engine().at(kEpoch1At, [&, r] { area.write(r, 1, c.bytes); });
-    m.engine().at(kEpoch2At, [&, r] {
+    m.engine().at(kEpoch2At + skew_of(r), [&, r] {
       // Pre-drain victims died before epoch 2 was cut; a dead rank must not
-      // write (a write would also mark its node back in service).
+      // write (a write would also mark its node back in service). The same
+      // holds for a straggler victim whose skewed write would land after
+      // its own first-wave death.
       if (c.timing == FailureCase::Timing::kPreDrain && victim_set.count(r))
+        return;
+      if (victim_set.count(r) && kEpoch2At + skew_of(r) >= kill_at &&
+          !(reserve_one && r == victims.back()))
         return;
       // Delta-chain bucket: epoch 2 is staged as a delta anchored on the
       // epoch-1 full capture, so its recoverability spans both elements.
@@ -550,12 +636,6 @@ CaseResult run_case(const FailureCase& c) {
   }
 
   // ---- losses ------------------------------------------------------------
-  // Mid-rebuild (and multi-loss spare-swap) keeps one victim in reserve: it
-  // dies while the earlier losses' rebuild reads are in flight.
-  const bool reserve_one =
-      (c.timing == FailureCase::Timing::kMidRebuild ||
-       c.timing == FailureCase::Timing::kSpareSwap) &&
-      victims.size() > 1;
   const size_t first_wave =
       reserve_one ? victims.size() - 1 : victims.size();
   // Permanent loss: the victim's current physical node is invalidated (its

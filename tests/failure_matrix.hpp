@@ -88,6 +88,30 @@ struct FailureCase {
   Timing timing = Timing::kSettled;
   bool flush_pfs = false;  // fast PFS: the frontier covers every epoch
   int spares = 0;          // pooled spare nodes (kSpareSwap bucket only)
+
+  /// Hostile-shape dimension (DESIGN.md §16), orthogonal to `timing`: the
+  /// same loss pattern replayed under an adversarial environment.
+  enum class Hostile {
+    kNone,
+    /// Straggler / slow-node skew: odd nodes cut epoch 2 late (+0.15 s), so
+    /// the wave's placements straggle across the kill instead of moving in
+    /// lockstep. A victim whose skewed write would land after its own death
+    /// never writes (a dead node must not re-enter service).
+    kStragglerSkew,
+    /// Healing partition: a network partition splits the machine at
+    /// nodes/2 while epoch 2's placements are on the wire and heals before
+    /// the invariant checks — held fragments must land and count.
+    kPartitionHeal,
+    /// Correlated hardware domains: victims are drawn from one rack
+    /// (contiguous 4-node span), one leaf switch (node % 2 stripe), or one
+    /// PSU pair {2k, 2k+1} instead of a cluster — the blast patterns the
+    /// correlated-double estimator must survive. Widened to the whole
+    /// machine when the domain is smaller than the loss count.
+    kRackDomain,
+    kSwitchDomain,
+    kPsuDomain,
+  };
+  Hostile hostile = Hostile::kNone;
 };
 
 struct CaseResult {
@@ -96,6 +120,7 @@ struct CaseResult {
 };
 
 const char* timing_name(FailureCase::Timing t);
+const char* hostile_name(FailureCase::Hostile h);
 
 /// Deterministically expands `seed` into a case (scheme, shape, losses,
 /// timing, correlation, PFS speed).

@@ -75,7 +75,10 @@ INSTANTIATE_TEST_SUITE_P(AllApps, AppRuns,
                                            "MiniGhost", "BT", "LU", "MG", "SP"));
 
 TEST(AppRegistry, AllAppsRegistered) {
-  EXPECT_EQ(apps::registry().size(), 10u);
+  // 10 native ports + the two facade-driven ports (MiniFE-facade, BT-facade).
+  EXPECT_EQ(apps::registry().size(), 12u);
+  EXPECT_TRUE(apps::find_app("MiniFE-facade").uses_any_source);
+  EXPECT_FALSE(apps::find_app("BT-facade").uses_any_source);
   EXPECT_TRUE(apps::find_app("AMG").uses_any_source);
   EXPECT_TRUE(apps::find_app("GTC").uses_any_source);
   EXPECT_TRUE(apps::find_app("MILC").uses_any_source);

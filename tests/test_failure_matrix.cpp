@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cstdlib>
 
 #include "failure_matrix.hpp"
@@ -122,6 +124,78 @@ TEST(FailureMatrix, PinnedSpareSwapCorners) {
     if (!res.ok)
       for (const std::string& v : res.violations) ADD_FAILURE() << v;
   }
+}
+
+// Hostile-shape corners (DESIGN.md §16): one hand-pinned case per Hostile
+// bucket over a representative scheme, so every adversarial shape stays
+// covered regardless of the sampled distribution. Straggler skew and the
+// healing partition replay the settled XOR corner; the three hardware
+// domains (rack / switch / PSU) draw the victims from their own blast
+// geometry with enough nodes that the domain fits the loss count.
+TEST(FailureMatrix, PinnedHostileCorners) {
+  struct Corner {
+    testing::FailureCase::Hostile hostile;
+    ckpt::SchemeKind kind;
+    int nodes;
+    int losses;
+    testing::FailureCase::Timing timing;
+  };
+  using H = testing::FailureCase::Hostile;
+  using T = testing::FailureCase::Timing;
+  for (const Corner& k :
+       {Corner{H::kStragglerSkew, ckpt::SchemeKind::kXorGroup, 4, 1,
+               T::kSettled},
+        // Straggler + mid-drain: the skewed epoch-2 writes straddle the kill.
+        Corner{H::kStragglerSkew, ckpt::SchemeKind::kReedSolomon, 6, 2,
+               T::kMidDrain},
+        Corner{H::kPartitionHeal, ckpt::SchemeKind::kXorGroup, 4, 1,
+               T::kMidDrain},
+        Corner{H::kPartitionHeal, ckpt::SchemeKind::kPartner, 4, 1,
+               T::kSettled},
+        Corner{H::kRackDomain, ckpt::SchemeKind::kReedSolomon, 12, 2,
+               T::kSettled},
+        Corner{H::kSwitchDomain, ckpt::SchemeKind::kXorGroup, 8, 1,
+               T::kSettled},
+        Corner{H::kPsuDomain, ckpt::SchemeKind::kReedSolomon, 6, 2,
+               T::kSettled}}) {
+    testing::FailureCase c;
+    c.seed = 0;  // hand-built, not sampled
+    c.redundancy.kind = k.kind;
+    c.redundancy.group_size = 4;
+    c.redundancy.rs_k = 4;
+    c.redundancy.rs_m = 2;
+    c.nodes = k.nodes;
+    c.nclusters = 2;
+    c.bytes = 2048;
+    c.losses = k.losses;
+    c.correlated = false;
+    c.timing = k.timing;
+    c.flush_pfs = false;
+    c.hostile = k.hostile;
+    testing::CaseResult res = testing::run_case(c);
+    EXPECT_TRUE(res.ok) << testing::describe_case(c);
+    if (!res.ok)
+      for (const std::string& v : res.violations) ADD_FAILURE() << v;
+  }
+}
+
+// The CI sweep must actually sample every hostile bucket: scan the seed
+// range CI uses (SPBC_FM_SEED=1, 300 cases) and assert each Hostile value
+// appears. Sampling only — no cases are run — so this stays cheap and fails
+// the moment a sampler change starves a bucket.
+TEST(FailureMatrix, SweepCoversEveryHostileBucket) {
+  const uint64_t base_seed = env_u64("SPBC_FM_SEED", 1);
+  const uint64_t cases = std::max<uint64_t>(env_u64("SPBC_FM_CASES", 48), 300);
+  std::array<uint64_t, 6> hits{};
+  for (uint64_t i = 0; i < cases; ++i) {
+    testing::FailureCase c = testing::sample_case(base_seed + i);
+    ++hits[static_cast<size_t>(c.hostile)];
+  }
+  for (size_t b = 0; b < hits.size(); ++b)
+    EXPECT_GT(hits[b], 0u)
+        << "hostile bucket '"
+        << testing::hostile_name(static_cast<testing::FailureCase::Hostile>(b))
+        << "' never sampled in " << cases << " cases from seed " << base_seed;
 }
 
 }  // namespace
